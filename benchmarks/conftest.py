@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one table or figure from the paper's evaluation
+(see DESIGN.md's experiment index) and prints the paper-shaped output,
+so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction report generator.  EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block of text past pytest's capture, prefixed clearly."""
+
+    def _report(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n===== {title} =====")
+            print(body)
+
+    return _report

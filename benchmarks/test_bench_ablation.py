@@ -1,0 +1,40 @@
+"""E9/E10 — ablations: module-library scaling and detector-window size."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_bench_e9_module_scaling(benchmark, report):
+    points = benchmark.pedantic(
+        ablations.module_scaling,
+        kwargs={"seed": 31, "symptom_instances": 8},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "E9: knowledge-driven activation vs all-on, growing module library",
+        ablations.render_module_scaling(points),
+    )
+    # Traditional cost grows ~linearly with the library; Kalis' does not.
+    trad_growth = points[-1].traditional_cpu / max(points[0].traditional_cpu, 1e-9)
+    kalis_growth = points[-1].kalis_cpu / max(points[0].kalis_cpu, 1e-9)
+    assert trad_growth > 2.0
+    assert kalis_growth < trad_growth / 1.5
+    assert points[-1].kalis_ram_kb < points[-1].traditional_ram_kb
+
+
+def test_bench_e10_window_sweep(benchmark, report):
+    points = benchmark.pedantic(
+        ablations.window_sweep,
+        kwargs={"seed": 37, "symptom_instances": 30},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "E10: detector window vs detection rate and RAM (slow-drip flood)",
+        ablations.render_window_sweep(points),
+    )
+    by_window = {p.window_s: p.detection_rate for p in points}
+    assert by_window[1.0] == 0.0  # cannot accumulate the threshold
+    assert by_window[10.0] > 0.5  # crossover: longer window detects

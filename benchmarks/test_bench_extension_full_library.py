@@ -1,0 +1,22 @@
+"""E13 (extension) — full-library breadth: every detection module
+demonstrated end-to-end against its attack."""
+
+import pytest
+
+from repro.experiments import extended_breadth
+
+
+def test_bench_e13_full_library(benchmark, report):
+    result = benchmark.pedantic(
+        extended_breadth.run, kwargs={"seed": 47}, rounds=1, iterations=1
+    )
+    report(
+        "E13 (extension): full-library breadth "
+        "(the five attacks beyond Figure 8)",
+        result.render(),
+    )
+    for name, score in result.scores.items():
+        assert score.detection_rate >= 0.9, name
+        assert score.classification_accuracy == 1.0, name
+        assert score.false_positive_alerts == 0, name
+        assert result.suspects_correct[name], name

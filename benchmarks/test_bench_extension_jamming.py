@@ -1,0 +1,25 @@
+"""E11 (extension) — jamming: anomaly detection from a degraded stream."""
+
+import pytest
+
+from repro.experiments import jamming_scenario
+
+
+def test_bench_e11_jamming(benchmark, report):
+    result = benchmark.pedantic(
+        jamming_scenario.run,
+        kwargs={"seed": 29, "bursts": 3},
+        rounds=1,
+        iterations=1,
+    )
+    report("E11 (extension): radio jamming on the WSN", result.summary())
+
+    assert result.bursts == 3
+    assert result.detection_rate == 1.0
+    assert result.false_positives == 0
+    # Latency is bounded by the rate window plus the alert cooldown.
+    assert all(latency <= 25.0 for latency in result.latencies)
+    # The detector worked from a heavily degraded stream: the jammer
+    # destroyed most of what the sniffer would have captured.
+    burst_share = result.captures_during_bursts / result.captures_total
+    assert burst_share < 0.1

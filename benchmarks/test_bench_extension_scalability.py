@@ -1,0 +1,39 @@
+"""E12 (extension) — scalability through knowledge locality (§IV-B4)."""
+
+import pytest
+
+from repro.experiments import scalability_scenario
+
+
+def test_bench_e12_scalability(benchmark, report):
+    points = benchmark.pedantic(
+        scalability_scenario.run,
+        kwargs={"seed": 41, "sizes": (1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [scalability_scenario.render(points), ""]
+    sample = points[-1]
+    home = next(
+        name for name in sample.per_node_active if name.startswith("kalis-home")
+    )
+    field = next(
+        name for name in sample.per_node_active if name.startswith("kalis-field")
+    )
+    lines.append(f"{home} active: {sorted(sample.per_node_active[home])}")
+    lines.append(f"{field} active: {sorted(sample.per_node_active[field])}")
+    report("E12 (extension): scalability through locality", "\n".join(lines))
+
+    # 1. Each node loads the locally-optimal set, never the union.
+    home_active = set(sample.per_node_active[home])
+    field_active = set(sample.per_node_active[field])
+    assert "IcmpFloodModule" in home_active
+    assert "ForwardingMisbehaviorModule" not in home_active
+    assert "ForwardingMisbehaviorModule" in field_active
+    assert "IcmpFloodModule" not in field_active
+
+    # 2. Per-node work stays flat as the site grows: tripling the site
+    # must not meaningfully raise any single node's burden.
+    assert points[-1].max_node_work <= points[0].max_node_work * 1.3
+    # ...while the site (and IDS fleet) actually grew.
+    assert points[-1].kalis_nodes == 3 * points[0].kalis_nodes

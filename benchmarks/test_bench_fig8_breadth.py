@@ -1,0 +1,29 @@
+"""E6 — Figure 8: effectiveness comparison across all eight attack
+scenarios (Kalis vs traditional IDS; Snort omitted as in the paper —
+it cannot run on the ZigBee scenarios)."""
+
+import pytest
+
+from repro.experiments import breadth
+
+
+def test_bench_fig8_breadth(benchmark, report):
+    result = benchmark.pedantic(
+        breadth.run,
+        kwargs={"seed": 23, "instances_per_scenario": 12},
+        rounds=1,
+        iterations=1,
+    )
+    report("E6: Figure 8 — breadth of attack detection", result.render())
+
+    # "Kalis is always more effective than traditional IDS approaches
+    # and, on average, achieves significant improvements."
+    for scenario, runs in result.per_scenario.items():
+        kalis, trad = runs["kalis"].score, runs["traditional"].score
+        assert kalis.detection_rate >= trad.detection_rate, scenario
+        assert (
+            kalis.classification_accuracy >= trad.classification_accuracy
+        ), scenario
+    assert result.average("kalis", "classification_accuracy") > result.average(
+        "traditional", "classification_accuracy"
+    )

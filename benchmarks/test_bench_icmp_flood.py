@@ -1,0 +1,47 @@
+"""E1 — §VI-B1: ICMP Flood on a single-hop network (paper protocol:
+50 symptom instances), regenerating the scenario's comparison rows."""
+
+import pytest
+
+from repro.experiments import icmp_flood_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    return icmp_flood_scenario.run(seed=7, symptom_instances=50)
+
+
+def test_bench_e1_icmp_flood(benchmark, report):
+    outcome = benchmark.pedantic(
+        icmp_flood_scenario.run,
+        kwargs={"seed": 7, "symptom_instances": 50},
+        rounds=1,
+        iterations=1,
+    )
+    lines = [outcome.summary(), ""]
+    lines.append("countermeasure outcome (paper §VI-B1):")
+    for name in sorted(outcome.runs):
+        run = outcome.runs[name]
+        revoked = ", ".join(n.value for n in run.revoked) or "(nobody)"
+        lines.append(
+            f"  {name:<12} revokes: {revoked:<24} "
+            f"effectiveness {run.countermeasure_effectiveness:.0%}"
+        )
+    report("E1: ICMP Flood on single-hop network (50 symptom instances)", "\n".join(lines))
+
+    kalis = outcome.runs["kalis"]
+    trad = outcome.runs["traditional"]
+    assert kalis.score.classification_accuracy == 1.0
+    assert trad.score.classification_accuracy < 1.0
+    assert kalis.countermeasure_effectiveness == 1.0
+    assert trad.countermeasure_effectiveness == 0.0
+
+
+def test_bench_e1_detection_rates(result):
+    assert result.runs["kalis"].score.detection_rate >= 0.95
+    assert result.runs["snort"].score.detection_rate >= 0.9
+
+
+def test_bench_e1_false_positive_free(result):
+    for run in result.runs.values():
+        assert run.score.false_positive_alerts == 0

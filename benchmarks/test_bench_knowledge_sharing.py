@@ -1,0 +1,26 @@
+"""E5 — §VI-D: knowledge sharing unmasks the wormhole."""
+
+import pytest
+
+from repro.experiments import wormhole_scenario
+
+
+def test_bench_e5_knowledge_sharing(benchmark, report):
+    isolated, collective = benchmark.pedantic(
+        wormhole_scenario.run, kwargs={"seed": 17}, rounds=1, iterations=1
+    )
+    report(
+        "E5: Knowledge sharing (wormhole B1/B2)",
+        isolated.summary() + "\n" + collective.summary(),
+    )
+
+    # Isolated: B1's observer sees a blackhole, B2's sees nothing.
+    assert isolated.attacks_seen == ["blackhole"]
+    assert isolated.alerts_by_node["kalis-B"] == []
+    # Collective: both nodes classify the wormhole, naming both suspects.
+    assert "wormhole" in collective.attacks_seen
+    for node in ("kalis-A", "kalis-B"):
+        assert any(
+            alert.attack == "wormhole"
+            for alert in collective.alerts_by_node[node]
+        )

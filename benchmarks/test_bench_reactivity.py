@@ -1,0 +1,33 @@
+"""E4 — §VI-C: reactivity to environment changes (cold start)."""
+
+import pytest
+
+from repro.experiments import reactivity_scenario
+
+
+def test_bench_e4_reactivity(benchmark, report):
+    result = benchmark.pedantic(
+        reactivity_scenario.run, kwargs={"seed": 13}, rounds=1, iterations=1
+    )
+    report("E4: Reactivity — cold start, no modules, no a-priori knowledge",
+           result.summary())
+
+    # "Kalis correctly identifies 100% of the selective forwarding
+    # attacks from the very beginning of the communications, even with
+    # no detection modules initially active."
+    assert result.detection_rate == 1.0
+    assert result.discovery_latency is not None
+    assert result.discovery_latency < 5.0
+
+
+def test_bench_e4_reactivity_across_seeds(report):
+    lines = []
+    for seed in (13, 14, 15, 16, 17):
+        result = reactivity_scenario.run(seed=seed)
+        lines.append(
+            f"  seed {seed}: discovery {result.discovery_latency:5.2f}s, "
+            f"first alert {result.detection_latency:5.2f}s, "
+            f"DR {result.detection_rate:.0%}"
+        )
+        assert result.detection_rate == 1.0
+    report("E4: reactivity across seeds", "\n".join(lines))

@@ -1,0 +1,27 @@
+"""E3 — Table II: average effectiveness and performance across the
+§VI-B scenarios, printed side by side with the paper's numbers."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, report):
+    table = benchmark.pedantic(
+        table2.run,
+        kwargs={"seed": 7, "replication_runs": 10},
+        rounds=1,
+        iterations=1,
+    )
+    report("E3: Table II — measured vs paper", table.render(include_paper=True))
+
+    rows = table.rows
+    # The paper's orderings (Table II):
+    assert rows["kalis"].accuracy == 1.0
+    assert rows["kalis"].detection_rate > rows["traditional"].detection_rate
+    assert rows["snort"].accuracy < rows["kalis"].accuracy
+    assert rows["kalis"].cpu_percent < rows["traditional"].cpu_percent
+    assert rows["traditional"].cpu_percent < rows["snort"].cpu_percent
+    assert (
+        rows["kalis"].ram_kb < rows["traditional"].ram_kb < rows["snort"].ram_kb
+    )

@@ -1,0 +1,66 @@
+"""E7/E8 — Table I and Figure 3: the design taxonomies, regenerated and
+machine-checked against the implementation."""
+
+import pytest
+
+from repro.core.knowledge import KnowledgeBase
+from repro.core.modules.registry import module_class
+from repro.taxonomy.by_feature import (
+    ATTACKS,
+    Applicability,
+    applicability,
+    attacks_impossible_given,
+    render_matrix,
+)
+from repro.taxonomy.by_target import render_target_table
+from repro.util.ids import NodeId
+
+
+def test_bench_table1_by_target(benchmark, report):
+    text = benchmark(render_target_table)
+    report("E7: Table I — taxonomy of IoT attacks by target", text)
+    assert "Denial of Routing" in text
+
+
+def test_bench_fig3_by_feature(benchmark, report):
+    text = benchmark(render_matrix)
+    report("E8: Figure 3 — feature vs attack applicability", text)
+    assert "selective_forwarding" in text
+
+
+def test_bench_fig3_consistency_with_module_library(benchmark, report):
+    """Time the full machine-check: every IMPOSSIBLE cell deactivates
+    the corresponding detection modules under that knowledge."""
+    from repro.taxonomy.modules_map import (
+        MODULES_FOR_ATTACK,
+        enabling_knowledge_base as _enabling_kb,
+        feature_knowledge as _feature_knowledge,
+    )
+
+    def check_all():
+        checked = 0
+        for attack in ATTACKS:
+            for feature in ("single_hop", "multi_hop", "static", "mobile",
+                            "integrity_protected"):
+                if applicability(attack, feature) is not Applicability.IMPOSSIBLE:
+                    continue
+                kb = _enabling_kb(attack)
+                label, value = _feature_knowledge(attack, feature)
+                kb.put(label, value)
+                for name in MODULES_FOR_ATTACK[attack]:
+                    assert not module_class(name)().required(kb)
+                    checked += 1
+        return checked
+
+    checked = benchmark(check_all)
+    report(
+        "E8: machine-check",
+        f"{checked} (module, impossible-feature) pairs verified against the library",
+    )
+    assert checked >= 7  # the matrix's seven module-backed IMPOSSIBLE cells
+
+    ruled_out = attacks_impossible_given("single_hop")
+    report(
+        "E8: attacks ruled out by single-hop knowledge",
+        ", ".join(ruled_out),
+    )

@@ -1,0 +1,69 @@
+"""Engine micro-benchmarks: capture-processing throughput.
+
+Not a paper table, but the number a deployer asks first: how many
+packets per second can each engine sustain?  These use
+pytest-benchmark's statistical timing (multiple rounds).
+"""
+
+import pytest
+
+from repro.baselines.snort import SnortEngine, community_ruleset
+from repro.baselines.traditional import TraditionalIds
+from repro.core.kalis import KalisNode
+from repro.experiments import icmp_flood_scenario
+from repro.util.ids import NodeId
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return icmp_flood_scenario.build(seed=7, symptom_instances=10).trace
+
+
+def test_bench_throughput_kalis(benchmark, trace):
+    def replay():
+        kalis = KalisNode(NodeId("kalis-1"))
+        kalis.replay_trace(trace)
+        return kalis.comm.total_captures
+
+    captures = benchmark(replay)
+    assert captures == len(trace)
+
+
+def test_bench_throughput_traditional(benchmark, trace):
+    def replay():
+        trad = TraditionalIds(NodeId("trad-1"))
+        trad.replay_trace(trace)
+        return trad.comm.total_captures
+
+    captures = benchmark(replay)
+    assert captures == len(trace)
+
+
+def test_bench_throughput_snort(benchmark, trace):
+    rules = community_ruleset(target_size=3500)
+
+    def replay():
+        engine = SnortEngine(rules)
+        for record in trace:
+            engine.on_capture(record.capture)
+        return engine.packets_processed
+
+    processed = benchmark(replay)
+    assert processed > 0
+
+
+def test_bench_knowledge_base_updates(benchmark):
+    from repro.core.knowledge import KnowledgeBase
+
+    kb = KnowledgeBase(NodeId("kalis-1"))
+
+    counter = [0]
+
+    def churn():
+        counter[0] += 1
+        base = counter[0] * 1000
+        for i in range(100):
+            kb.put("TrafficFrequency.TCPSYN", (base + i) * 0.001)
+        return len(kb)
+
+    benchmark(churn)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Collective knowledge in action: two Kalis nodes unmask a wormhole.
+
+Reproduces the paper's §VI-D story interactively.  Two Kalis nodes
+watch two distant portions of a ZigBee mesh; colluding nodes B1 and B2
+tunnel traffic between the portions over a private out-of-band link.
+
+Seen alone, B1 is "a blackhole" and B2 "a source of traffic".  The
+script runs both configurations on identical traffic — isolated Kalis
+nodes, then nodes joined through the collective-knowledge network — and
+prints what each one concluded.
+
+Run with::
+
+    python examples/collaborative_wormhole.py
+"""
+
+from repro.experiments import wormhole_scenario
+
+
+def main() -> None:
+    built = wormhole_scenario.build(seed=17)
+    print(
+        f"Recorded {sum(len(t) for t in built.traces.values())} captures "
+        f"across two observation points; wormhole entry={built.entry}, "
+        f"exit={built.exit}.\n"
+    )
+
+    isolated = wormhole_scenario.replay(built, collective=False)
+    print("Without knowledge sharing:")
+    for node, alerts in sorted(isolated.alerts_by_node.items()):
+        verdicts = sorted({alert.attack for alert in alerts}) or ["(nothing)"]
+        print(f"  {node} concluded: {', '.join(verdicts)}")
+    print(
+        "  -> the entry looks like a plain blackhole; the exit looks benign.\n"
+    )
+
+    collective = wormhole_scenario.replay(built, collective=True)
+    print("With collective knowledge (knowggets synchronized between peers):")
+    for node, alerts in sorted(collective.alerts_by_node.items()):
+        verdicts = sorted({alert.attack for alert in alerts}) or ["(nothing)"]
+        print(f"  {node} concluded: {', '.join(verdicts)}")
+    wormhole_alerts = [
+        alert
+        for alerts in collective.alerts_by_node.values()
+        for alert in alerts
+        if alert.attack == "wormhole"
+    ]
+    assert wormhole_alerts, "collective mode should identify the wormhole"
+    suspects = sorted({s.value for a in wormhole_alerts for s in a.suspects})
+    print(f"  -> correctly identified as a wormhole between {suspects}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy Kalis next to a small IoT network and catch a flood.
+
+This is the smallest end-to-end tour of the public API:
+
+1. build a simulated single-hop home network (router, cloud, a couple
+   of commodity devices);
+2. add an ICMP-flood attacker;
+3. deploy a :class:`~repro.core.kalis.KalisNode` as a passive sniffer;
+4. run, and watch Kalis discover the topology, pick its modules, and
+   name the attacker.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.attacks import IcmpFloodAttacker
+from repro.core import KalisNode
+from repro.devices import CloudService, LifxBulb, NestThermostat
+from repro.proto.iphost import IpRouter, LanDirectory
+from repro.sim import Simulator
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+def main() -> None:
+    sim = Simulator(seed=42)
+    rng = SeededRng(42)
+
+    # -- the home network ---------------------------------------------------
+    lan, wan = LanDirectory(), LanDirectory()
+    router = sim.add_node(IpRouter(NodeId("router"), (0.0, 0.0), lan, wan))
+    cloud = sim.add_node(
+        CloudService(NodeId("cloud"), (500.0, 0.0), wan, gateway=router.node_id)
+    )
+    thermostat = sim.add_node(
+        NestThermostat(
+            NodeId("nest"), (6.0, 2.0), lan, cloud.ip, router.node_id,
+            rng=rng.substream("nest"),
+        )
+    )
+    sim.add_node(
+        LifxBulb(
+            NodeId("lifx"), (4.0, 6.0), lan, cloud.ip, router.node_id,
+            rng=rng.substream("lifx"),
+        )
+    )
+
+    # -- the attacker ---------------------------------------------------------
+    sim.add_node(
+        IcmpFloodAttacker(
+            NodeId("flooder"),
+            (9.0, 8.0),
+            lan,
+            victim_ip=thermostat.ip,
+            victim_link=thermostat.node_id,
+            start_delay=15.0,
+            max_bursts=5,
+            rng=rng.substream("attacker"),
+        )
+    )
+
+    # -- the IDS ---------------------------------------------------------------
+    kalis = KalisNode(NodeId("kalis-1"))
+    kalis.deploy(sim, position=(5.0, 4.0))
+
+    # -- run --------------------------------------------------------------------
+    sim.run(60.0)
+
+    print(kalis.describe())
+    print()
+    print("Knowledge Base (paper Figure 5b key-value view):")
+    for key, value in kalis.kb.snapshot().items():
+        if "TrafficFrequency" in key or "$Multihop" in key or "MonitoredNodes" in key:
+            print(f'  "{key}" = "{value}"')
+    print()
+    print(f"Alerts ({len(kalis.alerts)}):")
+    for alert in kalis.alerts.alerts[:5]:
+        suspects = ", ".join(s.value for s in alert.suspects)
+        print(
+            f"  t={alert.timestamp:7.2f}s  {alert.attack:<12} "
+            f"by {alert.detected_by}  suspects: {suspects}"
+        )
+    assert kalis.alerts.by_attack("icmp_flood"), "expected the flood to be caught"
+    print("\nThe flood was detected and attributed to the right node. Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Kalis — knowledge-driven adaptable intrusion detection for the IoT.
+
+This package is a complete reproduction of the system described in
+"Kalis — A System for Knowledge-driven Adaptable Intrusion Detection for
+the Internet of Things" (ICDCS 2017).  It contains:
+
+- ``repro.net`` — multi-protocol packet models (IEEE 802.15.4, ZigBee,
+  6LoWPAN, CTP, RPL, WiFi, IP, TCP, UDP, ICMP, Bluetooth);
+- ``repro.sim`` — a discrete-event network simulator with a radio medium,
+  RSSI model and promiscuous overhearing;
+- ``repro.devices`` — commodity IoT device and WSN mote traffic models;
+- ``repro.trace`` — traffic trace recording, replay and symptom injection;
+- ``repro.attacks`` — a library of IoT attacks with ground-truth labels;
+- ``repro.core`` — the Kalis IDS itself: communication system, data store,
+  knowledge base (knowggets), module manager, sensing and detection
+  modules, alerting, response, and collective knowledge synchronization;
+- ``repro.baselines`` — the traditional-IDS and Snort-like baselines used
+  in the paper's evaluation;
+- ``repro.taxonomy`` — machine-readable encodings of the paper's Table I
+  and Figure 3 taxonomies;
+- ``repro.metrics`` — detection metrics and the resource model;
+- ``repro.experiments`` — one scenario harness per paper experiment;
+- ``repro.firewall`` — the smart-firewall deployment mode.
+
+Quickstart::
+
+    from repro.experiments import icmp_flood_scenario
+    result = icmp_flood_scenario.run(seed=7)
+    print(result.summary())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

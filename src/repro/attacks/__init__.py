@@ -1,0 +1,46 @@
+"""The attack library.
+
+Every attack in the paper's evaluation (and its Figure 3 taxonomy) is an
+attacker node class that participates in the simulation like any other
+device — attacks are carried out by *sending real frames* (or refusing
+to), never by poking IDS internals.  Each attacker logs ground-truth
+:class:`~repro.attacks.base.SymptomInstance` windows so experiments can
+score detection rate and classification accuracy against the paper's
+"50 symptom instances" methodology.
+"""
+
+from repro.attacks.base import SymptomInstance, SymptomLog
+from repro.attacks.blackhole import BlackholeMeshNode, BlackholeMote
+from repro.attacks.data_alteration import AlteringMote
+from repro.attacks.hello_flood import HelloFloodNode
+from repro.attacks.icmp_flood import IcmpFloodAttacker
+from repro.attacks.jamming import JammingNode
+from repro.attacks.replication import ReplicaMeshNode, ReplicaMote
+from repro.attacks.selective_forwarding import SelectiveForwardingMote
+from repro.attacks.sinkhole import RplSinkholeNode, SinkholeMote
+from repro.attacks.smurf import SmurfAttacker
+from repro.attacks.spoofing import SpoofingNode
+from repro.attacks.sybil import SybilNode
+from repro.attacks.syn_flood import SynFloodAttacker
+from repro.attacks.wormhole import WormholePair
+
+__all__ = [
+    "SymptomInstance",
+    "SymptomLog",
+    "BlackholeMeshNode",
+    "BlackholeMote",
+    "AlteringMote",
+    "HelloFloodNode",
+    "IcmpFloodAttacker",
+    "JammingNode",
+    "ReplicaMeshNode",
+    "ReplicaMote",
+    "SelectiveForwardingMote",
+    "RplSinkholeNode",
+    "SinkholeMote",
+    "SmurfAttacker",
+    "SpoofingNode",
+    "SybilNode",
+    "SynFloodAttacker",
+    "WormholePair",
+]

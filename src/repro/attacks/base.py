@@ -1,0 +1,65 @@
+"""Ground-truth bookkeeping shared by all attackers.
+
+A *symptom instance* is one adverse event the IDS should detect — one
+flood burst, one dropped data packet, one replica transmission.  The
+paper runs "50 symptom instances, representing the ground truth for
+detection" per scenario; experiments here do the same, scoring alerts
+against the windows recorded in a :class:`SymptomLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class SymptomInstance:
+    """One ground-truth adverse event.
+
+    :param attack: canonical attack name (see
+        :mod:`repro.taxonomy.attacks` for the vocabulary).
+    :param attacker: the true culprit.
+    :param instance: index within this attacker's log.
+    :param start: when the symptom began (simulated seconds).
+    :param end: when it ended.
+    """
+
+    attack: str
+    attacker: NodeId
+    instance: int
+    start: float
+    end: float
+
+    def overlaps(self, start: float, end: float) -> bool:
+        return self.start <= end and start <= self.end
+
+
+class SymptomLog:
+    """Collects the symptom instances an attacker produces."""
+
+    def __init__(self, attack: str, attacker: NodeId) -> None:
+        self.attack = attack
+        self.attacker = attacker
+        self._instances: List[SymptomInstance] = []
+
+    def record(self, start: float, end: Optional[float] = None) -> SymptomInstance:
+        """Log one adverse event; instantaneous if ``end`` is omitted."""
+        instance = SymptomInstance(
+            attack=self.attack,
+            attacker=self.attacker,
+            instance=len(self._instances),
+            start=start,
+            end=end if end is not None else start,
+        )
+        self._instances.append(instance)
+        return instance
+
+    @property
+    def instances(self) -> List[SymptomInstance]:
+        return list(self._instances)
+
+    def __len__(self) -> int:
+        return len(self._instances)

@@ -1,0 +1,162 @@
+"""Replication (node clone) attack.
+
+"Malicious devices are added to the network as replicas of some
+legitimate node(s)" (§VI-B2): the replica transmits data frames bearing
+a legitimate node's identity from a *different physical location*.
+
+The physics is the tell.  In a **static** network the cloned identity
+suddenly appears at two stable-but-different RSSI signatures; in a
+**mobile** network RSSI varies legitimately, and detection must fall
+back on protocol evidence (e.g. the same identity interleaving two
+independent sequence-number streams).  That is why the paper ships two
+replication detection modules and lets the Mobility Awareness knowgget
+choose between them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.attacks.base import SymptomLog
+from repro.net.packets.base import Medium, RawPayload
+from repro.net.packets.ctp import CtpDataFrame
+from repro.net.packets.ieee802154 import Ieee802154Frame
+from repro.net.packets.zigbee import ZigbeeKind, ZigbeePacket
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+class ReplicaMote(SimNode):
+    """A clone of a legitimate CTP mote, transmitting under its identity.
+
+    :param cloned_identity: the legitimate node id the replica claims.
+    :param clone_parent: where the replica addresses its forged data
+        (typically the victim network's base station or a forwarder).
+    :param send_interval: seconds between forged data frames (each frame
+        is one symptom instance).
+    """
+
+    ATTACK_NAME = "replication"
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        cloned_identity: NodeId,
+        clone_parent: NodeId,
+        pan_id: int = 0x22,
+        send_interval: float = 3.0,
+        start_delay: float = 5.0,
+        max_sends: Optional[int] = None,
+        seqno_offset: int = 5000,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        # The replica's *true* identity exists only as simulation ground
+        # truth; every frame it emits claims cloned_identity.
+        super().__init__(node_id, position, mediums=(Medium.IEEE_802_15_4,))
+        self.cloned_identity = cloned_identity
+        self.clone_parent = clone_parent
+        self.pan_id = pan_id
+        self.send_interval = send_interval
+        self.start_delay = start_delay
+        self.max_sends = max_sends
+        self.seqno_offset = seqno_offset
+        self._rng = rng if rng is not None else SeededRng(0, "attack", node_id.value)
+        self.log = SymptomLog(self.ATTACK_NAME, node_id)
+        self._seq = 0
+
+    def start(self) -> None:
+        self.sim.schedule_in(self.start_delay, self._send_tick)
+
+    def _send_tick(self) -> None:
+        if not self.attached:
+            return
+        if self.max_sends is not None and len(self.log) >= self.max_sends:
+            return
+        self.send_forged_data()
+        self.sim.schedule_in(
+            self._rng.jitter(self.send_interval, 0.1), self._send_tick
+        )
+
+    def send_forged_data(self) -> None:
+        """Emit one data frame under the cloned identity."""
+        self._seq += 1
+        data = CtpDataFrame(
+            origin=self.cloned_identity,
+            seqno=self.seqno_offset + self._seq,
+            thl=0,
+            etx=2,
+        )
+        frame = Ieee802154Frame(
+            pan_id=self.pan_id,
+            seq=self._seq,
+            src=self.cloned_identity,  # forged MAC source
+            dst=self.clone_parent,
+            payload=data,
+        )
+        self.send(Medium.IEEE_802_15_4, frame)
+        self.log.record(self.sim.clock.now)
+
+
+class ReplicaMeshNode(SimNode):
+    """A clone of a legitimate ZigBee mesh node."""
+
+    ATTACK_NAME = "replication"
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        cloned_identity: NodeId,
+        target: NodeId,
+        next_hop: NodeId,
+        pan_id: int = 0x33,
+        send_interval: float = 4.0,
+        start_delay: float = 5.0,
+        max_sends: Optional[int] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(node_id, position, mediums=(Medium.IEEE_802_15_4,))
+        self.cloned_identity = cloned_identity
+        self.target = target
+        self.next_hop = next_hop
+        self.pan_id = pan_id
+        self.send_interval = send_interval
+        self.start_delay = start_delay
+        self.max_sends = max_sends
+        self._rng = rng if rng is not None else SeededRng(0, "attack", node_id.value)
+        self.log = SymptomLog(self.ATTACK_NAME, node_id)
+        self._seq = 0
+
+    def start(self) -> None:
+        self.sim.schedule_in(self.start_delay, self._send_tick)
+
+    def _send_tick(self) -> None:
+        if not self.attached:
+            return
+        if self.max_sends is not None and len(self.log) >= self.max_sends:
+            return
+        self.send_forged_data()
+        self.sim.schedule_in(
+            self._rng.jitter(self.send_interval, 0.1), self._send_tick
+        )
+
+    def send_forged_data(self) -> None:
+        self._seq += 1
+        packet = ZigbeePacket(
+            src=self.cloned_identity,
+            dst=self.target,
+            seq=9000 + self._seq,
+            zigbee_kind=ZigbeeKind.DATA,
+            payload=RawPayload(length=16),
+        )
+        frame = Ieee802154Frame(
+            pan_id=self.pan_id,
+            seq=self._seq,
+            src=self.cloned_identity,
+            dst=self.next_hop,
+            payload=packet,
+        )
+        self.send(Medium.IEEE_802_15_4, frame)
+        self.log.record(self.sim.clock.now)

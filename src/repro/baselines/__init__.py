@@ -1,0 +1,21 @@
+"""The paper's two comparison baselines (§VI-B).
+
+- :mod:`~repro.baselines.traditional` — the traditional-IDS emulation:
+  the Kalis engine "without Knowledge Base, and with all the modules
+  active at all times";
+- :mod:`~repro.baselines.snort` — a Snort-style signature IDS: a rule
+  language, parser and matching engine running a community-scale
+  ruleset over IP traffic only (no 802.15.4 radio, so ZigBee scenarios
+  are invisible to it, exactly as in §VI-B2).
+"""
+
+from repro.baselines.snort import SnortEngine, SnortRule, parse_rule, parse_rules
+from repro.baselines.traditional import TraditionalIds
+
+__all__ = [
+    "SnortEngine",
+    "SnortRule",
+    "parse_rule",
+    "parse_rules",
+    "TraditionalIds",
+]

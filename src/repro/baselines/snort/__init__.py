@@ -1,0 +1,34 @@
+"""A Snort-style signature IDS.
+
+The paper compares Kalis against Snort "using custom rules along with
+the default community ruleset" (§VI-B).  This package provides the
+pieces that comparison needs:
+
+- :mod:`~repro.baselines.snort.rule` — the rule model;
+- :mod:`~repro.baselines.snort.parser` — a parser for the classic Snort
+  rule syntax (header + options, including thresholds and metadata);
+- :mod:`~repro.baselines.snort.engine` — the matching engine, which
+  sees only IP traffic (no 802.15.4 or BLE radio) and pays per-rule
+  evaluation cost on every packet — the two properties that drive the
+  paper's Snort results;
+- :mod:`~repro.baselines.snort.ruleset` — a community-scale ruleset:
+  custom IoT-attack rules plus hundreds of representative
+  service/port/content rules that cost CPU without ever matching
+  encrypted IoT payloads.
+"""
+
+from repro.baselines.snort.engine import SnortEngine
+from repro.baselines.snort.parser import RuleParseError, parse_rule, parse_rules
+from repro.baselines.snort.rule import SnortRule, Threshold
+from repro.baselines.snort.ruleset import community_ruleset, custom_iot_rules
+
+__all__ = [
+    "SnortEngine",
+    "RuleParseError",
+    "parse_rule",
+    "parse_rules",
+    "SnortRule",
+    "Threshold",
+    "community_ruleset",
+    "custom_iot_rules",
+]

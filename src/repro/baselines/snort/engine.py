@@ -1,0 +1,247 @@
+"""The Snort-style matching engine.
+
+Two properties of real Snort drive the paper's comparison, and both are
+first-class here:
+
+1. **IP-only visibility.**  Snort consumes libpcap traffic from IP
+   interfaces; it has no 802.15.4 or BLE radio.  The engine therefore
+   processes only WiFi/wired captures carrying IP — ZigBee scenarios
+   are invisible ("Snort is unable to intercept and analyze the
+   traffic", §VI-B2).
+2. **Per-rule cost on every packet.**  "Running through a large rule
+   list is sustainable for a traditional network, [but] small IoT
+   networks would incur heavy overhead" (§VII).  Every rule evaluated
+   against every packet is charged to :attr:`work_units`, and the
+   resident ruleset dominates the RAM figure.
+
+A light protocol-based index (rules bucketed by protocol) mirrors
+Snort's real fast-pattern grouping without hiding the fundamental
+scaling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.baselines.snort.rule import SnortRule, Threshold
+from repro.core.alerts import Alert, AlertSink
+from repro.metrics.resources import SNORT_RULE_COST
+from repro.net.packets.base import Medium
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+from repro.net.packets.udp import UdpDatagram
+from repro.sim.capture import Capture
+from repro.util.ids import NodeId
+
+#: ICMP type numbers for the itype option.
+_ICMP_TYPE_NUMBERS = {
+    IcmpType.ECHO_REPLY: 0,
+    IcmpType.DEST_UNREACHABLE: 3,
+    IcmpType.ECHO_REQUEST: 8,
+    IcmpType.TIME_EXCEEDED: 11,
+}
+
+_FLAG_LETTERS = {
+    "F": TcpFlags.FIN,
+    "S": TcpFlags.SYN,
+    "R": TcpFlags.RST,
+    "P": TcpFlags.PSH,
+    "A": TcpFlags.ACK,
+}
+
+
+class SnortEngine:
+    """Signature matching over IP captures with threshold tracking.
+
+    :param rules: the ruleset to run.
+    :param home_net_prefix: what ``$HOME_NET`` expands to (address
+        prefix match).
+    :param node_id: identity stamped on emitted alerts.
+    """
+
+    def __init__(
+        self,
+        rules: List[SnortRule],
+        home_net_prefix: str = "10.23.",
+        node_id: NodeId = NodeId("snort"),
+    ) -> None:
+        self.rules = list(rules)
+        self.home_net_prefix = home_net_prefix
+        self.node_id = node_id
+        self.alerts = AlertSink()
+        self.work_units = 0.0
+        self.packets_processed = 0
+        self.packets_invisible = 0
+        self._by_proto: Dict[str, List[SnortRule]] = {}
+        for rule in self.rules:
+            self._by_proto.setdefault(rule.proto, []).append(rule)
+        #: Per (sid, track key): recent event timestamps for thresholds.
+        self._threshold_events: Dict[Tuple[int, str], Deque[float]] = {}
+        self._threshold_fired_at: Dict[Tuple[int, str], float] = {}
+
+    # -- capture intake ------------------------------------------------------------
+
+    def on_capture(self, capture: Capture) -> None:
+        """Process one capture (the sniffer-listener entry point)."""
+        if capture.medium not in (Medium.WIFI, Medium.WIRED):
+            self.packets_invisible += 1
+            return
+        ip_packet = capture.packet.find_layer(IpPacket)
+        if ip_packet is None:
+            self.packets_invisible += 1
+            return
+        self.packets_processed += 1
+        transport = ip_packet.payload
+        candidate_protos = ["ip"]
+        if isinstance(transport, IcmpMessage):
+            candidate_protos.append("icmp")
+        elif isinstance(transport, TcpSegment):
+            candidate_protos.append("tcp")
+        elif isinstance(transport, UdpDatagram):
+            candidate_protos.append("udp")
+        for proto in candidate_protos:
+            for rule in self._by_proto.get(proto, ()):
+                self.work_units += SNORT_RULE_COST
+                if self._matches(rule, ip_packet, transport):
+                    self._fire(rule, capture, ip_packet)
+
+    # -- matching -------------------------------------------------------------------
+
+    def _matches(self, rule: SnortRule, ip_packet: IpPacket, transport) -> bool:
+        if rule.action != "alert":
+            return False
+        if not self._address_matches(rule.src, ip_packet.src_ip):
+            return False
+        if not self._address_matches(rule.dst, ip_packet.dst_ip):
+            return False
+        sport, dport = self._ports(transport)
+        if not _port_matches(rule.sport, sport):
+            return False
+        if not _port_matches(rule.dport, dport):
+            return False
+        if rule.itype is not None:
+            if not isinstance(transport, IcmpMessage):
+                return False
+            if _ICMP_TYPE_NUMBERS.get(transport.icmp_type) != rule.itype:
+                return False
+        if rule.flags is not None:
+            if not isinstance(transport, TcpSegment):
+                return False
+            if not _flags_match(rule.flags, transport.flags):
+                return False
+        if rule.contents:
+            # Payloads of consumer IoT devices are encrypted and opaque;
+            # content patterns can never match them.  The evaluation
+            # cost was already paid above — that is the point.
+            return False
+        return True
+
+    def _address_matches(self, spec: str, address: str) -> bool:
+        if spec == "any":
+            return True
+        if spec == "$HOME_NET":
+            return address.startswith(self.home_net_prefix)
+        if spec == "$EXTERNAL_NET":
+            return not address.startswith(self.home_net_prefix)
+        if spec.startswith("!"):
+            return not self._address_matches(spec[1:], address)
+        return address == spec or address.startswith(spec.rstrip("*"))
+
+    @staticmethod
+    def _ports(transport) -> Tuple[Optional[int], Optional[int]]:
+        if isinstance(transport, (TcpSegment, UdpDatagram)):
+            return transport.sport, transport.dport
+        return None, None
+
+    # -- alerting -----------------------------------------------------------------------
+
+    def _fire(self, rule: SnortRule, capture: Capture, ip_packet: IpPacket) -> None:
+        now = capture.timestamp
+        if rule.threshold is not None and not self._threshold_allows(
+            rule, ip_packet, now
+        ):
+            return
+        source = getattr(capture.packet, "src", None)
+        destination = getattr(capture.packet, "dst", None)
+        alert = Alert(
+            attack=rule.attack_label,
+            timestamp=now,
+            detected_by=f"snort:sid:{rule.sid}",
+            kalis_node=self.node_id,
+            suspects=(source,) if isinstance(source, NodeId) else (),
+            victim=destination if isinstance(destination, NodeId) else None,
+            confidence=0.9,
+            details={"msg": rule.msg, "sid": rule.sid},
+        )
+        self.alerts.on_alert(alert)
+
+    def _threshold_allows(
+        self, rule: SnortRule, ip_packet: IpPacket, now: float
+    ) -> bool:
+        threshold: Threshold = rule.threshold
+        track_value = (
+            ip_packet.dst_ip if threshold.track == "by_dst" else ip_packet.src_ip
+        )
+        key = (rule.sid, track_value)
+        events = self._threshold_events.setdefault(key, deque())
+        events.append(now)
+        horizon = now - threshold.seconds
+        while events and events[0] < horizon:
+            events.popleft()
+        if threshold.kind == "limit":
+            # Fire on the first `count` events per window.
+            return len(events) <= threshold.count
+        reached = len(events) >= threshold.count
+        if not reached:
+            return False
+        if threshold.kind == "both":
+            fired_at = self._threshold_fired_at.get(key)
+            if fired_at is not None and now - fired_at < threshold.seconds:
+                return False
+            self._threshold_fired_at[key] = now
+        return True
+
+    # -- resource accounting ----------------------------------------------------------------
+
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    def approximate_state_bytes(self) -> int:
+        events = sum(len(queue) for queue in self._threshold_events.values())
+        return events * 16 + len(self._threshold_fired_at) * 24
+
+
+def _port_matches(spec: str, port: Optional[int]) -> bool:
+    if spec == "any":
+        return True
+    if port is None:
+        return False
+    if spec.startswith("!"):
+        return not _port_matches(spec[1:], port)
+    if ":" in spec:
+        low_text, _, high_text = spec.partition(":")
+        low = int(low_text) if low_text else 0
+        high = int(high_text) if high_text else 65535
+        return low <= port <= high
+    try:
+        return port == int(spec)
+    except ValueError:
+        return False
+
+
+def _flags_match(spec: str, flags: TcpFlags) -> bool:
+    """Classic flags option: exact set match; '+' suffix = at least."""
+    spec = spec.split(",")[0].strip()
+    at_least = spec.endswith("+")
+    letters = spec.rstrip("+*")
+    wanted = TcpFlags.NONE
+    for letter in letters:
+        flag = _FLAG_LETTERS.get(letter)
+        if flag is None:
+            return False
+        wanted |= flag
+    if at_least:
+        return (flags & wanted) == wanted
+    return flags == wanted

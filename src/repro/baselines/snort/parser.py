@@ -1,0 +1,182 @@
+"""Parser for the classic Snort rule syntax.
+
+Supports the structure real community rules use::
+
+    alert icmp $EXTERNAL_NET any -> $HOME_NET any (msg:"..."; itype:0; \\
+        threshold:type both, track by_dst, count 15, seconds 10; \\
+        metadata:attack icmp_flood; classtype:attempted-dos; sid:1; rev:1;)
+
+Header: ``action proto src sport direction dst dport``.  Options: the
+subset the engine evaluates (msg, itype, icode, flags, dsize, content,
+threshold/detection_filter, metadata, classtype, sid, rev); unknown
+options raise, so typos in rulesets fail loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.baselines.snort.rule import SnortRule, Threshold
+
+
+class RuleParseError(ValueError):
+    """Raised on malformed rule text."""
+
+
+def parse_rules(text: str) -> List[SnortRule]:
+    """Parse a ruleset: one rule per line, ``#`` comments, blank lines."""
+    rules: List[SnortRule] = []
+    continuation = ""
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = (continuation + " " + raw_line).strip() if continuation else raw_line.strip()
+        continuation = ""
+        if not line or line.startswith("#"):
+            continue
+        if line.endswith("\\"):
+            continuation = line[:-1]
+            continue
+        try:
+            rules.append(parse_rule(line))
+        except RuleParseError as error:
+            raise RuleParseError(f"line {line_number}: {error}") from error
+    if continuation:
+        raise RuleParseError("dangling line continuation at end of ruleset")
+    return rules
+
+
+def parse_rule(line: str) -> SnortRule:
+    """Parse a single rule."""
+    header_text, options_text = _split_header_options(line)
+    parts = header_text.split()
+    if len(parts) != 7:
+        raise RuleParseError(
+            f"header must be 'action proto src sport dir dst dport', got {header_text!r}"
+        )
+    action, proto, src, sport, direction, dst, dport = parts
+    options = _parse_options(options_text)
+    try:
+        return SnortRule(
+            action=action,
+            proto=proto,
+            src=src,
+            sport=sport,
+            direction=direction,
+            dst=dst,
+            dport=dport,
+            **options,
+        )
+    except ValueError as error:
+        raise RuleParseError(str(error)) from error
+
+
+def _split_header_options(line: str) -> Tuple[str, str]:
+    open_paren = line.find("(")
+    if open_paren == -1 or not line.rstrip().endswith(")"):
+        raise RuleParseError("rule options must be enclosed in parentheses")
+    header = line[:open_paren].strip()
+    options = line[open_paren + 1 : line.rstrip().rfind(")")].strip()
+    return header, options
+
+
+def _split_option_statements(options_text: str) -> List[str]:
+    """Split on ';' outside double quotes."""
+    statements: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    for char in options_text:
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+        elif char == ";" and not in_quotes:
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+        else:
+            current.append(char)
+    trailing = "".join(current).strip()
+    if trailing:
+        statements.append(trailing)
+    if in_quotes:
+        raise RuleParseError("unterminated quoted string in options")
+    return statements
+
+
+def _parse_options(options_text: str) -> Dict:
+    parsed: Dict = {"contents": []}
+    for statement in _split_option_statements(options_text):
+        key, _, value = statement.partition(":")
+        key = key.strip()
+        value = value.strip()
+        if key == "msg":
+            parsed["msg"] = _unquote(value)
+        elif key == "sid":
+            parsed["sid"] = _parse_int(value, "sid")
+        elif key == "rev":
+            parsed["rev"] = _parse_int(value, "rev")
+        elif key == "classtype":
+            parsed["classtype"] = value
+        elif key == "itype":
+            parsed["itype"] = _parse_int(value, "itype")
+        elif key == "icode":
+            parsed["icode"] = _parse_int(value, "icode")
+        elif key == "flags":
+            parsed["flags"] = value
+        elif key == "dsize":
+            parsed["dsize"] = value
+        elif key == "content":
+            parsed["contents"].append(_unquote(value))
+        elif key in ("threshold", "detection_filter"):
+            parsed["threshold"] = _parse_threshold(value)
+        elif key == "metadata":
+            parsed.setdefault("metadata", {}).update(_parse_metadata(value))
+        elif key in ("nocase", "fast_pattern", "flow", "depth", "offset",
+                     "reference", "priority", "gid", "within", "distance"):
+            pass  # accepted-but-inert options common in community rules
+        else:
+            raise RuleParseError(f"unknown rule option {key!r}")
+    parsed["contents"] = tuple(parsed["contents"])
+    return parsed
+
+
+def _unquote(value: str) -> str:
+    value = value.strip()
+    if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+        return value[1:-1]
+    raise RuleParseError(f"expected quoted string, got {value!r}")
+
+
+def _parse_int(value: str, name: str) -> int:
+    try:
+        return int(value.strip())
+    except ValueError as error:
+        raise RuleParseError(f"{name} must be an integer, got {value!r}") from error
+
+
+def _parse_threshold(value: str) -> Threshold:
+    fields: Dict[str, str] = {}
+    for chunk in value.split(","):
+        words = chunk.strip().split()
+        if len(words) != 2:
+            raise RuleParseError(f"malformed threshold clause {chunk.strip()!r}")
+        fields[words[0]] = words[1]
+    missing = {"type", "track", "count", "seconds"} - set(fields)
+    if missing:
+        raise RuleParseError(f"threshold missing {sorted(missing)}")
+    return Threshold(
+        kind=fields["type"],
+        track=fields["track"],
+        count=_parse_int(fields["count"], "threshold count"),
+        seconds=float(fields["seconds"]),
+    )
+
+
+def _parse_metadata(value: str) -> Dict[str, str]:
+    metadata: Dict[str, str] = {}
+    for chunk in value.split(","):
+        words = chunk.strip().split(None, 1)
+        if len(words) == 2:
+            metadata[words[0]] = words[1]
+        elif len(words) == 1 and words[0]:
+            metadata[words[0]] = ""
+    return metadata

@@ -1,0 +1,117 @@
+"""The Snort rule model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """A ``threshold`` / ``detection_filter`` option.
+
+    :param kind: ``limit``, ``threshold`` or ``both`` (classic Snort
+        semantics; ``both`` fires once per window once count is hit).
+    :param track: ``by_src`` or ``by_dst``.
+    :param count: events needed inside the window.
+    :param seconds: window length.
+    """
+
+    kind: str
+    track: str
+    count: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("limit", "threshold", "both"):
+            raise ValueError(f"unknown threshold type {self.kind!r}")
+        if self.track not in ("by_src", "by_dst"):
+            raise ValueError(f"unknown track {self.track!r}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.seconds <= 0:
+            raise ValueError(f"seconds must be positive, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class SnortRule:
+    """One parsed rule.
+
+    Header fields follow ``action proto src sport dir dst dport``;
+    option fields cover the subset of the Snort language this engine
+    evaluates.  ``content`` patterns are kept for cost accounting but
+    can never match the encrypted IoT payloads Kalis' paper points out
+    are opaque — true to life for consumer-device traffic.
+    """
+
+    action: str
+    proto: str
+    src: str
+    sport: str
+    direction: str
+    dst: str
+    dport: str
+    msg: str = ""
+    sid: int = 0
+    rev: int = 1
+    classtype: str = ""
+    itype: Optional[int] = None
+    icode: Optional[int] = None
+    flags: Optional[str] = None
+    dsize: Optional[str] = None
+    contents: Tuple[str, ...] = ()
+    threshold: Optional[Threshold] = None
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.action not in ("alert", "log", "pass", "drop"):
+            raise ValueError(f"unknown action {self.action!r}")
+        if self.proto not in ("ip", "icmp", "tcp", "udp"):
+            raise ValueError(f"unknown protocol {self.proto!r}")
+        if self.direction not in ("->", "<>"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+
+    @property
+    def attack_label(self) -> str:
+        """The attack this rule claims to detect, for scoring.
+
+        Taken from ``metadata:attack <name>`` when present, else the
+        classtype, else a generic label.
+        """
+        return self.metadata.get("attack") or self.classtype or "signature-match"
+
+    def render(self) -> str:
+        """Render back to rule syntax (round-trippable for tests)."""
+        options = [f'msg:"{self.msg}"'] if self.msg else []
+        if self.itype is not None:
+            options.append(f"itype:{self.itype}")
+        if self.icode is not None:
+            options.append(f"icode:{self.icode}")
+        if self.flags is not None:
+            options.append(f"flags:{self.flags}")
+        if self.dsize is not None:
+            options.append(f"dsize:{self.dsize}")
+        for content in self.contents:
+            options.append(f'content:"{content}"')
+        if self.threshold is not None:
+            options.append(
+                "threshold:type {kind}, track {track}, count {count}, "
+                "seconds {seconds:g}".format(
+                    kind=self.threshold.kind,
+                    track=self.threshold.track,
+                    count=self.threshold.count,
+                    seconds=self.threshold.seconds,
+                )
+            )
+        if self.metadata:
+            rendered = ", ".join(f"{k} {v}" for k, v in sorted(self.metadata.items()))
+            options.append(f"metadata:{rendered}")
+        if self.classtype:
+            options.append(f"classtype:{self.classtype}")
+        options.append(f"sid:{self.sid}")
+        options.append(f"rev:{self.rev}")
+        header = (
+            f"{self.action} {self.proto} {self.src} {self.sport} "
+            f"{self.direction} {self.dst} {self.dport}"
+        )
+        return f"{header} ({'; '.join(options)};)"

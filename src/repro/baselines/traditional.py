@@ -1,0 +1,68 @@
+"""The traditional-IDS baseline.
+
+"For total fairness with respect to the detection techniques, we
+emulate a traditional IDS by running our system without Knowledge Base,
+and with all the modules active at all times" (§VI-B) — so effect sizes
+in the comparison isolate the knowledge-driven mechanism, not the
+quality of the underlying detectors.
+
+For the replication experiment the paper adds: "the traditional IDS
+randomly selects one of the two modules for each of our experiment
+runs, closely simulating a static module library configuration that
+does not adapt to changes in network features."
+:meth:`TraditionalIds.with_static_module_choice` implements that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.kalis import (
+    DEFAULT_DETECTION_MODULES,
+    DEFAULT_SENSING_MODULES,
+    KalisNode,
+)
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+class TraditionalIds(KalisNode):
+    """Kalis engine with knowledge-driven activation disabled."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        module_names: Optional[Iterable[str]] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            node_id,
+            knowledge_driven=False,
+            module_names=module_names,
+            **kwargs,
+        )
+
+    @classmethod
+    def with_static_module_choice(
+        cls,
+        node_id: NodeId,
+        alternatives: List[str],
+        rng: SeededRng,
+        **kwargs,
+    ) -> "TraditionalIds":
+        """A traditional IDS whose static library includes only one of
+        several feature-specific module alternatives, picked at random.
+
+        Used by the replication experiment: the static configuration
+        carries either the static-network or the mobile-network
+        replication detector, never both-with-selection.
+        """
+        chosen = rng.choice(sorted(alternatives))
+        module_names = [
+            name
+            for name in list(DEFAULT_SENSING_MODULES) + list(DEFAULT_DETECTION_MODULES)
+            if name not in alternatives or name == chosen
+        ]
+        ids = cls(node_id, module_names=module_names, **kwargs)
+        ids.static_choice = chosen
+        return ids

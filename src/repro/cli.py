@@ -1,0 +1,215 @@
+"""Command-line interface: ``kalis-repro`` (or ``python -m repro``).
+
+Gives operators and reviewers the repository's main entry points
+without writing Python:
+
+- ``kalis-repro experiment <id>`` — run one paper experiment and print
+  its paper-shaped report (see DESIGN.md's experiment index);
+- ``kalis-repro modules`` — the module library with each module's
+  knowledge requirements;
+- ``kalis-repro taxonomy {target,feature}`` — Table I / Figure 3;
+- ``kalis-repro demo`` — a 60-second live scenario with a flood,
+  narrated end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.version import __version__
+
+EXPERIMENT_CHOICES = (
+    "e1",
+    "e2",
+    "table2",
+    "reactivity",
+    "wormhole",
+    "breadth",
+    "ablation-modules",
+    "ablation-window",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="kalis-repro",
+        description=(
+            "Kalis (ICDCS 2017) reproduction: knowledge-driven adaptable "
+            "intrusion detection for the IoT."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiments (E1..E10)"
+    )
+    experiment.add_argument("id", choices=EXPERIMENT_CHOICES)
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument(
+        "--instances", type=int, default=50,
+        help="symptom instances for burst scenarios (paper: 50)",
+    )
+    experiment.add_argument(
+        "--runs", type=int, default=10,
+        help="repetitions for the replication experiment (paper: 100)",
+    )
+
+    subparsers.add_parser("modules", help="list the module library")
+
+    taxonomy = subparsers.add_parser(
+        "taxonomy", help="print the paper's taxonomies"
+    )
+    taxonomy.add_argument("which", choices=("target", "feature"))
+
+    demo = subparsers.add_parser("demo", help="run a narrated live demo")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--duration", type=float, default=60.0)
+
+    return parser
+
+
+def _run_experiment(args) -> int:
+    if args.id == "e1":
+        from repro.experiments import icmp_flood_scenario
+
+        result = icmp_flood_scenario.run(
+            seed=args.seed, symptom_instances=args.instances
+        )
+        print(result.summary())
+    elif args.id == "e2":
+        from repro.experiments import replication_scenario
+
+        result = replication_scenario.run(seed=args.seed, runs=args.runs)
+        print(result.summary())
+    elif args.id == "table2":
+        from repro.experiments import table2
+
+        print(table2.run(seed=args.seed, replication_runs=args.runs).render())
+    elif args.id == "reactivity":
+        from repro.experiments import reactivity_scenario
+
+        print(reactivity_scenario.run(seed=args.seed).summary())
+    elif args.id == "wormhole":
+        from repro.experiments import wormhole_scenario
+
+        isolated, collective = wormhole_scenario.run(seed=args.seed)
+        print(isolated.summary())
+        print(collective.summary())
+    elif args.id == "breadth":
+        from repro.experiments import breadth
+
+        print(
+            breadth.run(
+                seed=args.seed,
+                instances_per_scenario=min(args.instances, 12),
+            ).render()
+        )
+    elif args.id == "ablation-modules":
+        from repro.experiments import ablations
+
+        print(ablations.render_module_scaling(
+            ablations.module_scaling(seed=args.seed)
+        ))
+    elif args.id == "ablation-window":
+        from repro.experiments import ablations
+
+        print(ablations.render_window_sweep(ablations.window_sweep(seed=args.seed)))
+    return 0
+
+
+def _run_modules() -> int:
+    from repro.core.kalis import DEFAULT_DETECTION_MODULES, DEFAULT_SENSING_MODULES
+    from repro.core.modules.registry import create_module
+
+    print("sensing modules (always active):")
+    for name in DEFAULT_SENSING_MODULES:
+        print(f"  {name}")
+    print("detection modules (knowledge-driven activation):")
+    for name in DEFAULT_DETECTION_MODULES:
+        module = create_module(name)
+        detects = ", ".join(module.DETECTS)
+        print(f"  {name:<30} detects: {detects}")
+        print(f"  {'':<30} requires: {module.describe_requirements()}")
+    return 0
+
+
+def _run_taxonomy(which: str) -> int:
+    if which == "target":
+        from repro.taxonomy.by_target import render_target_table
+
+        print(render_target_table())
+    else:
+        from repro.taxonomy.by_feature import render_matrix
+
+        print(render_matrix())
+    return 0
+
+
+def _run_demo(seed: int, duration: float) -> int:
+    from repro.attacks import IcmpFloodAttacker
+    from repro.core import KalisNode
+    from repro.devices import CloudService, LifxBulb, NestThermostat
+    from repro.proto.iphost import IpRouter, LanDirectory
+    from repro.sim import Simulator
+    from repro.util.ids import NodeId
+    from repro.util.rng import SeededRng
+
+    print(f"# live demo: seed={seed}, duration={duration:.0f}s")
+    sim = Simulator(seed=seed)
+    rng = SeededRng(seed)
+    lan, wan = LanDirectory(), LanDirectory()
+    router = sim.add_node(IpRouter(NodeId("router"), (0, 0), lan, wan))
+    cloud = sim.add_node(
+        CloudService(NodeId("cloud"), (500, 0), wan, gateway=router.node_id)
+    )
+    nest = sim.add_node(
+        NestThermostat(NodeId("nest"), (6, 2), lan, cloud.ip, router.node_id,
+                       rng=rng.substream("nest"))
+    )
+    sim.add_node(
+        LifxBulb(NodeId("lifx"), (4, 6), lan, cloud.ip, router.node_id,
+                 rng=rng.substream("lifx"))
+    )
+    sim.add_node(
+        IcmpFloodAttacker(
+            NodeId("flooder"), (9, 8), lan, victim_ip=nest.ip,
+            victim_link=nest.node_id, start_delay=duration / 4,
+            rng=rng.substream("attacker"),
+        )
+    )
+    kalis = KalisNode(NodeId("kalis-1"))
+    kalis.deploy(sim, position=(5, 4))
+    sim.run(duration)
+    print(kalis.describe())
+    print()
+    for alert in kalis.alerts.alerts:
+        suspects = ", ".join(s.value for s in alert.suspects)
+        print(f"ALERT t={alert.timestamp:7.2f}s {alert.attack} "
+              f"(by {alert.detected_by}; suspects: {suspects})")
+    if not kalis.alerts.alerts:
+        print("no alerts (try a longer --duration)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "modules":
+        return _run_modules()
+    if args.command == "taxonomy":
+        return _run_taxonomy(args.which)
+    if args.command == "demo":
+        return _run_demo(args.seed, args.duration)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The Kalis IDS core.
+
+Components mirror the paper's Figure 4 architecture:
+
+- :mod:`~repro.core.comm` — the Communication System (capture intake
+  from live sniffers or trace replay);
+- :mod:`~repro.core.datastore` — the Data Store (sliding window of
+  recent traffic, optional disk log, transparent replay);
+- :mod:`~repro.core.knowledge` — the Knowledge Base and knowggets;
+- :mod:`~repro.core.config` — the configuration-file language (paper
+  Figure 6 grammar);
+- :mod:`~repro.core.manager` — the Module Manager with dynamic,
+  knowledge-driven activation;
+- :mod:`~repro.core.modules` — sensing and detection modules;
+- :mod:`~repro.core.alerts` — alert events and SIEM export;
+- :mod:`~repro.core.response` — countermeasures (node revocation);
+- :mod:`~repro.core.collective` — collective knowledge synchronization
+  between Kalis nodes;
+- :mod:`~repro.core.kalis` — :class:`~repro.core.kalis.KalisNode`, the
+  facade that wires everything together.
+"""
+
+from repro.core.alerts import Alert, AlertSink
+from repro.core.compile import (
+    compile_configuration,
+    compile_configuration_text,
+    deploy_constrained,
+)
+from repro.core.config import KalisConfig, ModuleSpec, parse_config
+from repro.core.kalis import KalisNode
+from repro.core.knowledge import Knowgget, KnowledgeBase, decode_key, encode_key
+
+__all__ = [
+    "Alert",
+    "AlertSink",
+    "compile_configuration",
+    "compile_configuration_text",
+    "deploy_constrained",
+    "KalisConfig",
+    "ModuleSpec",
+    "parse_config",
+    "KalisNode",
+    "Knowgget",
+    "KnowledgeBase",
+    "decode_key",
+    "encode_key",
+]

@@ -1,0 +1,95 @@
+"""Alert events and reporting.
+
+When a detection module identifies an incident it raises an
+:class:`Alert`; the Module Manager routes alerts to every subscribed
+party — the :class:`AlertSink` used by experiments, the response engine
+(:mod:`repro.core.response`), and, through :meth:`AlertSink.to_siem`,
+any downstream SIEM (the paper positions Kalis as a SIEM data source).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.util.ids import NodeId
+
+#: Bus topic on which alerts are published.
+ALERT_TOPIC = "alert"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A detected (suspected) security incident.
+
+    :param attack: canonical attack name the module classified.
+    :param timestamp: detection time (simulated seconds).
+    :param detected_by: name of the detection module.
+    :param kalis_node: identity of the reporting Kalis node.
+    :param suspects: entities the module holds responsible (link-layer
+        identities; may be empty when the culprit is unknown).
+    :param victim: the apparent target, when identifiable.
+    :param confidence: module's confidence in [0, 1].
+    :param details: free-form evidence (rates, thresholds, windows).
+    """
+
+    attack: str
+    timestamp: float
+    detected_by: str
+    kalis_node: NodeId
+    suspects: Tuple[NodeId, ...] = ()
+    victim: Optional[NodeId] = None
+    confidence: float = 1.0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence must be in [0, 1], got {self.confidence}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attack": self.attack,
+            "timestamp": self.timestamp,
+            "detected_by": self.detected_by,
+            "kalis_node": self.kalis_node.value,
+            "suspects": [suspect.value for suspect in self.suspects],
+            "victim": self.victim.value if self.victim else None,
+            "confidence": self.confidence,
+            "details": self.details,
+        }
+
+
+class AlertSink:
+    """Accumulates alerts and offers the queries experiments need."""
+
+    def __init__(self) -> None:
+        self._alerts: List[Alert] = []
+
+    def on_alert(self, alert: Alert) -> None:
+        self._alerts.append(alert)
+
+    @property
+    def alerts(self) -> List[Alert]:
+        return list(self._alerts)
+
+    def __len__(self) -> int:
+        return len(self._alerts)
+
+    def by_attack(self, attack: str) -> List[Alert]:
+        return [alert for alert in self._alerts if alert.attack == attack]
+
+    def between(self, start: float, end: float) -> List[Alert]:
+        return [
+            alert for alert in self._alerts if start <= alert.timestamp <= end
+        ]
+
+    def attacks_seen(self) -> List[str]:
+        return sorted({alert.attack for alert in self._alerts})
+
+    def first(self) -> Optional[Alert]:
+        return self._alerts[0] if self._alerts else None
+
+    def to_siem(self) -> str:
+        """Serialize all alerts as JSONL for SIEM ingestion."""
+        return "\n".join(json.dumps(alert.to_dict()) for alert in self._alerts)

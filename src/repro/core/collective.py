@@ -1,0 +1,147 @@
+"""Collective knowledge synchronization.
+
+"Kalis' mechanism for collective knowledge management allows for
+sharing and synchronizing selected information across Kalis nodes"
+(§IV-B3): a module marks a knowgget *collective*, and the Knowledge
+Base propagates changes to peer Kalis nodes, which store them under the
+originator's creator id — a node can never overwrite another's
+knowledge (enforced by
+:meth:`~repro.core.knowledge.KnowledgeBase.apply_remote`).
+
+Peer discovery follows the paper's §V implementation:
+periodic advertisement beaconing on the local network, with newly heard
+peers added to a peer list.  Transfers themselves ride an encrypted
+one-way channel between peer pairs; since the payload is opaque to any
+observer by construction, the channel is modelled as a direct scheduled
+hand-off with configurable latency and loss, while beacons are counted
+for the discovery protocol's accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.knowledge import Knowgget, KnowledgeBase
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+class PeerLink:
+    """The encrypted one-way channel from one Kalis node to a peer."""
+
+    def __init__(
+        self,
+        sim,
+        target_kb: KnowledgeBase,
+        sender: NodeId,
+        latency: float = 0.05,
+        loss_probability: float = 0.0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {loss_probability}"
+            )
+        self.sim = sim
+        self.target_kb = target_kb
+        self.sender = sender
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self._rng = rng if rng is not None else SeededRng(0, "peerlink")
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def transfer(self, knowgget: Knowgget) -> None:
+        self.sent += 1
+        if self.loss_probability and self._rng.chance(self.loss_probability):
+            self.lost += 1
+            return
+        if self.sim is None:
+            self._deliver(knowgget)
+        else:
+            self.sim.schedule_in(
+                self.latency, lambda item=knowgget: self._deliver(item)
+            )
+
+    def _deliver(self, knowgget: Knowgget) -> None:
+        accepted = self.target_kb.apply_remote(knowgget, sender=self.sender)
+        if accepted:
+            self.delivered += 1
+
+
+class CollectiveKnowledgeNetwork:
+    """Wires a set of Kalis nodes into a knowledge-sharing group.
+
+    :param sim: simulator for transfer latency (None = synchronous).
+    :param beacon_interval: advertisement period for peer discovery.
+    """
+
+    def __init__(
+        self,
+        sim=None,
+        latency: float = 0.05,
+        loss_probability: float = 0.0,
+        beacon_interval: float = 10.0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self.beacon_interval = beacon_interval
+        self._rng = rng if rng is not None else SeededRng(0, "collective")
+        self._members: Dict[NodeId, KnowledgeBase] = {}
+        self._links: Dict[NodeId, List[PeerLink]] = {}
+        self.beacons_sent = 0
+
+    def join(self, kb: KnowledgeBase) -> None:
+        """Add a Kalis node to the group and build peer links both ways."""
+        if kb.owner in self._members:
+            raise ValueError(f"{kb.owner} already joined")
+        # Discovery: the newcomer beacons, existing peers add it, and it
+        # learns of them from their next beacons.  With a shared local
+        # network this converges to full pairwise links.
+        for existing_owner, existing_kb in sorted(self._members.items()):
+            self._links.setdefault(kb.owner, []).append(
+                PeerLink(
+                    self.sim,
+                    existing_kb,
+                    sender=kb.owner,
+                    latency=self.latency,
+                    loss_probability=self.loss_probability,
+                    rng=self._rng.substream("link", kb.owner.value, existing_owner.value),
+                )
+            )
+            self._links.setdefault(existing_owner, []).append(
+                PeerLink(
+                    self.sim,
+                    kb,
+                    sender=existing_owner,
+                    latency=self.latency,
+                    loss_probability=self.loss_probability,
+                    rng=self._rng.substream("link", existing_owner.value, kb.owner.value),
+                )
+            )
+        self._members[kb.owner] = kb
+        kb.add_collective_listener(
+            lambda knowgget, owner=kb.owner: self._broadcast(owner, knowgget)
+        )
+        if self.sim is not None:
+            self.sim.schedule_every(
+                self.beacon_interval, self._count_beacon, first_delay=0.5
+            )
+
+    def _count_beacon(self) -> None:
+        self.beacons_sent += 1
+
+    def _broadcast(self, owner: NodeId, knowgget: Knowgget) -> None:
+        for link in self._links.get(owner, ()):
+            link.transfer(knowgget)
+
+    def peers_of(self, owner: NodeId) -> List[NodeId]:
+        return sorted(set(self._members) - {owner})
+
+    def member_count(self) -> int:
+        return len(self._members)

@@ -1,0 +1,66 @@
+"""The Communication System.
+
+"Interfaces with the external world.  Specialized subcomponents take
+care of interacting with traffic on different protocols.  The
+Communication System overhears all traffic on all the supported
+interfaces" (§IV-B1).
+
+In this reproduction an *interface* is anything that can push
+:class:`~repro.sim.capture.Capture` objects: a live
+:class:`~repro.sim.node.SnifferNode`, a
+:class:`~repro.trace.replay.TraceReplayer`, or a test feeding captures
+by hand.  Each capture is stamped with the interface name and counted
+per medium, then handed to the registered intake (the Data Store and,
+through it, the modules).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net.packets.base import Medium
+from repro.sim.capture import Capture
+from repro.sim.node import SnifferNode
+
+CaptureListener = Callable[[Capture], None]
+
+
+class CommunicationSystem:
+    """Capture intake with per-medium accounting and medium filtering.
+
+    :param supported_mediums: mediums this Kalis node has hardware for;
+        captures on other mediums are dropped (the way Snort, lacking an
+        802.15.4 radio, simply never sees ZigBee traffic).
+    """
+
+    def __init__(self, supported_mediums: Optional[List[Medium]] = None) -> None:
+        self.supported_mediums = (
+            frozenset(supported_mediums)
+            if supported_mediums is not None
+            else frozenset(Medium)
+        )
+        self._listeners: List[CaptureListener] = []
+        self.captures_by_medium: Dict[Medium, int] = {}
+        self.dropped_unsupported = 0
+
+    def add_listener(self, listener: CaptureListener) -> None:
+        """Register a consumer of captures (typically the Data Store)."""
+        self._listeners.append(listener)
+
+    def attach_sniffer(self, sniffer: SnifferNode) -> None:
+        """Wire a live promiscuous sniffer into this Communication System."""
+        sniffer.add_listener(self.on_capture)
+
+    def on_capture(self, capture: Capture) -> None:
+        """Intake one capture from any interface."""
+        if capture.medium not in self.supported_mediums:
+            self.dropped_unsupported += 1
+            return
+        count = self.captures_by_medium.get(capture.medium, 0)
+        self.captures_by_medium[capture.medium] = count + 1
+        for listener in self._listeners:
+            listener(capture)
+
+    @property
+    def total_captures(self) -> int:
+        return sum(self.captures_by_medium.values())

@@ -1,0 +1,111 @@
+"""Compile-time module configuration for constrained devices.
+
+The paper's §VIII envisions "selecting a specific module configuration
+— based on the knowledge collected by Kalis in a network — and
+deploy[ing] that configuration at compile-time on very small devices
+such as WSN nodes."  This module implements that pipeline:
+
+1. let a full Kalis node monitor the network and build its Knowledge
+   Base;
+2. :func:`compile_configuration` freezes the KB into a static
+   configuration — exactly the detection modules the current knowledge
+   requires, with their parameters, plus the knowledge itself as
+   a-priori knowggets — rendered in the Figure 6 config language;
+3. the artifact deploys onto a constrained node as a
+   :class:`~repro.core.kalis.KalisNode` carrying *only* those modules
+   (no sensing, no Module Manager re-evaluation churn): smaller library,
+   smaller memory, same detections — as long as the environment matches
+   the knowledge it was compiled from, which is the documented trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.config import KalisConfig, ModuleSpec, StaticKnowgget, render_config
+from repro.core.kalis import DEFAULT_DETECTION_MODULES, KalisNode
+from repro.core.knowledge import KnowledgeBase
+from repro.core.modules.registry import create_module
+from repro.util.ids import NodeId
+
+#: Knowgget labels worth freezing into a compiled configuration: the
+#: stable features modules key on (volatile statistics are left out).
+FREEZABLE_LABELS = ("Multihop", "Mobility", "IntegrityProtection", "MonitoredNodes")
+
+
+def _freezable(label: str) -> bool:
+    root = label.split(".", 1)[0]
+    return root in FREEZABLE_LABELS
+
+
+def compile_configuration(
+    kb: KnowledgeBase,
+    library: Optional[Iterable[str]] = None,
+) -> KalisConfig:
+    """Freeze the current knowledge into a static configuration.
+
+    :param kb: the Knowledge Base of a full Kalis node that has been
+        monitoring the target network.
+    :param library: detection-module names to consider (default: the
+        full library).
+    :returns: a :class:`KalisConfig` whose modules are exactly those the
+        knowledge requires (with their config parameters) and whose
+        knowggets are the frozen feature knowledge.
+    """
+    names = list(library) if library is not None else list(DEFAULT_DETECTION_MODULES)
+    modules: List[ModuleSpec] = []
+    for name in names:
+        module = create_module(name)
+        if module.required(kb):
+            modules.append(ModuleSpec(name=name, params=dict(module.params)))
+
+    knowggets: List[StaticKnowgget] = []
+    for knowgget in kb.local_knowggets():
+        if not _freezable(knowgget.label):
+            continue
+        value: object = knowgget.value
+        if value in ("true", "false"):
+            value = value == "true"
+        else:
+            try:
+                value = int(knowgget.value)
+            except ValueError:
+                try:
+                    value = float(knowgget.value)
+                except ValueError:
+                    value = knowgget.value
+        knowggets.append(
+            StaticKnowgget(label=knowgget.label, value=value, entity=knowgget.entity)
+        )
+    return KalisConfig(modules=modules, knowggets=knowggets)
+
+
+def compile_configuration_text(
+    kb: KnowledgeBase, library: Optional[Iterable[str]] = None
+) -> str:
+    """The compiled configuration as Figure 6 config-language text —
+    the artifact you would flash onto the constrained device."""
+    return render_config(compile_configuration(kb, library))
+
+
+def deploy_constrained(
+    node_id: NodeId,
+    config: KalisConfig,
+    **kalis_kwargs,
+) -> KalisNode:
+    """Instantiate the compiled configuration on a constrained node.
+
+    The node carries only the compiled detection modules (every one
+    pinned active — there are no sensing modules aboard to change the
+    knowledge) and a small data-store window suited to constrained
+    memory.
+    """
+    kalis_kwargs.setdefault("window_size", 200)
+    kalis_kwargs.setdefault("window_age", 30.0)
+    module_names = [spec.name for spec in config.modules]
+    return KalisNode(
+        node_id,
+        config=config,
+        module_names=module_names,
+        **kalis_kwargs,
+    )

@@ -1,0 +1,354 @@
+"""The Kalis configuration-file language.
+
+A hand-written lexer and recursive-descent parser for the JSON-inspired
+grammar of the paper's Figure 6::
+
+    <config>    ::= <modules> <knowggets>
+    <modules>   ::= 'modules = {' <module-list> '}'
+    <module-def>::= <module-name> [ '(' <param-list> ')' ]
+    <knowggets> ::= 'knowggets = {' <knowgget-list> '}'
+    <key-value-pair> ::= <key> '=' <value>
+
+Example (paper Figure 7)::
+
+    modules = {
+      TopologyDetectionModule,
+      TrafficStatsModule (
+        activationThresh=1,
+        detectionThresh=2
+      )
+    }
+    knowggets = {
+      mobility = false
+    }
+
+Extensions kept deliberately small: ``#`` line comments, quoted string
+values, and ``label@entity`` knowgget keys (the paper allows static
+knowggets to carry an entity field).  Both sections are optional and may
+appear in either order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.util.ids import NodeId
+
+ParamValue = Union[bool, int, float, str]
+
+
+class ConfigError(ValueError):
+    """Raised on malformed configuration text, with line/column info."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One entry of the ``modules`` section."""
+
+    name: str
+    params: Dict[str, ParamValue] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StaticKnowgget:
+    """One entry of the ``knowggets`` section."""
+
+    label: str
+    value: ParamValue
+    entity: Optional[NodeId] = None
+
+
+@dataclass
+class KalisConfig:
+    """Parsed configuration: modules to activate and a-priori knowledge."""
+
+    modules: List[ModuleSpec] = field(default_factory=list)
+    knowggets: List[StaticKnowgget] = field(default_factory=list)
+
+    def module_named(self, name: str) -> Optional[ModuleSpec]:
+        for spec in self.modules:
+            if spec.name == name:
+                return spec
+        return None
+
+
+# -- lexer ---------------------------------------------------------------------
+
+
+class _TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    EQUALS = "="
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    END = "end"
+
+
+@dataclass(frozen=True)
+class _Token:
+    type: _TokenType
+    text: str
+    line: int
+    column: int
+
+
+_PUNCTUATION = {
+    "=": _TokenType.EQUALS,
+    "{": _TokenType.LBRACE,
+    "}": _TokenType.RBRACE,
+    "(": _TokenType.LPAREN,
+    ")": _TokenType.RPAREN,
+    ",": _TokenType.COMMA,
+}
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_.@-:"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(_Token(_PUNCTUATION[char], char, line, column))
+            index += 1
+            column += 1
+            continue
+        if char == '"':
+            end = text.find('"', index + 1)
+            if end == -1:
+                raise ConfigError("unterminated string", line, column)
+            literal = text[index + 1 : end]
+            tokens.append(_Token(_TokenType.STRING, literal, line, column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and text[index + 1].isdigit()
+        ):
+            start = index
+            index += 1
+            while index < length and (text[index].isdigit() or text[index] == "."):
+                index += 1
+            literal = text[start:index]
+            tokens.append(_Token(_TokenType.NUMBER, literal, line, column))
+            column += index - start
+            continue
+        if _is_ident_char(char):
+            start = index
+            while index < length and _is_ident_char(text[index]):
+                index += 1
+            literal = text[start:index]
+            tokens.append(_Token(_TokenType.IDENT, literal, line, column))
+            column += index - start
+            continue
+        raise ConfigError(f"unexpected character {char!r}", line, column)
+    tokens.append(_Token(_TokenType.END, "", line, column))
+    return tokens
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _expect(self, token_type: _TokenType) -> _Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise ConfigError(
+                f"expected {token_type.value!r}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def parse(self) -> KalisConfig:
+        config = KalisConfig()
+        seen = set()
+        while self._peek().type is not _TokenType.END:
+            section = self._expect(_TokenType.IDENT)
+            if section.text in seen:
+                raise ConfigError(
+                    f"duplicate section {section.text!r}", section.line, section.column
+                )
+            seen.add(section.text)
+            self._expect(_TokenType.EQUALS)
+            self._expect(_TokenType.LBRACE)
+            if section.text == "modules":
+                config.modules = self._parse_module_list()
+            elif section.text == "knowggets":
+                config.knowggets = self._parse_knowgget_list()
+            else:
+                raise ConfigError(
+                    f"unknown section {section.text!r} "
+                    "(expected 'modules' or 'knowggets')",
+                    section.line,
+                    section.column,
+                )
+            self._expect(_TokenType.RBRACE)
+        return config
+
+    def _parse_module_list(self) -> List[ModuleSpec]:
+        modules: List[ModuleSpec] = []
+        if self._peek().type is _TokenType.RBRACE:
+            return modules  # empty section
+        while True:
+            name_token = self._expect(_TokenType.IDENT)
+            params: Dict[str, ParamValue] = {}
+            if self._peek().type is _TokenType.LPAREN:
+                self._advance()
+                params = self._parse_param_list()
+                self._expect(_TokenType.RPAREN)
+            modules.append(ModuleSpec(name=name_token.text, params=params))
+            if self._peek().type is _TokenType.COMMA:
+                self._advance()
+                continue
+            return modules
+
+    def _parse_param_list(self) -> Dict[str, ParamValue]:
+        params: Dict[str, ParamValue] = {}
+        if self._peek().type is _TokenType.RPAREN:
+            return params
+        while True:
+            key_token = self._expect(_TokenType.IDENT)
+            self._expect(_TokenType.EQUALS)
+            params[key_token.text] = self._parse_value()
+            if self._peek().type is _TokenType.COMMA:
+                self._advance()
+                continue
+            return params
+
+    def _parse_knowgget_list(self) -> List[StaticKnowgget]:
+        knowggets: List[StaticKnowgget] = []
+        if self._peek().type is _TokenType.RBRACE:
+            return knowggets
+        while True:
+            key_token = self._expect(_TokenType.IDENT)
+            self._expect(_TokenType.EQUALS)
+            value = self._parse_value()
+            label, at, entity_text = key_token.text.partition("@")
+            if at and not entity_text:
+                raise ConfigError(
+                    f"empty entity in knowgget key {key_token.text!r}",
+                    key_token.line,
+                    key_token.column,
+                )
+            knowggets.append(
+                StaticKnowgget(
+                    label=label,
+                    value=value,
+                    entity=NodeId(entity_text) if entity_text else None,
+                )
+            )
+            if self._peek().type is _TokenType.COMMA:
+                self._advance()
+                continue
+            return knowggets
+
+    def _parse_value(self) -> ParamValue:
+        token = self._peek()
+        if token.type is _TokenType.STRING:
+            self._advance()
+            return token.text
+        if token.type is _TokenType.NUMBER:
+            self._advance()
+            if "." in token.text:
+                return float(token.text)
+            return int(token.text)
+        if token.type is _TokenType.IDENT:
+            self._advance()
+            lowered = token.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            return token.text
+        raise ConfigError(
+            f"expected a value, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse_config(text: str) -> KalisConfig:
+    """Parse configuration text into a :class:`KalisConfig`."""
+    return _Parser(_tokenize(text)).parse()
+
+
+def parse_config_file(path) -> KalisConfig:
+    """Parse a configuration file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_config(handle.read())
+
+
+def render_config(config: KalisConfig) -> str:
+    """Render a config back to the Figure 6 syntax (round-trippable)."""
+    lines: List[str] = ["modules = {"]
+    for index, spec in enumerate(config.modules):
+        suffix = "," if index < len(config.modules) - 1 else ""
+        if spec.params:
+            rendered = ", ".join(
+                f"{key}={_render_value(value)}" for key, value in spec.params.items()
+            )
+            lines.append(f"  {spec.name} ({rendered}){suffix}")
+        else:
+            lines.append(f"  {spec.name}{suffix}")
+    lines.append("}")
+    lines.append("knowggets = {")
+    for index, knowgget in enumerate(config.knowggets):
+        suffix = "," if index < len(config.knowggets) - 1 else ""
+        key = knowgget.label
+        if knowgget.entity is not None:
+            key += f"@{knowgget.entity.value}"
+        lines.append(f"  {key} = {_render_value(knowgget.value)}{suffix}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_value(value: ParamValue) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        needs_quotes = not all(_is_ident_char(char) for char in value) or value == ""
+        return f'"{value}"' if needs_quotes else value
+    return str(value)

@@ -1,0 +1,111 @@
+"""The Data Store.
+
+Per the paper (§IV-B2): listens for new-capture events from the
+Communication System, keeps "a sliding window of configurable size of
+the most recent packets" in memory, optionally logs all traffic to
+disk, and can replay logged traffic "transparently to the detection
+modules".
+
+The window is bounded both by count and by age so rate computations
+over a time horizon stay cheap and memory stays predictable; the RAM
+proxy in :mod:`repro.metrics.resources` reads
+:meth:`DataStore.approximate_bytes`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+from typing import Callable, Deque, List, Optional
+
+from repro.sim.capture import Capture
+from repro.trace.record import TraceRecord
+from repro.trace.trace import Trace
+
+#: Bus topic on which fresh captures are re-published to modules.
+CAPTURE_TOPIC = "capture"
+
+
+class DataStore:
+    """Sliding-window history of recent traffic with optional disk log.
+
+    :param window_size: maximum captures kept in memory.
+    :param window_age: maximum age (seconds) kept, relative to the most
+        recent capture; None disables age-based eviction.
+    :param log_to: path for the persistent traffic log, or None.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 2000,
+        window_age: Optional[float] = 60.0,
+        log_to: Optional[str] = None,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        if window_age is not None and window_age <= 0:
+            raise ValueError(f"window_age must be positive, got {window_age}")
+        self.window_size = window_size
+        self.window_age = window_age
+        self._window: Deque[Capture] = deque()
+        self._log_path = Path(log_to) if log_to else None
+        self._log_trace: Optional[Trace] = Trace() if log_to else None
+        self.total_captures = 0
+
+    # -- intake ------------------------------------------------------------------
+
+    def add(self, capture: Capture) -> None:
+        """Record one capture, evicting anything outside the window."""
+        self._window.append(capture)
+        self.total_captures += 1
+        if len(self._window) > self.window_size:
+            self._window.popleft()
+        if self.window_age is not None:
+            horizon = capture.timestamp - self.window_age
+            while self._window and self._window[0].timestamp < horizon:
+                self._window.popleft()
+        if self._log_trace is not None:
+            self._log_trace.append(TraceRecord(capture=capture))
+
+    # -- queries -------------------------------------------------------------------
+
+    def window(self) -> List[Capture]:
+        """The current in-memory window, oldest first."""
+        return list(self._window)
+
+    def recent(self, seconds: float) -> List[Capture]:
+        """Captures from the last ``seconds`` of the window."""
+        if not self._window:
+            return []
+        horizon = self._window[-1].timestamp - seconds
+        return [c for c in self._window if c.timestamp >= horizon]
+
+    def latest_timestamp(self) -> Optional[float]:
+        return self._window[-1].timestamp if self._window else None
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    # -- disk log and replay ----------------------------------------------------------
+
+    def flush_log(self) -> Optional[Path]:
+        """Write the accumulated traffic log to disk, if configured."""
+        if self._log_trace is None or self._log_path is None:
+            return None
+        self._log_path.parent.mkdir(parents=True, exist_ok=True)
+        self._log_trace.save(self._log_path)
+        return self._log_path
+
+    @staticmethod
+    def replay_log(path, listener: Callable[[Capture], None]) -> int:
+        """Replay a logged trace into a listener (forensic analysis)."""
+        trace = Trace.load(path)
+        for record in trace:
+            listener(record.capture)
+        return len(trace)
+
+    # -- memory accounting --------------------------------------------------------------
+
+    def approximate_bytes(self) -> int:
+        """Rough footprint of the in-memory window (packet sizes + overhead)."""
+        return sum(capture.packet.size_bytes + 64 for capture in self._window)

@@ -1,0 +1,149 @@
+"""The Module Manager.
+
+"Coordinates all the modules, activating/deactivating them as needed,
+depending on changes in the Knowledge Base, routing new packet events to
+all the interested parties, and collecting alerts about detected
+incidents" (§IV-B4).  Activation is publish-subscribe: the manager
+subscribes to all knowledge changes and re-evaluates each module's
+declarative requirements whenever the Knowledge Base moves (§V,
+"Dynamic Detection Module Configuration").
+
+The manager is also where the **traditional-IDS baseline** lives: with
+``knowledge_driven=False`` every registered module is active at all
+times, exactly how the paper emulates a traditional IDS for its
+comparison ("running our system without Knowledge Base, and with all
+the modules active at all times", §VI-B).
+
+Work accounting: every capture routed to an active module adds that
+module's ``COST_WEIGHT`` to :attr:`work_units` — the input to the CPU
+proxy in :mod:`repro.metrics.resources`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.datastore import DataStore
+from repro.core.knowledge import KnowledgeBase
+from repro.core.modules.base import KalisModule, ModuleContext, SensingModule
+from repro.eventbus.bus import EventBus
+from repro.sim.capture import Capture
+from repro.util.ids import NodeId
+
+
+class ModuleManager:
+    """Owns the module set, their activation state, and capture routing."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        datastore: DataStore,
+        bus: EventBus,
+        node_id: NodeId,
+        knowledge_driven: bool = True,
+    ) -> None:
+        self.kb = kb
+        self.datastore = datastore
+        self.bus = bus
+        self.node_id = node_id
+        self.knowledge_driven = knowledge_driven
+        self._modules: Dict[str, KalisModule] = {}
+        self._order: List[str] = []
+        self._forced_active: Set[str] = set()
+        self.work_units = 0.0
+        self.activation_events = 0
+        self.deactivation_events = 0
+        self._reevaluating = False
+        kb.subscribe_all(self._on_knowledge_change)
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, module: KalisModule, force_active: bool = False) -> KalisModule:
+        """Add a module to the library.
+
+        :param force_active: keep the module active regardless of its
+            requirements (a config file naming a module in its
+            ``modules`` section activates it by default).
+        """
+        if module.NAME in self._modules:
+            raise ValueError(f"module {module.NAME!r} already registered")
+        context = ModuleContext(
+            kb=self.kb, datastore=self.datastore, bus=self.bus, node_id=self.node_id
+        )
+        module.bind(context)
+        self._modules[module.NAME] = module
+        self._order.append(module.NAME)
+        if force_active:
+            self._forced_active.add(module.NAME)
+        self._apply_state(module)
+        return module
+
+    def module(self, name: str) -> KalisModule:
+        return self._modules[name]
+
+    def modules(self) -> List[KalisModule]:
+        return [self._modules[name] for name in self._order]
+
+    def active_modules(self) -> List[KalisModule]:
+        return [m for m in self.modules() if m.active]
+
+    def active_module_names(self) -> List[str]:
+        return [m.NAME for m in self.active_modules()]
+
+    # -- activation --------------------------------------------------------------
+
+    def _should_be_active(self, module: KalisModule) -> bool:
+        if not self.knowledge_driven:
+            return True
+        if module.NAME in self._forced_active:
+            return True
+        if isinstance(module, SensingModule):
+            # Sensing modules are the knowledge source; they run always.
+            return True
+        return module.required(self.kb)
+
+    def _apply_state(self, module: KalisModule) -> None:
+        desired = self._should_be_active(module)
+        if desired and not module.active:
+            module.active = True
+            module.on_activate()
+            self.activation_events += 1
+        elif not desired and module.active:
+            module.active = False
+            module.on_deactivate()
+            self.deactivation_events += 1
+
+    def reevaluate(self) -> None:
+        """Re-derive every module's activation from current knowledge."""
+        if self._reevaluating:
+            return  # activation hooks may write knowggets; don't recurse
+        self._reevaluating = True
+        try:
+            for module in self.modules():
+                self._apply_state(module)
+        finally:
+            self._reevaluating = False
+
+    def _on_knowledge_change(self, event) -> None:
+        self.reevaluate()
+
+    # -- capture routing --------------------------------------------------------------
+
+    def on_capture(self, capture: Capture) -> None:
+        """Route one capture to every active module, in registration order."""
+        for module in self.modules():
+            if module.active:
+                self.work_units += module.COST_WEIGHT
+                module.handle(capture)
+
+    # -- resource accounting -------------------------------------------------------------
+
+    def approximate_state_bytes(self) -> int:
+        """Combined analysis state of all *active* modules."""
+        return sum(
+            module.approximate_state_bytes() for module in self.active_modules()
+        )
+
+    def activation_table(self) -> Dict[str, bool]:
+        """Module name -> active, for diagnostics and tests."""
+        return {name: self._modules[name].active for name in self._order}

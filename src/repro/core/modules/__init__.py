@@ -1,0 +1,44 @@
+"""Kalis modules.
+
+"In Kalis any network feature-specific or attack-specific functionality
+is implemented as an independent module" (§IV-B4).  Two kinds exist:
+
+- **sensing modules** (:mod:`~repro.core.modules.sensing`) discover
+  network features and write knowggets;
+- **detection modules** (:mod:`~repro.core.modules.detection`) analyze
+  traffic plus knowledge and raise alerts.
+
+Modules self-describe when they are needed through declarative
+:class:`~repro.core.modules.base.Requirement` predicates over the
+Knowledge Base; the Module Manager activates and deactivates them as
+knowledge changes.  The registry mirrors the paper's use of Java
+Reflection: modules are instantiated by name, so new modules plug in
+without touching the engine.
+"""
+
+from repro.core.modules.base import (
+    DetectionModule,
+    KalisModule,
+    ModuleContext,
+    Requirement,
+    SensingModule,
+)
+from repro.core.modules.registry import (
+    available_modules,
+    create_module,
+    register_module,
+)
+
+# Importing the implementation packages populates the registry.
+from repro.core.modules import detection, sensing  # noqa: F401  (registry side effect)
+
+__all__ = [
+    "DetectionModule",
+    "KalisModule",
+    "ModuleContext",
+    "Requirement",
+    "SensingModule",
+    "available_modules",
+    "create_module",
+    "register_module",
+]

@@ -1,0 +1,37 @@
+"""Detection modules — one per attack family (§IV-B4).
+
+Each module declares the knowledge under which it is required (its
+``REQUIREMENTS``), mirrors one row of the paper's Figure 3 taxonomy,
+and raises :class:`~repro.core.alerts.Alert` events when its attack's
+symptoms appear in the capture stream.
+"""
+
+from repro.core.modules.detection.data_alteration import DataAlterationModule
+from repro.core.modules.detection.forwarding import ForwardingMisbehaviorModule
+from repro.core.modules.detection.hello_flood import HelloFloodModule
+from repro.core.modules.detection.icmp_flood import IcmpFloodModule
+from repro.core.modules.detection.jamming import JammingModule
+from repro.core.modules.detection.replication_mobile import ReplicationMobileModule
+from repro.core.modules.detection.replication_static import ReplicationStaticModule
+from repro.core.modules.detection.sinkhole import SinkholeModule
+from repro.core.modules.detection.smurf import SmurfModule
+from repro.core.modules.detection.spoofing import SpoofingModule
+from repro.core.modules.detection.sybil import SybilModule
+from repro.core.modules.detection.syn_flood import SynFloodModule
+from repro.core.modules.detection.wormhole import WormholeModule
+
+__all__ = [
+    "DataAlterationModule",
+    "ForwardingMisbehaviorModule",
+    "HelloFloodModule",
+    "IcmpFloodModule",
+    "JammingModule",
+    "ReplicationMobileModule",
+    "ReplicationStaticModule",
+    "SinkholeModule",
+    "SmurfModule",
+    "SpoofingModule",
+    "SybilModule",
+    "SynFloodModule",
+    "WormholeModule",
+]

@@ -1,0 +1,52 @@
+"""Module registry — name-based dynamic instantiation.
+
+The paper's prototype uses Java Reflection so that "the corresponding
+class is dynamically instantiated by name" when a configuration file
+names a module, and new modules can be added "without the need to
+recompile the entire system".  The Python equivalent is this registry:
+module classes register under their :attr:`NAME` (and class name) and
+are created from config-file strings at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Type
+
+from repro.core.modules.base import KalisModule
+
+_REGISTRY: Dict[str, Type[KalisModule]] = {}
+
+
+def register_module(module_class: Type[KalisModule]) -> Type[KalisModule]:
+    """Class decorator: make a module instantiable by name."""
+    if not issubclass(module_class, KalisModule):
+        raise TypeError(f"{module_class!r} is not a KalisModule")
+    for name in {module_class.NAME, module_class.__name__}:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not module_class:
+            raise ValueError(
+                f"module name {name!r} already registered by {existing.__name__}"
+            )
+        _REGISTRY[name] = module_class
+    return module_class
+
+
+def create_module(name: str, params: Optional[Dict[str, Any]] = None) -> KalisModule:
+    """Instantiate a registered module by NAME or class name."""
+    module_class = _REGISTRY.get(name)
+    if module_class is None:
+        known = ", ".join(sorted({cls.NAME for cls in _REGISTRY.values()}))
+        raise KeyError(f"unknown module {name!r}; known modules: {known}")
+    return module_class(params=params)
+
+
+def available_modules() -> List[str]:
+    """Canonical NAMEs of all registered modules, sorted."""
+    return sorted({cls.NAME for cls in _REGISTRY.values()})
+
+
+def module_class(name: str) -> Type[KalisModule]:
+    """Look up a registered module class without instantiating it."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown module {name!r}")
+    return _REGISTRY[name]

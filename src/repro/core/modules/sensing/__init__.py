@@ -1,0 +1,23 @@
+"""Sensing modules — Kalis' autonomous knowledge discovery (§IV-B4).
+
+Three modules, as in the paper's prototype:
+
+- :class:`~repro.core.modules.sensing.topology.TopologyDiscoveryModule`
+  reconstructs the local topology and distinguishes multi-hop from
+  single-hop networks (per medium);
+- :class:`~repro.core.modules.sensing.traffic.TrafficStatsModule`
+  collects traffic-frequency statistics per packet type, globally and
+  per monitored device;
+- :class:`~repro.core.modules.sensing.mobility.MobilityAwarenessModule`
+  detects mobility from signal-strength changes.
+"""
+
+from repro.core.modules.sensing.mobility import MobilityAwarenessModule
+from repro.core.modules.sensing.topology import TopologyDiscoveryModule
+from repro.core.modules.sensing.traffic import TrafficStatsModule
+
+__all__ = [
+    "MobilityAwarenessModule",
+    "TopologyDiscoveryModule",
+    "TrafficStatsModule",
+]

@@ -1,0 +1,134 @@
+"""Mobility Awareness sensing module.
+
+"Uses a simple approach that detects mobility when any node's signal
+strength changes more than a certain threshold" (§V).
+
+Mechanics: for each link-layer source the module keeps a slow EWMA
+baseline of its RSSI at this sniffer.  A sample deviating from the
+baseline by more than ``threshold`` dB is a movement hint; a node
+accumulating ``hintCount`` hints inside ``hintWindow`` seconds flips the
+``Mobility`` knowgget to true.  After ``quietPeriod`` seconds with no
+hints anywhere, the network is declared static again — mobility is a
+state, not an event, and the replication experiment (§VI-B2) depends on
+Kalis tracking it through both transitions.
+
+Knowggets written::
+
+    Mobility                       -- network currently mobile (bool)
+    SignalStrength@<entity>        -- rounded RSSI baseline (dBm, int)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.modules.base import SensingModule
+from repro.core.modules.common import EwmaTracker, SlidingWindowCounter, link_source
+from repro.core.modules.registry import register_module
+from repro.sim.capture import Capture
+
+
+@register_module
+class MobilityAwarenessModule(SensingModule):
+    """RSSI-based mobility detection.
+
+    Parameters (config file):
+
+    - ``threshold`` (default 5.0): dB deviation that counts as movement;
+    - ``hintCount`` (default 3): movement hints needed to declare
+      mobility;
+    - ``minMobileNodes`` (default 2): distinct nodes that must show
+      movement hints before the *network* is declared mobile — one
+      identity's signal jumping around is a suspicious device (likely a
+      replica or spoofer), not network mobility;
+    - ``hintWindow`` (default 10.0): seconds the hints must fall within;
+    - ``quietPeriod`` (default 20.0): hint-free seconds before the
+      network is declared static;
+    - ``warmup`` (default 5): samples per node before its baseline is
+      trusted.
+    """
+
+    NAME = "MobilityAwarenessModule"
+    COST_WEIGHT = 1.1
+    #: Knowgget marked collective so peer Kalis nodes can correlate
+    #: signal-strength changes (§IV-B3's collective-knowledge example).
+    SHARE_SIGNAL_STRENGTH = True
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.threshold = self.param("threshold", 5.0)
+        self.hint_count = self.param("hintCount", 3)
+        self.min_mobile_nodes = self.param("minMobileNodes", 2)
+        self.hint_window = self.param("hintWindow", 10.0)
+        self.quiet_period = self.param("quietPeriod", 20.0)
+        self.warmup = self.param("warmup", 5)
+        self._baselines = EwmaTracker(alpha=0.05)
+        self._hints = SlidingWindowCounter(self.hint_window)
+        self._last_hint_at: Optional[float] = None
+        self._mobile = False
+        self._published_strength: Dict = {}
+
+    def process(self, capture: Capture) -> None:
+        source = link_source(capture.packet)
+        now = capture.timestamp
+        if source is not None:
+            deviation, samples = self._baselines.observe(source, capture.rssi)
+            self._publish_signal_strength(source)
+            if samples > self.warmup and abs(deviation) > self.threshold:
+                self._hints.record(now, source)
+                moving_nodes = [
+                    key
+                    for key in self._hints.keys()
+                    if self._hints.count(key) >= self.hint_count
+                ]
+                if len(moving_nodes) >= self.min_mobile_nodes:
+                    # Network-level movement evidence: several distinct
+                    # nodes are shifting.  A single node's hints never
+                    # declare (or sustain) network mobility.
+                    self._last_hint_at = now
+                    if not self._mobile:
+                        self._set_mobile(True)
+        self._maybe_declare_static(now)
+
+    def _maybe_declare_static(self, now: float) -> None:
+        if self._mobile:
+            if self._last_hint_at is not None and (
+                now - self._last_hint_at > self.quiet_period
+            ):
+                self._set_mobile(False)
+        elif self.ctx.kb.get_knowgget("Mobility") is None:
+            # Positive "static" verdict once baselines have settled.
+            settled = [
+                key
+                for key in self._baselines.keys()
+                if self._baselines.samples(key) > self.warmup
+            ]
+            if settled:
+                self._set_mobile(False)
+
+    def _set_mobile(self, mobile: bool) -> None:
+        self._mobile = mobile
+        self.ctx.kb.put("Mobility", mobile)
+
+    def _publish_signal_strength(self, source) -> None:
+        mean = self._baselines.mean(source)
+        if mean is None:
+            return
+        rounded = int(round(mean))
+        if self._published_strength.get(source) != rounded:
+            self._published_strength[source] = rounded
+            self.ctx.kb.put(
+                "SignalStrength",
+                rounded,
+                entity=source,
+                collective=self.SHARE_SIGNAL_STRENGTH,
+            )
+
+    # -- programmatic access -------------------------------------------------------
+
+    @property
+    def is_mobile(self) -> bool:
+        return self._mobile
+
+    def baseline(self, source) -> Optional[float]:
+        return self._baselines.mean(source)

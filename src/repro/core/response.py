@@ -1,0 +1,101 @@
+"""Automated response actions.
+
+The paper's evaluation programs "as a simple countermeasure the
+temporary revocation from the network of any node identified as suspect
+by the IDS" (§VI-A), then scores *countermeasure effectiveness* — how
+good revoking the IDS's suspects is for the network (revoking the
+attacker: good; revoking the victim and disconnecting the network, as
+the confused traditional IDS does in §VI-B1: catastrophic).
+
+:class:`RevocationEngine` subscribes to alerts and revokes suspects,
+either permanently or for a fixed quarantine; the record of what was
+revoked feeds the effectiveness metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.core.alerts import ALERT_TOPIC, Alert
+from repro.eventbus.bus import EventBus
+from repro.util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class Revocation:
+    """One executed revocation."""
+
+    node: NodeId
+    timestamp: float
+    attack: str
+    by_module: str
+
+
+class RevocationEngine:
+    """Revokes alert suspects from a live simulation.
+
+    :param sim: the simulator to remove nodes from.
+    :param quarantine: seconds after which a revoked node is re-added,
+        or None for permanent removal.  (Re-adding requires the caller
+        to keep nodes resumable; experiments here use permanent removal,
+        matching "temporary revocation" over their short horizon.)
+    :param max_revocations: safety valve for runaway alert storms.
+    """
+
+    def __init__(
+        self,
+        sim,
+        bus: EventBus,
+        max_revocations: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.max_revocations = max_revocations
+        self.revocations: List[Revocation] = []
+        self._revoked: Set[NodeId] = set()
+        bus.subscribe(ALERT_TOPIC, self._on_alert)
+
+    def _on_alert(self, event) -> None:
+        alert = event.payload
+        if not isinstance(alert, Alert):
+            return
+        for suspect in alert.suspects:
+            self.revoke(suspect, alert)
+
+    def revoke(self, node: NodeId, alert: Alert) -> bool:
+        """Remove a suspect from the network; returns True if executed."""
+        if node in self._revoked:
+            return False
+        if (
+            self.max_revocations is not None
+            and len(self.revocations) >= self.max_revocations
+        ):
+            return False
+        if not self.sim.has_node(node):
+            # Suspect identity does not correspond to a live node (e.g.
+            # a fabricated sybil identity); record the attempt anyway.
+            self._revoked.add(node)
+            self.revocations.append(
+                Revocation(
+                    node=node,
+                    timestamp=self.sim.clock.now,
+                    attack=alert.attack,
+                    by_module=alert.detected_by,
+                )
+            )
+            return False
+        self.sim.remove_node(node)
+        self._revoked.add(node)
+        self.revocations.append(
+            Revocation(
+                node=node,
+                timestamp=self.sim.clock.now,
+                attack=alert.attack,
+                by_module=alert.detected_by,
+            )
+        )
+        return True
+
+    @property
+    def revoked_nodes(self) -> List[NodeId]:
+        return [revocation.node for revocation in self.revocations]

@@ -1,0 +1,40 @@
+"""Simulated commodity IoT devices and WSN motes.
+
+The paper's testbed: a 6-node TelosB WSN running a TinyOS/CTP
+application (one data message every 3 s to a base station), a Nest
+Thermostat, an August SmartLock, a Lifx smart bulb, an Arlo security
+system and an Amazon Dash Button, plus the hub/cloud/smartphone plumbing
+of the home-automation scenario in the paper's Figure 1.
+
+Each device is a traffic model: it produces the protocol mix, timing and
+volume a sniffer would capture from the real product (periodic cloud
+keepalives over TCP, BLE advertisements, UDP state broadcasts, ZigBee
+hub-to-subs commands).  Payloads are opaque, as they are to Kalis in
+reality (consumer devices encrypt).
+"""
+
+from repro.devices.commodity import (
+    ArloCamera,
+    AugustSmartLock,
+    CloudService,
+    DashButton,
+    LifxBulb,
+    NestThermostat,
+    Smartphone,
+)
+from repro.devices.hub import SmartLightingHub, ZigbeeLightBulb
+from repro.devices.wsn import TelosbMote, build_wsn
+
+__all__ = [
+    "ArloCamera",
+    "AugustSmartLock",
+    "CloudService",
+    "DashButton",
+    "LifxBulb",
+    "NestThermostat",
+    "Smartphone",
+    "SmartLightingHub",
+    "ZigbeeLightBulb",
+    "TelosbMote",
+    "build_wsn",
+]

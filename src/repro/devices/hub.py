@@ -1,0 +1,174 @@
+"""The smart-lighting system: an Internet-connected hub and ZigBee bulbs.
+
+The hub-to-subs pattern from the paper's Figure 1: a powerful hub device
+talks HTTPS to its cloud on WiFi and coordinates constrained light bulbs
+over a ZigBee-like protocol on IEEE 802.15.4.  A command from the
+smartphone travels phone → cloud → hub → bulb.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.packets.base import Medium, Packet, RawPayload
+from repro.net.packets.ieee802154 import FrameType, Ieee802154Frame
+from repro.net.packets.zigbee import ZigbeeKind, ZigbeePacket
+from repro.proto.iphost import IpHost, LanDirectory
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId, stable_hash
+from repro.util.rng import SeededRng
+
+from repro.devices.commodity import HTTPS_PORT
+
+#: PAN used by the lighting system's private ZigBee network.
+LIGHTING_PAN = 0x55
+
+
+class SmartLightingHub(IpHost):
+    """The lighting hub: WiFi/HTTPS northbound, ZigBee southbound."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        directory: LanDirectory,
+        cloud_ip: str,
+        gateway: NodeId,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(
+            node_id,
+            position,
+            directory,
+            medium=Medium.WIFI,
+            gateway=gateway,
+            extra_mediums=(Medium.IEEE_802_15_4,),
+        )
+        self.cloud_ip = cloud_ip
+        self._rng = rng if rng is not None else SeededRng(0, "device", node_id.value)
+        self._mac_seq = 0
+        self._nwk_seq = 0
+        self.bulbs: List[NodeId] = []
+        self.commands_issued = 0
+        self.status_reports: Dict[NodeId, int] = {}
+
+    def register_bulb(self, bulb_id: NodeId) -> None:
+        self.bulbs.append(bulb_id)
+
+    def start(self) -> None:
+        self.sim.schedule_every(
+            25.0,
+            self._cloud_keepalive,
+            first_delay=self._rng.uniform(1.0, 10.0),
+        )
+
+    def _cloud_keepalive(self) -> None:
+        if self.attached:
+            self.open_tcp(self.cloud_ip, HTTPS_PORT, data_bytes=140)
+
+    # -- ZigBee southbound -----------------------------------------------------
+
+    def _zigbee_frame(self, dst: NodeId, payload: Packet) -> Ieee802154Frame:
+        self._mac_seq += 1
+        return Ieee802154Frame(
+            pan_id=LIGHTING_PAN,
+            seq=self._mac_seq,
+            src=self.node_id,
+            dst=dst,
+            frame_type=FrameType.DATA,
+            payload=payload,
+        )
+
+    def command_bulb(self, bulb_id: NodeId, command_bytes: int = 12) -> None:
+        """Send a lighting command (e.g. "turn on") to one bulb."""
+        if bulb_id not in self.bulbs:
+            raise ValueError(f"unknown bulb {bulb_id}")
+        self.commands_issued += 1
+        self._nwk_seq += 1
+        command = ZigbeePacket(
+            src=self.node_id,
+            dst=bulb_id,
+            seq=self._nwk_seq,
+            radius=1,
+            zigbee_kind=ZigbeeKind.DATA,
+            payload=RawPayload(length=command_bytes),
+        )
+        self.send(Medium.IEEE_802_15_4, self._zigbee_frame(bulb_id, command))
+
+    def command_all(self) -> None:
+        for bulb_id in self.bulbs:
+            self.command_bulb(bulb_id)
+
+    # -- reception ---------------------------------------------------------------
+
+    def on_receive(self, packet, medium, rssi, timestamp) -> None:
+        if medium is Medium.IEEE_802_15_4:
+            mac = packet if isinstance(packet, Ieee802154Frame) else None
+            if mac is None or mac.pan_id != LIGHTING_PAN:
+                return
+            inner = mac.payload
+            if isinstance(inner, ZigbeePacket) and inner.dst == self.node_id:
+                count = self.status_reports.get(inner.src, 0)
+                self.status_reports[inner.src] = count + 1
+            return
+        super().on_receive(packet, medium, rssi, timestamp)
+
+
+class ZigbeeLightBulb(SimNode):
+    """A constrained ZigBee bulb: executes commands, reports status."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        hub_id: NodeId,
+        status_interval: float = 30.0,
+    ) -> None:
+        super().__init__(node_id, position, mediums=(Medium.IEEE_802_15_4,))
+        self.hub_id = hub_id
+        self.status_interval = status_interval
+        self._mac_seq = 0
+        self._nwk_seq = 0
+        self.is_on = False
+        self.commands_received = 0
+
+    def start(self) -> None:
+        jitter = (stable_hash(self.node_id) % 10) / 10.0
+        self.sim.schedule_every(
+            self.status_interval,
+            self.report_status,
+            first_delay=self.status_interval * (0.2 + 0.07 * jitter),
+        )
+
+    def _frame(self, payload: Packet) -> Ieee802154Frame:
+        self._mac_seq += 1
+        return Ieee802154Frame(
+            pan_id=LIGHTING_PAN,
+            seq=self._mac_seq,
+            src=self.node_id,
+            dst=self.hub_id,
+            payload=payload,
+        )
+
+    def report_status(self) -> None:
+        if not self.attached:
+            return
+        self._nwk_seq += 1
+        status = ZigbeePacket(
+            src=self.node_id,
+            dst=self.hub_id,
+            seq=self._nwk_seq,
+            radius=1,
+            zigbee_kind=ZigbeeKind.DATA,
+            payload=RawPayload(length=18),
+        )
+        self.send(Medium.IEEE_802_15_4, self._frame(status))
+
+    def on_receive(self, packet, medium, rssi, timestamp) -> None:
+        mac = packet if isinstance(packet, Ieee802154Frame) else None
+        if mac is None or mac.pan_id != LIGHTING_PAN:
+            return
+        inner = mac.payload
+        if isinstance(inner, ZigbeePacket) and inner.dst == self.node_id:
+            self.commands_received += 1
+            self.is_on = not self.is_on

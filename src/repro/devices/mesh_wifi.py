@@ -1,0 +1,64 @@
+"""An 802.11s mesh extender.
+
+Home WLANs with range extenders relay frames at the MAC layer using
+four-address (mesh) frames.  :class:`MeshRelayStation` models the
+extender's observable behaviour: periodic mesh-addressed relays of the
+traffic crossing it.  Its presence is what makes a WLAN *multi-hop* to
+the Topology Discovery module — and therefore what makes a Smurf attack
+physically possible in the breadth experiment's smurf scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.packets.base import Medium, RawPayload
+from repro.net.packets.wifi import WifiFrame
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+class MeshRelayStation(SimNode):
+    """A WiFi mesh extender relaying between two stations.
+
+    :param relay_for: (upstream, downstream) pair whose traffic this
+        extender relays; relayed frames carry four-address headers.
+    :param relay_interval: seconds between observable relay events.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        relay_for: Tuple[NodeId, NodeId],
+        relay_interval: float = 4.0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(node_id, position, mediums=(Medium.WIFI,))
+        self.relay_for = relay_for
+        self.relay_interval = relay_interval
+        self._rng = rng if rng is not None else SeededRng(0, "mesh", node_id.value)
+        self.relays_sent = 0
+
+    def start(self) -> None:
+        self.sim.schedule_every(
+            self.relay_interval,
+            self.relay_tick,
+            first_delay=self._rng.uniform(0.3, self.relay_interval),
+        )
+
+    def relay_tick(self) -> None:
+        """Emit one mesh-relayed frame (upstream -> downstream)."""
+        if not self.attached:
+            return
+        upstream, downstream = self.relay_for
+        self.relays_sent += 1
+        frame = WifiFrame(
+            src=self.node_id,           # per-hop transmitter: the extender
+            dst=downstream,             # per-hop receiver
+            mesh_src=upstream,          # end-to-end mesh source
+            mesh_dst=downstream,        # end-to-end mesh destination
+            payload=RawPayload(length=64),
+        )
+        self.send(Medium.WIFI, frame)

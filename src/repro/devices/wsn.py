@@ -1,0 +1,70 @@
+"""The TelosB wireless sensor network.
+
+The paper's WSN: TelosB motes running a TinyOS application that sends a
+data message every 3 seconds to a base station over the Collection Tree
+Protocol.  :class:`TelosbMote` is a CTP node with the paper's timing;
+:func:`build_wsn` assembles the whole network from a placement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.proto.ctp import CtpNode
+from repro.util.ids import NodeId, make_node_id
+
+#: The paper's application reporting period.
+DATA_INTERVAL_S = 3.0
+
+
+class TelosbMote(CtpNode):
+    """A TelosB mote running the paper's TinyOS collection application."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        is_root: bool = False,
+        data_interval: Optional[float] = DATA_INTERVAL_S,
+    ) -> None:
+        super().__init__(
+            node_id,
+            position,
+            is_root=is_root,
+            data_interval=None if is_root else data_interval,
+            beacon_interval=5.0,
+        )
+
+
+def build_wsn(
+    sim,
+    positions: List[Tuple[float, float]],
+    base_station_index: int = 0,
+    id_prefix: str = "mote",
+) -> Tuple[TelosbMote, List[TelosbMote]]:
+    """Create and register a WSN from a list of positions.
+
+    Returns ``(base_station, motes)`` where ``motes`` excludes the base
+    station.  The paper's network has 6 TelosB nodes; any size works.
+    """
+    if not positions:
+        raise ValueError("positions must be non-empty")
+    if not 0 <= base_station_index < len(positions):
+        raise ValueError(
+            f"base_station_index {base_station_index} out of range "
+            f"for {len(positions)} positions"
+        )
+    base_station: Optional[TelosbMote] = None
+    motes: List[TelosbMote] = []
+    for index, position in enumerate(positions):
+        is_root = index == base_station_index
+        identifier = (
+            NodeId(f"{id_prefix}-base") if is_root else make_node_id(id_prefix, index)
+        )
+        mote = TelosbMote(identifier, position, is_root=is_root)
+        sim.add_node(mote)
+        if is_root:
+            base_station = mote
+        else:
+            motes.append(mote)
+    return base_station, motes

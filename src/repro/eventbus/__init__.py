@@ -1,0 +1,11 @@
+"""Synchronous publish-subscribe event bus.
+
+Kalis is event-driven: the Communication System publishes packet-capture
+events, the Data Store republishes them to modules, sensing modules
+publish knowledge changes, and detection modules publish alerts.  The
+same bus type backs all of these flows.
+"""
+
+from repro.eventbus.bus import Event, EventBus, Subscription
+
+__all__ = ["Event", "EventBus", "Subscription"]

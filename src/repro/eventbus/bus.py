@@ -1,0 +1,158 @@
+"""A minimal, deterministic, synchronous pub-sub bus.
+
+The original Kalis implementation is event-driven across threads; for a
+deterministic reproduction we dispatch synchronously, in subscription
+order, on the publisher's call stack.  This preserves the architecture
+(components communicate only through events) while keeping every run
+reproducible.
+
+Topics are plain strings.  A subscription may target an exact topic or a
+topic prefix (``"packet."`` matches ``"packet.wifi"``), mirroring how
+Kalis modules subscribe to families of knowgget keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+Handler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event published on a bus: a topic plus an arbitrary payload."""
+
+    topic: str
+    payload: Any = None
+
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; use to unsubscribe."""
+
+    topic: str
+    prefix: bool
+    handler: Handler
+    active: bool = True
+
+
+@dataclass
+class _BusStats:
+    published: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    per_topic: Dict[str, int] = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous pub-sub with exact-topic and prefix subscriptions."""
+
+    def __init__(self) -> None:
+        self._exact: Dict[str, List[Subscription]] = {}
+        self._prefix: List[Subscription] = []
+        self._stats = _BusStats()
+        self._dispatching = 0
+        self._pending_unsubscribes: List[Subscription] = []
+
+    # -- subscription --------------------------------------------------------
+
+    def subscribe(self, topic: str, handler: Handler) -> Subscription:
+        """Subscribe ``handler`` to events whose topic equals ``topic``."""
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        subscription = Subscription(topic=topic, prefix=False, handler=handler)
+        self._exact.setdefault(topic, []).append(subscription)
+        return subscription
+
+    def subscribe_prefix(self, prefix: str, handler: Handler) -> Subscription:
+        """Subscribe ``handler`` to all topics starting with ``prefix``."""
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        subscription = Subscription(topic=prefix, prefix=True, handler=handler)
+        self._prefix.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Deactivate a subscription.
+
+        Safe to call from inside a handler: the removal is deferred until
+        the current dispatch completes, but the subscription stops
+        receiving events immediately.
+        """
+        subscription.active = False
+        if self._dispatching:
+            self._pending_unsubscribes.append(subscription)
+        else:
+            self._remove(subscription)
+
+    def _remove(self, subscription: Subscription) -> None:
+        if subscription.prefix:
+            if subscription in self._prefix:
+                self._prefix.remove(subscription)
+        else:
+            bucket = self._exact.get(subscription.topic)
+            if bucket and subscription in bucket:
+                bucket.remove(subscription)
+                if not bucket:
+                    del self._exact[subscription.topic]
+
+    # -- publication ---------------------------------------------------------
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Publish an event; returns the number of handlers invoked."""
+        event = Event(topic=topic, payload=payload)
+        self._stats.published += 1
+        self._stats.per_topic[topic] = self._stats.per_topic.get(topic, 0) + 1
+
+        targets: List[Subscription] = []
+        targets.extend(self._exact.get(topic, ()))
+        targets.extend(s for s in self._prefix if topic.startswith(s.topic))
+
+        if not targets:
+            self._stats.dropped += 1
+            return 0
+
+        self._dispatching += 1
+        delivered = 0
+        try:
+            # Iterate over a snapshot so handlers may subscribe/unsubscribe.
+            for subscription in list(targets):
+                if subscription.active:
+                    subscription.handler(event)
+                    delivered += 1
+        finally:
+            self._dispatching -= 1
+            if not self._dispatching and self._pending_unsubscribes:
+                for stale in self._pending_unsubscribes:
+                    self._remove(stale)
+                self._pending_unsubscribes.clear()
+        self._stats.delivered += delivered
+        return delivered
+
+    # -- introspection -------------------------------------------------------
+
+    def subscriber_count(self, topic: Optional[str] = None) -> int:
+        """Number of active subscriptions, optionally for one exact topic."""
+        if topic is not None:
+            exact = sum(1 for s in self._exact.get(topic, ()) if s.active)
+            prefixed = sum(
+                1 for s in self._prefix if s.active and topic.startswith(s.topic)
+            )
+            return exact + prefixed
+        exact_total = sum(
+            1 for bucket in self._exact.values() for s in bucket if s.active
+        )
+        return exact_total + sum(1 for s in self._prefix if s.active)
+
+    @property
+    def published_count(self) -> int:
+        return self._stats.published
+
+    @property
+    def delivered_count(self) -> int:
+        return self._stats.delivered
+
+    def topic_counts(self) -> Dict[str, int]:
+        """Copy of per-topic publish counters (for diagnostics and tests)."""
+        return dict(self._stats.per_topic)

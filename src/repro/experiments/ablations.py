@@ -1,0 +1,142 @@
+"""E9/E10 — ablations of the design choices DESIGN.md calls out.
+
+Not paper experiments, but direct probes of the paper's two central
+claims about mechanism:
+
+- **E9 — module-library scaling**: activating all detection techniques
+  "leads to inaccuracy and wasted resources" (§III).  We replay the
+  same trace while growing the registered detection-module library and
+  compare CPU/RAM for knowledge-driven activation vs. everything-on.
+  Knowledge-driven cost should stay nearly flat (dormant modules cost
+  nothing per packet) while the traditional cost grows linearly.
+- **E10 — data-store window sizing**: the Data Store keeps "a sliding
+  window of configurable size" (§IV-B2).  We sweep the detector's rate
+  window: too short and flood bursts straddle window edges (missed
+  detections); longer windows buy detection at the price of state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.config import KalisConfig, ModuleSpec
+from repro.core.kalis import DEFAULT_DETECTION_MODULES, DEFAULT_SENSING_MODULES
+from repro.experiments import icmp_flood_scenario
+from repro.experiments.common import run_kalis_on_trace, run_traditional_on_trace
+
+
+@dataclass
+class ModuleScalingPoint:
+    library_size: int
+    kalis_cpu: float
+    traditional_cpu: float
+    kalis_ram_kb: float
+    traditional_ram_kb: float
+    kalis_active: int
+    traditional_active: int
+
+
+def module_scaling(
+    seed: int = 31, symptom_instances: int = 8
+) -> List[ModuleScalingPoint]:
+    """E9: cost vs. registered detection-module count, same trace."""
+    built = icmp_flood_scenario.build(seed=seed, symptom_instances=symptom_instances)
+    # Grow the library; IcmpFloodModule stays in so detection holds.
+    ordered = ["IcmpFloodModule"] + [
+        name for name in DEFAULT_DETECTION_MODULES if name != "IcmpFloodModule"
+    ]
+    points: List[ModuleScalingPoint] = []
+    for size in range(2, len(ordered) + 1, 2):
+        library = list(DEFAULT_SENSING_MODULES) + ordered[:size]
+        kalis_run, kalis = run_kalis_on_trace(
+            built.trace, built.instances, module_names=library
+        )
+        trad_run, trad = run_traditional_on_trace(
+            built.trace, built.instances, module_names=library
+        )
+        points.append(
+            ModuleScalingPoint(
+                library_size=size,
+                kalis_cpu=kalis_run.resources.cpu_percent,
+                traditional_cpu=trad_run.resources.cpu_percent,
+                kalis_ram_kb=kalis_run.resources.ram_kb,
+                traditional_ram_kb=trad_run.resources.ram_kb,
+                kalis_active=len(kalis.manager.active_modules()),
+                traditional_active=len(trad.manager.active_modules()),
+            )
+        )
+    return points
+
+
+def render_module_scaling(points: List[ModuleScalingPoint]) -> str:
+    """Render the E9 sweep as an aligned text table."""
+    lines = [
+        f"{'library':>8} {'K active':>9} {'T active':>9} "
+        f"{'K CPU%':>8} {'T CPU%':>8} {'K RAM kB':>10} {'T RAM kB':>10}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.library_size:>8} {p.kalis_active:>9} {p.traditional_active:>9} "
+            f"{p.kalis_cpu:>8.3f} {p.traditional_cpu:>8.3f} "
+            f"{p.kalis_ram_kb:>10,.0f} {p.traditional_ram_kb:>10,.0f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class WindowPoint:
+    window_s: float
+    detection_rate: float
+    accuracy: float
+    ram_kb: float
+
+
+def window_sweep(
+    seed: int = 37,
+    symptom_instances: int = 30,
+    windows: Tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0),
+) -> List[WindowPoint]:
+    """E10: ICMP-flood detection window vs. detection rate and RAM.
+
+    Uses a slow-drip flood (4 replies/second) so the window genuinely
+    matters: with the default threshold of 15 replies, a window shorter
+    than ~4 s can never accumulate enough evidence.
+    """
+    built = icmp_flood_scenario.build(
+        seed=seed,
+        symptom_instances=symptom_instances,
+        burst_size=4,
+        burst_interval=1.0,
+    )
+    points: List[WindowPoint] = []
+    for window in windows:
+        config = KalisConfig(
+            modules=[
+                ModuleSpec(
+                    name="IcmpFloodModule",
+                    params={"window": window, "cooldown": max(window, 4.0)},
+                )
+            ]
+        )
+        kalis_run, _ = run_kalis_on_trace(built.trace, built.instances, config=config)
+        points.append(
+            WindowPoint(
+                window_s=window,
+                detection_rate=kalis_run.score.detection_rate,
+                accuracy=kalis_run.score.classification_accuracy,
+                ram_kb=kalis_run.resources.ram_kb,
+            )
+        )
+    return points
+
+
+def render_window_sweep(points: List[WindowPoint]) -> str:
+    """Render the E10 sweep as an aligned text table."""
+    lines = [f"{'window s':>9} {'DR':>6} {'acc':>6} {'RAM kB':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.window_s:>9.1f} {p.detection_rate * 100:>5.0f}% "
+            f"{p.accuracy * 100:>5.0f}% {p.ram_kb:>10,.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""E3 — Table II: average effectiveness and performance (§VI-B3).
+
+"We summarize the experimental results in Table II for effectiveness
+and performance metrics" — detection rate, classification accuracy,
+CPU usage and RAM usage for the traditional IDS, Snort and Kalis,
+averaged "across both experimental scenarios in Section VI-B" (the
+ICMP-flood scenario E1 and the replication scenario E2).
+
+Expected shape (paper values in parentheses):
+
+- detection rate: Kalis ≈ Snort-on-its-scenarios ≫ traditional (91% /
+  89% / 48%) — the traditional IDS misses replication attacks whenever
+  its randomly-fixed module is wrong for the current mobility phase;
+- accuracy: Kalis 100%, others ~75% — only Kalis disambiguates the
+  flood/smurf pair and always runs the right replication technique;
+- CPU: Kalis < traditional ≪ Snort (0.19% / 0.22% / 6.3%);
+- RAM: Kalis < traditional ≪ Snort (13.9 MB / 23.9 MB / 102 MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments import icmp_flood_scenario, replication_scenario
+from repro.experiments.common import ScenarioResult
+
+#: Paper's Table II, for side-by-side printing.
+PAPER_TABLE2 = {
+    "traditional": {"detection_rate": 0.48, "accuracy": 0.75, "cpu": 0.22, "ram_kb": 23961.06},
+    "snort": {"detection_rate": 0.89, "accuracy": 0.76, "cpu": 6.3, "ram_kb": 101978.24},
+    "kalis": {"detection_rate": 0.91, "accuracy": 1.00, "cpu": 0.19, "ram_kb": 13978.62},
+}
+
+ENGINE_ORDER = ("traditional", "snort", "kalis")
+
+
+@dataclass
+class Table2Row:
+    engine: str
+    detection_rate: float
+    accuracy: float
+    cpu_percent: float
+    ram_kb: float
+
+
+@dataclass
+class Table2:
+    rows: Dict[str, Table2Row]
+    scenarios: List[ScenarioResult]
+
+    def render(self, include_paper: bool = True) -> str:
+        header = f"{'':>16}" + "".join(f"{name:>14}" for name in ENGINE_ORDER)
+        lines = [header]
+
+        def row(label: str, fetch, fmt: str) -> str:
+            return f"{label:>16}" + "".join(
+                fmt.format(fetch(self.rows[name])) for name in ENGINE_ORDER
+            )
+
+        lines.append(row("Detection Rate", lambda r: r.detection_rate * 100, "{:>13.0f}%"))
+        lines.append(row("Accuracy", lambda r: r.accuracy * 100, "{:>13.0f}%"))
+        lines.append(row("CPU usage", lambda r: r.cpu_percent, "{:>13.2f}%"))
+        lines.append(row("RAM usage (kb)", lambda r: r.ram_kb, "{:>14,.0f}"))
+        if include_paper:
+            lines.append("")
+            lines.append("paper (Table II):")
+            lines.append(
+                f"{'Detection Rate':>16}"
+                + "".join(
+                    f"{PAPER_TABLE2[name]['detection_rate'] * 100:>13.0f}%"
+                    for name in ENGINE_ORDER
+                )
+            )
+            lines.append(
+                f"{'Accuracy':>16}"
+                + "".join(
+                    f"{PAPER_TABLE2[name]['accuracy'] * 100:>13.0f}%"
+                    for name in ENGINE_ORDER
+                )
+            )
+            lines.append(
+                f"{'CPU usage':>16}"
+                + "".join(
+                    f"{PAPER_TABLE2[name]['cpu']:>13.2f}%" for name in ENGINE_ORDER
+                )
+            )
+            lines.append(
+                f"{'RAM usage (kb)':>16}"
+                + "".join(
+                    f"{PAPER_TABLE2[name]['ram_kb']:>14,.0f}" for name in ENGINE_ORDER
+                )
+            )
+        return "\n".join(lines)
+
+
+def run(seed: int = 7, replication_runs: int = 10) -> Table2:
+    """Run E1 + E2 and average into the Table II rows.
+
+    For Snort, scenario E2 contributes nothing it can see (ZigBee), so
+    — as the paper notes — its figures come from the scenarios it can
+    monitor; its detection rate still pays for the instances it is
+    structurally blind to when averaged across both scenarios?  No: the
+    paper reports Snort at 89%, i.e. averaged over the scenarios where
+    it operates.  We follow the paper and average Snort over E1 only,
+    while its resource costs are measured on all traffic offered.
+    """
+    e1 = icmp_flood_scenario.run(seed=seed)
+    e2 = replication_scenario.run(seed=seed + 1, runs=replication_runs)
+
+    rows: Dict[str, Table2Row] = {}
+    for engine in ENGINE_ORDER:
+        scores = []
+        cpu = []
+        ram = []
+        for scenario in (e1, e2):
+            if engine not in scenario.runs:
+                continue
+            run_result = scenario.runs[engine]
+            if engine == "snort" and scenario is e2:
+                # Snort cannot monitor ZigBee: count only its resource
+                # presence; detection scored on the scenarios it sees.
+                cpu.append(run_result.resources.cpu_percent)
+                ram.append(run_result.resources.ram_kb)
+                continue
+            scores.append(run_result.score)
+            cpu.append(run_result.resources.cpu_percent)
+            ram.append(run_result.resources.ram_kb)
+        merged = scores[0]
+        for extra_score in scores[1:]:
+            merged = merged.merged_with(extra_score)
+        rows[engine] = Table2Row(
+            engine=engine,
+            detection_rate=merged.detection_rate,
+            accuracy=merged.classification_accuracy,
+            cpu_percent=sum(cpu) / len(cpu),
+            ram_kb=max(ram),
+        )
+    return Table2(rows=rows, scenarios=[e1, e2])

@@ -1,0 +1,15 @@
+"""Smart-firewall deployment of Kalis (§V, "Smart Firewall Deployment").
+
+The paper ships a Kalis build for OpenWRT smart routers, "to leverage
+its knowledge-based approach as smart firewall for filtering suspicious
+incoming traffic from untrusted Internet sources to IoT devices in the
+local network."  Here the same idea runs on the simulated
+:class:`~repro.proto.iphost.IpRouter`: the router hosts a Kalis node,
+and a :class:`~repro.firewall.policy.FirewallPolicy` built from Kalis'
+alerts and knowledge decides which inbound WAN packets to admit.
+"""
+
+from repro.firewall.policy import FirewallDecision, FirewallPolicy
+from repro.firewall.router import SmartFirewallRouter
+
+__all__ = ["FirewallDecision", "FirewallPolicy", "SmartFirewallRouter"]

@@ -1,0 +1,129 @@
+"""The knowledge-driven firewall policy.
+
+Three layers of defence for inbound WAN→LAN traffic, each fed by a
+different part of Kalis:
+
+1. **alert blocklist** — source addresses implicated by detection
+   modules are blocked outright (subscribed from the alert bus);
+2. **rate clamps** — per-source inbound SYN and ICMP budgets over a
+   sliding window (the knowledge-driven insight: IoT devices behind the
+   router receive commands via their clouds, so unsolicited inbound
+   bursts are never legitimate);
+3. **unsolicited-inbound tracking** — inbound flows to LAN devices that
+   never initiated outbound contact with that source are flagged and,
+   past a budget, dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.alerts import ALERT_TOPIC, Alert
+from repro.core.modules.common import SlidingWindowCounter
+from repro.eventbus.bus import EventBus
+from repro.net.packets.icmp import IcmpMessage
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.tcp import TcpSegment
+
+
+class FirewallDecision(enum.Enum):
+    """Outcome for one inbound packet."""
+
+    ADMIT = "admit"
+    BLOCKLISTED = "blocklisted"
+    RATE_LIMITED = "rate_limited"
+    UNSOLICITED = "unsolicited"
+
+
+class FirewallPolicy:
+    """Stateful admission policy for inbound traffic.
+
+    :param syn_budget / icmp_budget: inbound packets per source allowed
+        inside ``window`` seconds.
+    :param unsolicited_budget: unsolicited inbound packets tolerated per
+        (source, device) pair before dropping.
+    """
+
+    def __init__(
+        self,
+        window: float = 10.0,
+        syn_budget: int = 10,
+        icmp_budget: int = 10,
+        unsolicited_budget: int = 20,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self.window = window
+        self.syn_budget = syn_budget
+        self.icmp_budget = icmp_budget
+        self.unsolicited_budget = unsolicited_budget
+        self.blocklist: Set[str] = set()
+        self._syns = SlidingWindowCounter(window)
+        self._icmp = SlidingWindowCounter(window)
+        self._unsolicited = SlidingWindowCounter(window * 6)
+        self._outbound_contacts: Set[Tuple[str, str]] = set()
+        self.decisions: Dict[FirewallDecision, int] = {d: 0 for d in FirewallDecision}
+        if bus is not None:
+            bus.subscribe(ALERT_TOPIC, self._on_alert)
+
+    # -- knowledge intake ------------------------------------------------------
+
+    def _on_alert(self, event) -> None:
+        alert = event.payload
+        if isinstance(alert, Alert):
+            implicated = alert.details.get("victim_ip")
+            # The flood's forged sources are not actionable, but the
+            # modules include observed attacker addresses when known.
+            for key in ("attacker_ip", "source_ip"):
+                address = alert.details.get(key)
+                if isinstance(address, str):
+                    self.blocklist.add(address)
+            del implicated  # documented no-op: victims are never blocked
+
+    def block(self, address: str) -> None:
+        """Administratively blocklist a WAN address."""
+        self.blocklist.add(address)
+
+    def note_outbound(self, lan_ip: str, wan_ip: str) -> None:
+        """Record that a LAN device initiated contact with a WAN host."""
+        self._outbound_contacts.add((lan_ip, wan_ip))
+
+    # -- admission --------------------------------------------------------------
+
+    def evaluate(self, packet: IpPacket, now: float) -> FirewallDecision:
+        """Decide one inbound WAN->LAN packet."""
+        decision = self._evaluate(packet, now)
+        self.decisions[decision] += 1
+        return decision
+
+    def _evaluate(self, packet: IpPacket, now: float) -> FirewallDecision:
+        source = packet.src_ip
+        if source in self.blocklist:
+            return FirewallDecision.BLOCKLISTED
+        transport = packet.payload
+        if isinstance(transport, TcpSegment) and transport.is_syn:
+            self._syns.record(now, source)
+            if self._syns.count(source) > self.syn_budget:
+                return FirewallDecision.RATE_LIMITED
+        if isinstance(transport, IcmpMessage):
+            self._icmp.record(now, source)
+            if self._icmp.count(source) > self.icmp_budget:
+                return FirewallDecision.RATE_LIMITED
+        if (packet.dst_ip, source) not in self._outbound_contacts:
+            self._unsolicited.record(now, (source, packet.dst_ip))
+            if self._unsolicited.count((source, packet.dst_ip)) > self.unsolicited_budget:
+                return FirewallDecision.UNSOLICITED
+        return FirewallDecision.ADMIT
+
+    # -- reporting ----------------------------------------------------------------
+
+    def blocked_count(self) -> int:
+        return sum(
+            count
+            for decision, count in self.decisions.items()
+            if decision is not FirewallDecision.ADMIT
+        )
+
+    def summary(self) -> str:
+        parts = [f"{decision.value}={count}" for decision, count in self.decisions.items()]
+        return "firewall: " + ", ".join(parts)

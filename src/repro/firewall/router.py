@@ -1,0 +1,64 @@
+"""The smart router hosting Kalis as a firewall."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.kalis import KalisNode
+from repro.firewall.policy import FirewallDecision, FirewallPolicy
+from repro.net.packets.base import Medium
+from repro.net.packets.ip import IpPacket
+from repro.proto.iphost import IpRouter, LanDirectory
+from repro.util.ids import NodeId
+
+
+class SmartFirewallRouter(IpRouter):
+    """An :class:`~repro.proto.iphost.IpRouter` running Kalis-as-firewall.
+
+    The router hosts a :class:`~repro.core.kalis.KalisNode` (the
+    OpenWRT/JamVM deployment of §V); its firewall policy subscribes to
+    Kalis' alert bus, and every forwarded packet is also fed to Kalis as
+    a capture-equivalent observation (the router sees its own traffic
+    without needing a separate sniffer).
+
+    :param kalis: the hosted IDS; a default instance is created if
+        omitted.
+    :param policy: admission policy; a default is built against the
+        hosted Kalis node's bus.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        lan_directory: LanDirectory,
+        wan_directory: LanDirectory,
+        kalis: Optional[KalisNode] = None,
+        policy: Optional[FirewallPolicy] = None,
+    ) -> None:
+        super().__init__(node_id, position, lan_directory, wan_directory)
+        self.kalis = (
+            kalis
+            if kalis is not None
+            else KalisNode(node_id.with_suffix("ids"), mediums=(Medium.WIFI, Medium.WIRED))
+        )
+        self.policy = (
+            policy if policy is not None else FirewallPolicy(bus=self.kalis.bus)
+        )
+        self.admitted = 0
+        self.denied = 0
+
+    def admit_inbound(self, ip_packet: IpPacket) -> bool:
+        decision = self.policy.evaluate(ip_packet, now=self.sim.clock.now)
+        if decision is FirewallDecision.ADMIT:
+            self.admitted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def forward_ip(self, ip_packet, medium, timestamp) -> None:
+        if medium is not self.wan_medium:
+            # Outbound LAN->WAN: remember who initiated the contact so
+            # the return path counts as solicited.
+            self.policy.note_outbound(ip_packet.src_ip, ip_packet.dst_ip)
+        super().forward_ip(ip_packet, medium, timestamp)

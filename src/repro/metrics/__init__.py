@@ -1,0 +1,27 @@
+"""Evaluation metrics.
+
+The paper compares systems on five metrics (§VI-B): detection rate,
+classification accuracy, countermeasure effectiveness, CPU usage and
+RAM usage.  :mod:`~repro.metrics.detection` implements the first three
+by scoring alert streams against ground-truth symptom instances;
+:mod:`~repro.metrics.resources` implements the resource proxies that
+replace the paper's on-device measurements (see DESIGN.md,
+"Substitutions").
+"""
+
+from repro.metrics.detection import (
+    DetectionScore,
+    attack_family,
+    score_alerts,
+    score_countermeasure,
+)
+from repro.metrics.resources import ResourceReport, resource_report
+
+__all__ = [
+    "DetectionScore",
+    "attack_family",
+    "score_alerts",
+    "score_countermeasure",
+    "ResourceReport",
+    "resource_report",
+]

@@ -1,0 +1,184 @@
+"""Detection-quality metrics.
+
+Definitions follow §VI-B of the paper:
+
+- **Detection Rate** — "number of adverse events detected out of all
+  the adverse events in the test scenario".  An adverse event is one
+  ground-truth :class:`~repro.attacks.base.SymptomInstance`; it counts
+  as detected when any alert of the same *symptom family* fires inside
+  the instance's window (padded by ``detection_slack``, since rate
+  detectors necessarily alert after a threshold accumulates).
+- **Classification Accuracy** — "number of correctly classified
+  attacks out of all the detected attacks".  Among alerts that matched
+  some instance, the fraction whose attack label equals the ground
+  truth exactly.  An IDS that cannot tell an ICMP Flood from a Smurf
+  detects the event but misclassifies it — precisely what this metric
+  punishes.
+- **Countermeasure effectiveness** — "how positive a response action
+  based on the detections is for the overall network": revocations of
+  true attackers score +1, revocations of innocent nodes score -1
+  (catastrophically so when the innocent node is the victim itself),
+  normalised to [0, 1].
+
+Symptom families group attacks whose symptoms are observably identical
+to a passive sniffer; an alert from the right family is a *detection*,
+but only the exact label is a correct *classification*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Sequence, Set, Tuple
+
+from repro.attacks.base import SymptomInstance
+from repro.core.alerts import Alert
+from repro.util.ids import NodeId
+
+#: Attacks whose symptoms are indistinguishable without extra knowledge.
+SYMPTOM_FAMILIES: Dict[str, str] = {
+    "icmp_flood": "icmp-reply-burst",
+    "smurf": "icmp-reply-burst",
+    "syn_flood": "syn-burst",
+    "selective_forwarding": "relay-misbehaviour",
+    "blackhole": "relay-misbehaviour",
+    "wormhole": "relay-misbehaviour",
+    "replication": "identity-abuse",
+    "spoofing": "identity-abuse",
+    "sybil": "identity-abuse",
+    "sinkhole": "routing-abuse",
+    "hello_flood": "routing-abuse",
+    "data_alteration": "tampering",
+    "jamming": "channel-denial",
+}
+
+
+def attack_family(attack: str) -> str:
+    """The symptom family an attack belongs to (itself if unlisted)."""
+    return SYMPTOM_FAMILIES.get(attack, attack)
+
+
+@dataclass
+class DetectionScore:
+    """Scorecard for one IDS over one scenario."""
+
+    total_instances: int = 0
+    detected_instances: int = 0
+    matched_alerts: int = 0
+    correct_alerts: int = 0
+    false_positive_alerts: int = 0
+    per_attack_detected: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def detection_rate(self) -> float:
+        if self.total_instances == 0:
+            return 0.0
+        return self.detected_instances / self.total_instances
+
+    @property
+    def classification_accuracy(self) -> float:
+        if self.matched_alerts == 0:
+            return 0.0
+        return self.correct_alerts / self.matched_alerts
+
+    def merged_with(self, other: "DetectionScore") -> "DetectionScore":
+        merged = DetectionScore(
+            total_instances=self.total_instances + other.total_instances,
+            detected_instances=self.detected_instances + other.detected_instances,
+            matched_alerts=self.matched_alerts + other.matched_alerts,
+            correct_alerts=self.correct_alerts + other.correct_alerts,
+            false_positive_alerts=(
+                self.false_positive_alerts + other.false_positive_alerts
+            ),
+        )
+        for source in (self.per_attack_detected, other.per_attack_detected):
+            for attack, (detected, total) in source.items():
+                current = merged.per_attack_detected.get(attack, (0, 0))
+                merged.per_attack_detected[attack] = (
+                    current[0] + detected,
+                    current[1] + total,
+                )
+        return merged
+
+    def summary(self) -> str:
+        return (
+            f"detection rate {self.detection_rate:.0%} "
+            f"({self.detected_instances}/{self.total_instances}), "
+            f"accuracy {self.classification_accuracy:.0%} "
+            f"({self.correct_alerts}/{self.matched_alerts} alerts), "
+            f"{self.false_positive_alerts} false positives"
+        )
+
+
+def score_alerts(
+    alerts: Sequence[Alert],
+    instances: Sequence[SymptomInstance],
+    detection_slack: float = 20.0,
+) -> DetectionScore:
+    """Score an alert stream against ground-truth symptom instances.
+
+    :param detection_slack: seconds after an instance's end during which
+        an alert still counts for it (rate/watchdog detectors alert once
+        thresholds accumulate, necessarily after the symptom began).
+    """
+    score = DetectionScore(total_instances=len(instances))
+
+    # Which instances does each alert plausibly cover?
+    matched_instances: Set[int] = set()
+    for alert in alerts:
+        alert_family = attack_family(alert.attack)
+        alert_matched = False
+        alert_correct = False
+        for index, instance in enumerate(instances):
+            if attack_family(instance.attack) != alert_family:
+                continue
+            window_start = instance.start - 1.0
+            window_end = instance.end + detection_slack
+            if not window_start <= alert.timestamp <= window_end:
+                continue
+            alert_matched = True
+            matched_instances.add(index)
+            if alert.attack == instance.attack:
+                alert_correct = True
+        if alert_matched:
+            score.matched_alerts += 1
+            if alert_correct:
+                score.correct_alerts += 1
+        else:
+            score.false_positive_alerts += 1
+
+    score.detected_instances = len(matched_instances)
+    for index, instance in enumerate(instances):
+        detected, total = score.per_attack_detected.get(instance.attack, (0, 0))
+        score.per_attack_detected[instance.attack] = (
+            detected + (1 if index in matched_instances else 0),
+            total + 1,
+        )
+    return score
+
+
+def score_countermeasure(
+    revoked: Iterable[NodeId],
+    attackers: Iterable[NodeId],
+    victims: Iterable[NodeId] = (),
+    victim_penalty: float = 2.0,
+) -> float:
+    """Countermeasure effectiveness in [0, 1].
+
+    +1 per true attacker revoked; -1 per innocent bystander revoked;
+    -``victim_penalty`` when the revoked node is the attack's *victim*
+    (revoking the victim "disconnect[s] the entire network", §VI-B1).
+    Normalised by the number of attackers; clamped to [0, 1].
+    """
+    attacker_set = set(attackers)
+    victim_set = set(victims)
+    if not attacker_set:
+        return 1.0 if not list(revoked) else 0.0
+    points = 0.0
+    for node in revoked:
+        if node in attacker_set:
+            points += 1.0
+        elif node in victim_set:
+            points -= victim_penalty
+        else:
+            points -= 1.0
+    return max(0.0, min(1.0, points / len(attacker_set)))

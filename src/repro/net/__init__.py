@@ -1,0 +1,5 @@
+"""Network substrate: addressing and multi-protocol packet models."""
+
+from repro.net.addressing import BROADCAST, ip_for_node, mac_for_node, node_for_ip
+
+__all__ = ["BROADCAST", "ip_for_node", "mac_for_node", "node_for_ip"]

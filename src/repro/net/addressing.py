@@ -1,0 +1,54 @@
+"""Addressing conventions.
+
+Each simulated node has a single :class:`~repro.util.ids.NodeId`.  Link
+layer addresses (IEEE 802.15.4 short addresses, WiFi MACs, Bluetooth
+addresses) and IP addresses are derived deterministically from the node
+id, so that examples and tests can translate between the views a sniffer
+sees (addresses) and the entity the simulator knows (the node).
+
+A spoofing attacker simply places a *different* node's id in a source
+field — exactly as a real attacker forges a source address — so nothing
+in the IDS may assume source fields are authentic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.util.ids import NodeId
+
+#: Link-layer broadcast destination.
+BROADCAST = NodeId("broadcast")
+
+_IP_PREFIX = "10.23."
+
+
+def mac_for_node(node: NodeId) -> str:
+    """Derive a stable, locally-administered MAC address from a node id."""
+    digest = hashlib.sha256(node.value.encode("utf-8")).digest()
+    octets = [0x02, digest[0], digest[1], digest[2], digest[3], digest[4]]
+    return ":".join(f"{octet:02x}" for octet in octets)
+
+
+def ip_for_node(node: NodeId) -> str:
+    """Derive a stable private IPv4 address from a node id.
+
+    The mapping is injective with high probability (16-bit hash suffix);
+    collisions raise nowhere because experiments use tens of nodes, and
+    :func:`node_for_ip` is only a convenience for display.
+    """
+    digest = hashlib.sha256(node.value.encode("utf-8")).digest()
+    return f"{_IP_PREFIX}{digest[5]}.{digest[6]}"
+
+
+def node_for_ip(ip: str, candidates) -> Optional[NodeId]:
+    """Find which of ``candidates`` owns ``ip``, or None.
+
+    Sniffers cannot do this (they see only addresses); it exists for
+    experiment scoring and human-readable reports.
+    """
+    for node in candidates:
+        if ip_for_node(node) == ip:
+            return node
+    return None

@@ -1,0 +1,60 @@
+"""Multi-protocol packet models.
+
+Kalis' first design requirement is *multi-medium and multi-protocol*
+monitoring.  This package models every protocol layer the paper's
+prototype observes:
+
+- :mod:`~repro.net.packets.ieee802154` — IEEE 802.15.4 MAC frames;
+- :mod:`~repro.net.packets.zigbee` — ZigBee network-layer packets;
+- :mod:`~repro.net.packets.sixlowpan` — 6LoWPAN compressed IPv6;
+- :mod:`~repro.net.packets.ctp` — TinyOS Collection Tree Protocol;
+- :mod:`~repro.net.packets.rpl` — RPL control messages;
+- :mod:`~repro.net.packets.wifi` — IEEE 802.11 frames;
+- :mod:`~repro.net.packets.ip` / ``tcp`` / ``udp`` / ``icmp`` — TCP/IP;
+- :mod:`~repro.net.packets.bluetooth` — BLE advertising/data.
+
+Packets are immutable dataclasses that chain layers through a
+``payload`` field; :meth:`Packet.layers` walks the stack the way a
+dissector would.  All packet types round-trip through
+:mod:`~repro.net.packets.codec` for trace storage.
+"""
+
+from repro.net.packets.base import Medium, Packet, PacketKind, RawPayload
+from repro.net.packets.bluetooth import BlePacket, BleRole
+from repro.net.packets.ctp import CtpDataFrame, CtpRoutingFrame
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ieee802154 import FrameType, Ieee802154Frame
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.rpl import RplDao, RplDio, RplDis
+from repro.net.packets.sixlowpan import SixLowpanPacket
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+from repro.net.packets.udp import UdpDatagram
+from repro.net.packets.wifi import WifiFrame, WifiFrameKind
+from repro.net.packets.zigbee import ZigbeeKind, ZigbeePacket
+
+__all__ = [
+    "Medium",
+    "Packet",
+    "PacketKind",
+    "RawPayload",
+    "BlePacket",
+    "BleRole",
+    "CtpDataFrame",
+    "CtpRoutingFrame",
+    "IcmpMessage",
+    "IcmpType",
+    "FrameType",
+    "Ieee802154Frame",
+    "IpPacket",
+    "RplDao",
+    "RplDio",
+    "RplDis",
+    "SixLowpanPacket",
+    "TcpFlags",
+    "TcpSegment",
+    "UdpDatagram",
+    "WifiFrame",
+    "WifiFrameKind",
+    "ZigbeeKind",
+    "ZigbeePacket",
+]

@@ -1,0 +1,57 @@
+"""Bluetooth Low Energy packets.
+
+Kalis' Communication System lists Bluetooth among its supported
+mediums.  Devices like smart locks advertise periodically and exchange
+short encrypted attribute transactions with a paired smartphone; both
+are modelled here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+from repro.util.ids import NodeId
+
+
+class BleRole(enum.Enum):
+    """Role of the BLE packet in the link lifecycle."""
+
+    ADVERTISEMENT = "advertisement"
+    CONNECTION_REQUEST = "connection_request"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class BlePacket(Packet):
+    """A Bluetooth Low Energy packet.
+
+    :param src: transmitter address.
+    :param dst: receiver address (or broadcast for advertisements).
+    :param role: see :class:`BleRole`.
+    :param channel: BLE channel index (advertising: 37-39).
+    :param data_length: bytes of attribute payload carried.
+    """
+
+    src: NodeId
+    dst: NodeId
+    role: BleRole = BleRole.ADVERTISEMENT
+    channel: int = 37
+    data_length: int = 0
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 10
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.channel <= 39:
+            raise ValueError(f"channel must be in [0, 39], got {self.channel}")
+        if self.data_length < 0:
+            raise ValueError(f"data_length must be non-negative, got {self.data_length}")
+
+    def _extra_bytes(self) -> int:
+        return self.data_length
+
+    def kind(self) -> PacketKind:
+        return PacketKind.BLE

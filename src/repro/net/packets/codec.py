@@ -1,0 +1,150 @@
+"""Packet (de)serialization for trace storage.
+
+Encodes any registered packet type into a JSON-safe dict and back,
+preserving nested layers, :class:`~repro.util.ids.NodeId` values, enums
+and flag combinations.  The trace subsystem (:mod:`repro.trace`) uses
+this to persist captures to disk and replay them later — the paper's
+evaluation methodology records device traffic and replays it with
+injected attack symptoms.
+
+New packet types register themselves simply by being dataclasses that
+subclass :class:`~repro.net.packets.base.Packet`; the registry is built
+from the public packet modules at import time and can be extended with
+:func:`register_packet_type`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Type
+
+from repro.net.packets import base as _base
+from repro.net.packets import (
+    bluetooth as _bluetooth,
+    ctp as _ctp,
+    icmp as _icmp,
+    ieee802154 as _ieee802154,
+    ip as _ip,
+    rpl as _rpl,
+    sixlowpan as _sixlowpan,
+    tcp as _tcp,
+    udp as _udp,
+    wifi as _wifi,
+    zigbee as _zigbee,
+)
+from repro.net.packets.base import Packet
+from repro.util.ids import NodeId
+
+_PACKET_TYPES: Dict[str, Type[Packet]] = {}
+_ENUM_TYPES: Dict[str, Type[enum.Enum]] = {}
+
+
+def register_packet_type(packet_type: Type[Packet]) -> Type[Packet]:
+    """Register a packet dataclass for codec round-tripping.
+
+    Usable as a decorator for packet types defined outside this package.
+    """
+    if not (is_dataclass(packet_type) and issubclass(packet_type, Packet)):
+        raise TypeError(f"{packet_type!r} is not a Packet dataclass")
+    _PACKET_TYPES[packet_type.__name__] = packet_type
+    return packet_type
+
+
+def register_enum_type(enum_type: Type[enum.Enum]) -> Type[enum.Enum]:
+    """Register an enum used inside packet fields."""
+    _ENUM_TYPES[enum_type.__name__] = enum_type
+    return enum_type
+
+
+def _register_module(module: Any) -> None:
+    for name in dir(module):
+        candidate = getattr(module, name)
+        if not isinstance(candidate, type):
+            continue
+        if is_dataclass(candidate) and issubclass(candidate, Packet):
+            _PACKET_TYPES[candidate.__name__] = candidate
+        elif issubclass(candidate, enum.Enum) and candidate is not enum.Enum:
+            _ENUM_TYPES[candidate.__name__] = candidate
+
+
+for _module in (
+    _base,
+    _bluetooth,
+    _ctp,
+    _icmp,
+    _ieee802154,
+    _ip,
+    _rpl,
+    _sixlowpan,
+    _tcp,
+    _udp,
+    _wifi,
+    _zigbee,
+):
+    _register_module(_module)
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, NodeId):
+        return {"__node__": value.value}
+    if isinstance(value, enum.Flag):
+        return {"__flag__": type(value).__name__, "value": value.value}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": value.name}
+    if isinstance(value, Packet):
+        return encode_packet(value)
+    raise TypeError(f"cannot encode packet field value of type {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__node__" in value:
+            return NodeId(value["__node__"])
+        if "__flag__" in value:
+            flag_type = _ENUM_TYPES[value["__flag__"]]
+            return flag_type(value["value"])
+        if "__enum__" in value:
+            enum_type = _ENUM_TYPES[value["__enum__"]]
+            return enum_type[value["value"]]
+        if "__packet__" in value:
+            return decode_packet(value)
+        raise ValueError(f"unrecognised encoded value: {value!r}")
+    return value
+
+
+def encode_packet(packet: Packet) -> Dict[str, Any]:
+    """Encode a packet (with all nested layers) into a JSON-safe dict."""
+    type_name = type(packet).__name__
+    if type_name not in _PACKET_TYPES:
+        raise TypeError(
+            f"{type_name} is not a registered packet type; "
+            "call register_packet_type() first"
+        )
+    encoded: Dict[str, Any] = {"__packet__": type_name}
+    for field_info in fields(packet):
+        encoded[field_info.name] = _encode_value(getattr(packet, field_info.name))
+    return encoded
+
+
+def decode_packet(data: Dict[str, Any]) -> Packet:
+    """Reconstruct a packet from :func:`encode_packet` output."""
+    if "__packet__" not in data:
+        raise ValueError("missing __packet__ discriminator in encoded packet")
+    type_name = data["__packet__"]
+    packet_type = _PACKET_TYPES.get(type_name)
+    if packet_type is None:
+        raise ValueError(f"unknown packet type {type_name!r}")
+    kwargs = {
+        key: _decode_value(value)
+        for key, value in data.items()
+        if key != "__packet__"
+    }
+    return packet_type(**kwargs)
+
+
+def registered_packet_types() -> Dict[str, Type[Packet]]:
+    """Copy of the current packet type registry (for tests/diagnostics)."""
+    return dict(_PACKET_TYPES)

@@ -1,0 +1,90 @@
+"""TinyOS Collection Tree Protocol (CTP) frames.
+
+The paper's WSN testbed runs a TinyOS application sending a data message
+every 3 seconds to a base station over CTP (Gnawali et al., SenSys'09).
+Two frame types matter:
+
+- **data frames** carry an ``origin``/``seqno`` pair identifying the
+  original sample, a ``thl`` ("time has lived") hop counter incremented
+  at every forward, and the sender's current path ``etx`` estimate;
+- **routing frames** (beacons) advertise the sender's ``parent`` and
+  path ``etx`` so neighbours can pick routes.
+
+The ``thl`` field and the parent advertisements are what the Topology
+Discovery sensing module reads to conclude "this network is multi-hop".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+from repro.util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class CtpDataFrame(Packet):
+    """A CTP data frame.
+
+    :param origin: the node that generated the sample.
+    :param seqno: origin-scoped sequence number.
+    :param thl: "time has lived" — number of hops travelled so far.
+    :param etx: sender's estimated transmissions to the root.
+    :param collect_id: collection instance (AM type in TinyOS).
+    :param payload: sensed data (opaque).
+    """
+
+    origin: NodeId
+    seqno: int
+    thl: int = 0
+    etx: int = 0
+    collect_id: int = 0
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 8
+
+    def __post_init__(self) -> None:
+        if self.seqno < 0:
+            raise ValueError(f"seqno must be non-negative, got {self.seqno}")
+        if self.thl < 0:
+            raise ValueError(f"thl must be non-negative, got {self.thl}")
+        if self.etx < 0:
+            raise ValueError(f"etx must be non-negative, got {self.etx}")
+
+    def kind(self) -> PacketKind:
+        return PacketKind.CTP_DATA
+
+    def forwarded(self, new_etx: int) -> "CtpDataFrame":
+        """Return the copy a forwarder retransmits (thl incremented)."""
+        return CtpDataFrame(
+            origin=self.origin,
+            seqno=self.seqno,
+            thl=self.thl + 1,
+            etx=new_etx,
+            collect_id=self.collect_id,
+            payload=self.payload,
+        )
+
+
+@dataclass(frozen=True)
+class CtpRoutingFrame(Packet):
+    """A CTP routing beacon advertising the sender's route to the root.
+
+    :param parent: the sender's current parent in the collection tree.
+    :param etx: the sender's path ETX to the root (0 at the root itself).
+    :param pull: congestion/pull flag (P bit in TinyOS CTP).
+    """
+
+    parent: NodeId
+    etx: int
+    pull: bool = False
+
+    HEADER_BYTES = 5
+
+    def __post_init__(self) -> None:
+        if self.etx < 0:
+            raise ValueError(f"etx must be non-negative, got {self.etx}")
+
+    def kind(self) -> PacketKind:
+        return PacketKind.CTP_ROUTING

@@ -1,0 +1,59 @@
+"""ICMP messages.
+
+ICMP Echo Request/Reply traffic is central to the paper's working
+example (Section III-A1): an ICMP Flood and a Smurf attack present the
+*same symptom* — a burst of Echo Replies at the victim — and only
+knowledge about the topology disambiguates them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.packets.base import Packet, PacketKind
+
+
+class IcmpType(enum.Enum):
+    """ICMP message types (subset relevant to detection)."""
+
+    ECHO_REQUEST = "echo_request"
+    ECHO_REPLY = "echo_reply"
+    DEST_UNREACHABLE = "dest_unreachable"
+    TIME_EXCEEDED = "time_exceeded"
+
+
+@dataclass(frozen=True)
+class IcmpMessage(Packet):
+    """An ICMP message.
+
+    :param icmp_type: see :class:`IcmpType`.
+    :param identifier: echo identifier (matches requests to replies).
+    :param sequence: echo sequence number.
+    :param data_length: bytes of echo data carried.
+    """
+
+    icmp_type: IcmpType
+    identifier: int = 0
+    sequence: int = 0
+    data_length: int = 0
+
+    HEADER_BYTES = 8
+
+    def __post_init__(self) -> None:
+        if self.identifier < 0:
+            raise ValueError(f"identifier must be non-negative, got {self.identifier}")
+        if self.sequence < 0:
+            raise ValueError(f"sequence must be non-negative, got {self.sequence}")
+        if self.data_length < 0:
+            raise ValueError(f"data_length must be non-negative, got {self.data_length}")
+
+    def _extra_bytes(self) -> int:
+        return self.data_length
+
+    def kind(self) -> PacketKind:
+        if self.icmp_type is IcmpType.ECHO_REQUEST:
+            return PacketKind.ICMP_REQUEST
+        if self.icmp_type is IcmpType.ECHO_REPLY:
+            return PacketKind.ICMP_REPLY
+        return PacketKind.ICMP_OTHER

@@ -1,0 +1,58 @@
+"""IEEE 802.15.4 MAC frames.
+
+The link layer under ZigBee, 6LoWPAN and TinyOS/CTP traffic.  The MAC
+source and destination are *per-hop* addresses: in a multi-hop WSN the
+frame's ``src``/``dst`` change at each hop while the network layer's
+origin/destination stay fixed.  The Topology Discovery sensing module
+exploits exactly this difference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+from repro.util.ids import NodeId
+
+
+class FrameType(enum.Enum):
+    """802.15.4 frame types."""
+
+    BEACON = "beacon"
+    DATA = "data"
+    ACK = "ack"
+    MAC_COMMAND = "mac_command"
+
+
+@dataclass(frozen=True)
+class Ieee802154Frame(Packet):
+    """A single IEEE 802.15.4 MAC frame.
+
+    :param pan_id: personal-area-network identifier.
+    :param seq: MAC sequence number (wraps at 256 in real hardware; we
+        keep it unbounded for trace readability).
+    :param src: per-hop transmitter address.
+    :param dst: per-hop receiver address (or broadcast).
+    :param frame_type: see :class:`FrameType`.
+    :param payload: encapsulated network-layer packet, if any.
+    """
+
+    pan_id: int
+    seq: int
+    src: NodeId
+    dst: NodeId
+    frame_type: FrameType = FrameType.DATA
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 11
+
+    def __post_init__(self) -> None:
+        if self.pan_id < 0 or self.pan_id > 0xFFFF:
+            raise ValueError(f"pan_id must be a 16-bit value, got {self.pan_id}")
+        if self.seq < 0:
+            raise ValueError(f"seq must be non-negative, got {self.seq}")
+
+    def kind(self) -> PacketKind:
+        return PacketKind.MAC_802154

@@ -1,0 +1,59 @@
+"""IP packets (v4 or v6).
+
+WiFi-side IoT traffic (hubs, cloud services, smartphones) is IP.  The
+``ttl`` field decrements at each router hop; a sniffer comparing TTLs
+can estimate hop distance, which several detection modules use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet
+
+
+@dataclass(frozen=True)
+class IpPacket(Packet):
+    """An IP packet.
+
+    :param src_ip: source address (spoofable — never trust it).
+    :param dst_ip: destination address.
+    :param ttl: time-to-live / hop limit.
+    :param version: 4 or 6.
+    :param payload: transport-layer payload.
+    """
+
+    src_ip: str
+    dst_ip: str
+    ttl: int = 64
+    version: int = 4
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 20
+
+    def __post_init__(self) -> None:
+        if self.version not in (4, 6):
+            raise ValueError(f"version must be 4 or 6, got {self.version}")
+        if not 0 <= self.ttl <= 255:
+            raise ValueError(f"ttl must be in [0, 255], got {self.ttl}")
+        if not self.src_ip or not self.dst_ip:
+            raise ValueError("src_ip and dst_ip must be non-empty")
+
+    @property
+    def size_bytes(self) -> int:
+        header = 40 if self.version == 6 else self.HEADER_BYTES
+        inner = self.payload.size_bytes if self.payload is not None else 0
+        return header + inner
+
+    def forwarded(self) -> "IpPacket":
+        """Return the copy a router retransmits (TTL decremented)."""
+        if self.ttl == 0:
+            raise ValueError("cannot forward a packet whose TTL is exhausted")
+        return IpPacket(
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            ttl=self.ttl - 1,
+            version=self.version,
+            payload=self.payload,
+        )

@@ -1,0 +1,78 @@
+"""RPL (IPv6 Routing Protocol for Low-Power and Lossy Networks) control
+messages.
+
+RPL builds a Destination-Oriented DAG rooted at a border router.  The
+presence of DIO/DAO/DIS messages is one of the signals the Topology
+Discovery module uses to recognise a multi-hop 6LoWPAN network, and the
+advertised ``rank`` values let it (and the sinkhole detector) reason
+about the routing structure an attacker may be manipulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+from repro.util.ids import NodeId
+
+#: Rank of the DODAG root, per RFC 6550 (MinHopRankIncrease = 256).
+ROOT_RANK = 256
+RANK_INCREASE = 256
+
+#: Rank value advertised by a node with no route (RFC 6550 INFINITE_RANK).
+INFINITE_RANK = 0xFFFF
+
+
+@dataclass(frozen=True)
+class RplDio(Packet):
+    """DODAG Information Object — advertises the sender's position.
+
+    :param dodag_id: identifier of the DODAG (the root's address).
+    :param rank: sender's rank; smaller is closer to the root.
+    :param version: DODAG version number.
+    """
+
+    dodag_id: str
+    rank: int
+    version: int = 1
+
+    HEADER_BYTES = 24
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.version < 0:
+            raise ValueError(f"version must be non-negative, got {self.version}")
+
+    def kind(self) -> PacketKind:
+        return PacketKind.RPL_CONTROL
+
+
+@dataclass(frozen=True)
+class RplDao(Packet):
+    """Destination Advertisement Object — announces downward routes.
+
+    :param target: the node whose reachability is advertised.
+    :param parent: the advertised parent of ``target``.
+    """
+
+    target: NodeId
+    parent: NodeId
+
+    HEADER_BYTES = 20
+
+    def kind(self) -> PacketKind:
+        return PacketKind.RPL_CONTROL
+
+
+@dataclass(frozen=True)
+class RplDis(Packet):
+    """DODAG Information Solicitation — probes for nearby DODAGs."""
+
+    solicited_dodag: Optional[str] = None
+
+    HEADER_BYTES = 8
+
+    def kind(self) -> PacketKind:
+        return PacketKind.RPL_CONTROL

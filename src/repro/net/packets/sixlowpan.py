@@ -1,0 +1,54 @@
+"""6LoWPAN compressed-IPv6 packets.
+
+6LoWPAN adapts IPv6 onto IEEE 802.15.4.  For intrusion-detection
+purposes the relevant observable fields are the end-to-end addresses and
+the ``hop_limit`` (the IPv6 TTL), which decreases at each forward and is
+therefore a multi-hop indicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+from repro.util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class SixLowpanPacket(Packet):
+    """A 6LoWPAN packet (compressed IPv6 over 802.15.4).
+
+    :param src: end-to-end source node.
+    :param dst: end-to-end destination node.
+    :param hop_limit: IPv6 hop limit; decremented at each forward.
+    :param datagram_tag: fragmentation tag (0 when unfragmented).
+    :param payload: transport payload (UDP/ICMP/RPL or opaque).
+    """
+
+    src: NodeId
+    dst: NodeId
+    hop_limit: int = 64
+    datagram_tag: int = 0
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 7  # IPHC compressed header
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.hop_limit <= 255:
+            raise ValueError(f"hop_limit must be in [0, 255], got {self.hop_limit}")
+
+    def kind(self) -> PacketKind:
+        return PacketKind.SIXLOWPAN
+
+    def forwarded(self) -> "SixLowpanPacket":
+        """Return the copy a forwarder retransmits (hop limit decremented)."""
+        if self.hop_limit == 0:
+            raise ValueError("cannot forward a packet whose hop limit is exhausted")
+        return SixLowpanPacket(
+            src=self.src,
+            dst=self.dst,
+            hop_limit=self.hop_limit - 1,
+            datagram_tag=self.datagram_tag,
+            payload=self.payload,
+        )

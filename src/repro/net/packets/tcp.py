@@ -1,0 +1,78 @@
+"""TCP segments.
+
+The Traffic Statistics module counts TCP SYN and TCP ACK rates
+separately (they are distinct knowggets in the paper's Figure 5), and
+the SYN-flood detector compares half-open handshakes against completed
+ones, so flags are modelled faithfully.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.net.packets.base import Packet, PacketKind
+
+
+class TcpFlags(enum.Flag):
+    """TCP header flags (subset relevant to detection)."""
+
+    NONE = 0
+    FIN = enum.auto()
+    SYN = enum.auto()
+    RST = enum.auto()
+    PSH = enum.auto()
+    ACK = enum.auto()
+
+
+@dataclass(frozen=True)
+class TcpSegment(Packet):
+    """A TCP segment.
+
+    :param sport: source port.
+    :param dport: destination port.
+    :param flags: combination of :class:`TcpFlags`.
+    :param seq: sequence number.
+    :param ack: acknowledgement number.
+    :param data_length: bytes of application data carried.
+    """
+
+    sport: int
+    dport: int
+    flags: TcpFlags = TcpFlags.NONE
+    seq: int = 0
+    ack: int = 0
+    data_length: int = 0
+
+    HEADER_BYTES = 20
+
+    def __post_init__(self) -> None:
+        for name, port in (("sport", self.sport), ("dport", self.dport)):
+            if not 0 <= port <= 65535:
+                raise ValueError(f"{name} must be a valid port, got {port}")
+        if self.data_length < 0:
+            raise ValueError(f"data_length must be non-negative, got {self.data_length}")
+
+    def _extra_bytes(self) -> int:
+        return self.data_length
+
+    @property
+    def is_syn(self) -> bool:
+        """A connection-opening SYN (SYN set, ACK clear)."""
+        return bool(self.flags & TcpFlags.SYN) and not self.flags & TcpFlags.ACK
+
+    @property
+    def is_syn_ack(self) -> bool:
+        return bool(self.flags & TcpFlags.SYN) and bool(self.flags & TcpFlags.ACK)
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """An ACK with no SYN/FIN/RST (handshake completion or data ack)."""
+        return self.flags == TcpFlags.ACK
+
+    def kind(self) -> PacketKind:
+        if self.is_syn:
+            return PacketKind.TCP_SYN
+        if self.is_pure_ack:
+            return PacketKind.TCP_ACK
+        return PacketKind.TCP_OTHER

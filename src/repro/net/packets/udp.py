@@ -1,0 +1,32 @@
+"""UDP datagrams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+
+
+@dataclass(frozen=True)
+class UdpDatagram(Packet):
+    """A UDP datagram.
+
+    :param sport: source port.
+    :param dport: destination port.
+    :param payload: application payload (often :class:`RawPayload`).
+    """
+
+    sport: int
+    dport: int
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 8
+
+    def __post_init__(self) -> None:
+        for name, port in (("sport", self.sport), ("dport", self.dport)):
+            if not 0 <= port <= 65535:
+                raise ValueError(f"{name} must be a valid port, got {port}")
+
+    def kind(self) -> PacketKind:
+        return PacketKind.UDP

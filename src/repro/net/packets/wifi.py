@@ -1,0 +1,77 @@
+"""IEEE 802.11 (WiFi) frames.
+
+The paper's prototype monitors WiFi promiscuously via tcpdump/libpcap.
+We model the 802.11 MAC layer explicitly (rather than jumping straight
+to IP) because management frames — beacons and probes — are part of the
+observable surface, and because MAC source addresses are what RSSI
+measurements attach to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+from repro.util.ids import NodeId
+
+
+class WifiFrameKind(enum.Enum):
+    """802.11 frame kinds relevant to detection."""
+
+    DATA = "data"
+    BEACON = "beacon"
+    PROBE_REQUEST = "probe_request"
+    PROBE_RESPONSE = "probe_response"
+    ASSOCIATION_REQUEST = "association_request"
+    DEAUTHENTICATION = "deauthentication"
+
+
+MANAGEMENT_KINDS = frozenset(
+    {
+        WifiFrameKind.BEACON,
+        WifiFrameKind.PROBE_REQUEST,
+        WifiFrameKind.PROBE_RESPONSE,
+        WifiFrameKind.ASSOCIATION_REQUEST,
+        WifiFrameKind.DEAUTHENTICATION,
+    }
+)
+
+
+@dataclass(frozen=True)
+class WifiFrame(Packet):
+    """An 802.11 frame.
+
+    :param src: transmitter (per-hop MAC source).
+    :param dst: receiver (per-hop MAC destination or broadcast).
+    :param bssid: network identifier the frame belongs to.
+    :param wifi_kind: see :class:`WifiFrameKind`.
+    :param mesh_src / mesh_dst: 802.11s four-address fields, set only on
+        mesh-relayed frames.  Their presence is positive evidence of a
+        multi-hop WLAN (an ordinary infrastructure LAN never uses them);
+        a routed IP path (decremented TTL) deliberately is *not* — the
+        local wireless network is still single-hop even when the router
+        forwards to the Internet.
+    :param payload: encapsulated IP packet for data frames.
+    """
+
+    src: NodeId
+    dst: NodeId
+    bssid: str = "home-lan"
+    wifi_kind: WifiFrameKind = WifiFrameKind.DATA
+    mesh_src: Optional[NodeId] = None
+    mesh_dst: Optional[NodeId] = None
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 24
+
+    @property
+    def is_mesh_relayed(self) -> bool:
+        """True for four-address (mesh-forwarded) frames."""
+        return self.mesh_src is not None or self.mesh_dst is not None
+
+    def kind(self) -> PacketKind:
+        if self.wifi_kind in MANAGEMENT_KINDS:
+            return PacketKind.WIFI_MGMT
+        return PacketKind.OTHER

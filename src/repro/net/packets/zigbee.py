@@ -1,0 +1,86 @@
+"""ZigBee network-layer packets.
+
+Carried inside IEEE 802.15.4 frames.  The network-layer ``src``/``dst``
+are end-to-end (originator and final destination); the MAC layer handles
+per-hop forwarding.  ``radius`` is the remaining hop budget and is
+decremented by each forwarder — a multi-hop giveaway that Topology
+Discovery uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Packet, PacketKind
+from repro.util.ids import NodeId
+
+
+class ZigbeeKind(enum.Enum):
+    """ZigBee NWK frame kinds relevant to intrusion detection."""
+
+    DATA = "data"
+    ROUTE_REQUEST = "route_request"
+    ROUTE_REPLY = "route_reply"
+    LINK_STATUS = "link_status"
+    NETWORK_BEACON = "network_beacon"
+    REJOIN_REQUEST = "rejoin_request"
+
+
+#: Kinds that constitute routing/control traffic.
+ROUTING_KINDS = frozenset(
+    {
+        ZigbeeKind.ROUTE_REQUEST,
+        ZigbeeKind.ROUTE_REPLY,
+        ZigbeeKind.LINK_STATUS,
+        ZigbeeKind.NETWORK_BEACON,
+        ZigbeeKind.REJOIN_REQUEST,
+    }
+)
+
+
+@dataclass(frozen=True)
+class ZigbeePacket(Packet):
+    """A ZigBee NWK-layer packet.
+
+    :param src: originator (end-to-end source).
+    :param dst: final destination.
+    :param seq: NWK sequence number.
+    :param radius: remaining hop budget; forwarders decrement it.
+    :param zigbee_kind: see :class:`ZigbeeKind`.
+    :param payload: application payload (opaque to Kalis when encrypted).
+    """
+
+    src: NodeId
+    dst: NodeId
+    seq: int
+    radius: int = 30
+    zigbee_kind: ZigbeeKind = ZigbeeKind.DATA
+    payload: Optional[Packet] = None
+
+    HEADER_BYTES = 8
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"seq must be non-negative, got {self.seq}")
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+
+    def kind(self) -> PacketKind:
+        if self.zigbee_kind in ROUTING_KINDS:
+            return PacketKind.ZIGBEE_ROUTING
+        return PacketKind.ZIGBEE_DATA
+
+    def forwarded(self) -> "ZigbeePacket":
+        """Return the copy a forwarder retransmits (radius decremented)."""
+        if self.radius == 0:
+            raise ValueError("cannot forward a packet whose radius is exhausted")
+        return ZigbeePacket(
+            src=self.src,
+            dst=self.dst,
+            seq=self.seq,
+            radius=self.radius - 1,
+            zigbee_kind=self.zigbee_kind,
+            payload=self.payload,
+        )

@@ -1,0 +1,27 @@
+"""Protocol behaviours on top of the simulator.
+
+These node classes implement enough of each protocol that the traffic a
+sniffer sees carries the real structural signals Kalis' sensing modules
+rely on: CTP beacons advertise parents and ETX, forwarded frames bump
+hop counters, TCP handshakes produce distinguishable SYN/ACK streams,
+and IP hosts answer pings (which is what makes a Smurf attack work).
+"""
+
+from repro.proto.ctp import CtpNode
+from repro.proto.iphost import BROADCAST_IP, IpHost, IpRouter, LanDirectory
+from repro.proto.mesh import ZigbeeMeshNode, compute_mesh_routes
+from repro.proto.rpl import RplNode
+from repro.proto.tcpstack import TcpConnectionState, TcpStack
+
+__all__ = [
+    "CtpNode",
+    "BROADCAST_IP",
+    "IpHost",
+    "IpRouter",
+    "LanDirectory",
+    "ZigbeeMeshNode",
+    "compute_mesh_routes",
+    "RplNode",
+    "TcpConnectionState",
+    "TcpStack",
+]

@@ -1,0 +1,260 @@
+"""IP hosts on a WiFi (or wired) LAN.
+
+An :class:`IpHost` owns an IP address derived from its node id, resolves
+peers through a :class:`LanDirectory` (the ARP substitute), answers ICMP
+Echo Requests, and runs a :class:`~repro.proto.tcpstack.TcpStack`.
+Hosts forward off-LAN traffic to a configured gateway, which is how the
+home-router/cloud path of the paper's Figure 1 is modelled.
+
+Answering pings is not a detail: the Smurf attack *depends* on benign
+neighbours dutifully replying to a spoofed broadcast Echo Request, so
+victims of the reproduction are attacked by exactly the same mechanism
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.net.addressing import BROADCAST, ip_for_node
+from repro.net.packets.base import Medium, Packet
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.tcp import TcpSegment
+from repro.net.packets.wifi import WifiFrame, WifiFrameKind
+from repro.proto.tcpstack import TcpStack
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId
+
+#: Conventional LAN broadcast address.
+BROADCAST_IP = "10.23.255.255"
+
+
+class LanDirectory:
+    """IP-to-link-layer resolution for one LAN segment (ARP substitute)."""
+
+    def __init__(self) -> None:
+        self._by_ip: Dict[str, NodeId] = {}
+
+    def register(self, node_id: NodeId) -> str:
+        ip = ip_for_node(node_id)
+        self._by_ip[ip] = node_id
+        return ip
+
+    def resolve(self, ip: str) -> Optional[NodeId]:
+        return self._by_ip.get(ip)
+
+    def knows(self, ip: str) -> bool:
+        return ip in self._by_ip
+
+    def addresses(self) -> Dict[str, NodeId]:
+        return dict(self._by_ip)
+
+
+class IpHost(SimNode):
+    """A host with an IP stack on one medium.
+
+    :param node_id: identity; the IP address derives from it.
+    :param position: physical placement.
+    :param directory: the LAN's resolution directory; the host registers
+        itself on construction.
+    :param medium: the medium its IP interface uses.
+    :param gateway: link-layer id of the router for off-LAN traffic.
+    :param respond_to_ping: answer ICMP Echo Requests (default True).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        directory: LanDirectory,
+        medium: Medium = Medium.WIFI,
+        gateway: Optional[NodeId] = None,
+        respond_to_ping: bool = True,
+        extra_mediums: Iterable[Medium] = (),
+    ) -> None:
+        mediums = {medium, *extra_mediums}
+        super().__init__(node_id, position, mediums=mediums)
+        self.ip_medium = medium
+        self.directory = directory
+        self.ip = directory.register(node_id)
+        self.gateway = gateway
+        self.respond_to_ping = respond_to_ping
+        self.tcp = TcpStack()
+        self._wifi_seq = 0
+        self.ping_replies_sent = 0
+        self.pings_received = 0
+
+    # -- transmission ----------------------------------------------------------
+
+    def link_destination_for(self, dst_ip: str) -> Optional[NodeId]:
+        """Resolve the next link-layer hop for an IP destination."""
+        if dst_ip == BROADCAST_IP:
+            return BROADCAST
+        on_lan = self.directory.resolve(dst_ip)
+        if on_lan is not None:
+            return on_lan
+        return self.gateway
+
+    def send_ip(self, packet: IpPacket, link_dst: Optional[NodeId] = None) -> int:
+        """Wrap an IP packet for the medium and transmit it."""
+        if link_dst is None:
+            link_dst = self.link_destination_for(packet.dst_ip)
+        if link_dst is None:
+            return 0  # no route; silently dropped like a host with no gateway
+        frame = self._wrap(packet, link_dst)
+        return self.send(self.ip_medium, frame)
+
+    def _wrap(self, packet: IpPacket, link_dst: NodeId) -> Packet:
+        if self.ip_medium is Medium.WIFI:
+            return WifiFrame(
+                src=self.node_id,
+                dst=link_dst,
+                wifi_kind=WifiFrameKind.DATA,
+                payload=packet,
+            )
+        # Wired and other mediums reuse the WiFi frame shape with a
+        # different medium tag on the air; a dedicated Ethernet frame
+        # type would add fields no detector reads.
+        return WifiFrame(
+            src=self.node_id, dst=link_dst, bssid="wired", payload=packet
+        )
+
+    # -- convenience builders ---------------------------------------------------
+
+    def ping(self, dst_ip: str, identifier: int = 1, sequence: int = 0) -> int:
+        """Send an ICMP Echo Request."""
+        request = IpPacket(
+            src_ip=self.ip,
+            dst_ip=dst_ip,
+            payload=IcmpMessage(
+                icmp_type=IcmpType.ECHO_REQUEST,
+                identifier=identifier,
+                sequence=sequence,
+                data_length=32,
+            ),
+        )
+        return self.send_ip(request)
+
+    def open_tcp(self, dst_ip: str, dport: int, data_bytes: int = 0) -> int:
+        """Open a TCP connection (full handshake plays out in-sim)."""
+        syn = self.tcp.open(dst_ip, dport, data_bytes)
+        return self.send_ip(IpPacket(src_ip=self.ip, dst_ip=dst_ip, payload=syn))
+
+    # -- reception ---------------------------------------------------------------
+
+    def on_receive(
+        self, packet: Packet, medium: Medium, rssi: float, timestamp: float
+    ) -> None:
+        ip_packet = packet.find_layer(IpPacket)
+        if ip_packet is None:
+            return
+        if not self._addressed_to_me(ip_packet):
+            self.forward_ip(ip_packet, medium, timestamp)
+            return
+        self.handle_ip(ip_packet, timestamp)
+
+    def _addressed_to_me(self, ip_packet: IpPacket) -> bool:
+        return ip_packet.dst_ip in (self.ip, BROADCAST_IP)
+
+    def forward_ip(self, ip_packet: IpPacket, medium: Medium, timestamp: float) -> None:
+        """Hook for routers; plain hosts drop traffic not addressed to them."""
+
+    def handle_ip(self, ip_packet: IpPacket, timestamp: float) -> None:
+        """Process an IP packet addressed to this host."""
+        transport = ip_packet.payload
+        if isinstance(transport, IcmpMessage):
+            self._handle_icmp(ip_packet, transport)
+        elif isinstance(transport, TcpSegment):
+            self._handle_tcp(ip_packet, transport)
+
+    def _handle_icmp(self, ip_packet: IpPacket, message: IcmpMessage) -> None:
+        if message.icmp_type is not IcmpType.ECHO_REQUEST:
+            return
+        self.pings_received += 1
+        if not self.respond_to_ping:
+            return
+        if ip_packet.src_ip == self.ip:
+            return  # never answer our own (possibly reflected) address
+        reply = IpPacket(
+            src_ip=self.ip,
+            dst_ip=ip_packet.src_ip,
+            payload=IcmpMessage(
+                icmp_type=IcmpType.ECHO_REPLY,
+                identifier=message.identifier,
+                sequence=message.sequence,
+                data_length=message.data_length,
+            ),
+        )
+        self.ping_replies_sent += 1
+        self.send_ip(reply)
+
+    def _handle_tcp(self, ip_packet: IpPacket, segment: TcpSegment) -> None:
+        reply = self.tcp.on_segment(ip_packet.src_ip, segment)
+        if reply is not None:
+            self.send_ip(IpPacket(src_ip=self.ip, dst_ip=ip_packet.src_ip, payload=reply))
+
+
+class IpRouter(IpHost):
+    """A router bridging two LAN segments (e.g. home WiFi and the WAN).
+
+    The smart-router the paper deploys Kalis on: it forwards IP traffic
+    between its two directories, decrementing TTL.  The firewall
+    deployment (:mod:`repro.firewall`) hooks :meth:`admit_inbound`.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float],
+        lan_directory: LanDirectory,
+        wan_directory: LanDirectory,
+        lan_medium: Medium = Medium.WIFI,
+        wan_medium: Medium = Medium.WIRED,
+    ) -> None:
+        super().__init__(
+            node_id,
+            position,
+            lan_directory,
+            medium=lan_medium,
+            extra_mediums=(wan_medium,),
+        )
+        self.wan_directory = wan_directory
+        self.wan_medium = wan_medium
+        self.wan_ip = wan_directory.register(node_id)
+        self.forwarded_lan_to_wan = 0
+        self.forwarded_wan_to_lan = 0
+        self.blocked_inbound = 0
+
+    def admit_inbound(self, ip_packet: IpPacket) -> bool:
+        """Policy hook: admit WAN->LAN traffic?  Default allows all."""
+        return True
+
+    def _addressed_to_me(self, ip_packet: IpPacket) -> bool:
+        return ip_packet.dst_ip in (self.ip, self.wan_ip, BROADCAST_IP)
+
+    def forward_ip(self, ip_packet: IpPacket, medium: Medium, timestamp: float) -> None:
+        if ip_packet.ttl == 0:
+            return
+        forwarded = ip_packet.forwarded()
+        if medium is self.wan_medium:
+            # Inbound from the untrusted Internet toward the LAN.
+            if not self.admit_inbound(forwarded):
+                self.blocked_inbound += 1
+                return
+            destination = self.directory.resolve(forwarded.dst_ip)
+            if destination is None:
+                return
+            self.forwarded_wan_to_lan += 1
+            frame = WifiFrame(src=self.node_id, dst=destination, payload=forwarded)
+            self.send(self.ip_medium, frame)
+        else:
+            # Outbound from the LAN toward the Internet.
+            destination = self.wan_directory.resolve(forwarded.dst_ip)
+            if destination is None:
+                return
+            self.forwarded_lan_to_wan += 1
+            frame = WifiFrame(
+                src=self.node_id, dst=destination, bssid="wan", payload=forwarded
+            )
+            self.send(self.wan_medium, frame)

@@ -1,0 +1,179 @@
+"""ZigBee mesh nodes.
+
+A hub-to-subs ZigBee network: application packets travel end-to-end at
+the NWK layer while the 802.15.4 MAC layer hops them between neighbours
+according to each node's routing table.  Scenarios compute routing
+tables from the physical connectivity graph (the equivalent of the AODV
+route discovery real ZigBee performs, which would add traffic volume but
+no new observable structure).
+
+As with CTP, the forwarding decision is isolated in
+:meth:`ZigbeeMeshNode.forward_packet` so blackhole / selective
+forwarding / wormhole attackers override one method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addressing import BROADCAST
+from repro.net.packets.base import Medium, Packet, RawPayload
+from repro.net.packets.ieee802154 import FrameType, Ieee802154Frame
+from repro.net.packets.zigbee import ZigbeeKind, ZigbeePacket
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId, stable_hash
+
+
+class ZigbeeMeshNode(SimNode):
+    """A node in a ZigBee mesh.
+
+    :param node_id: identity.
+    :param position: physical placement.
+    :param link_status_interval: seconds between NWK link-status
+        broadcasts (routing chatter that sensing modules observe), or
+        None to disable.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float] = (0.0, 0.0),
+        pan_id: int = 0x33,
+        link_status_interval: Optional[float] = 15.0,
+    ) -> None:
+        super().__init__(node_id, position, mediums=(Medium.IEEE_802_15_4,))
+        self.pan_id = pan_id
+        self.link_status_interval = link_status_interval
+        #: destination -> next hop; end-to-end routes through the mesh.
+        self.routing_table: Dict[NodeId, NodeId] = {}
+        self._mac_seq = 0
+        self._nwk_seq = 0
+        #: Application packets delivered to this node: (src, seq, time).
+        self.delivered: List[Tuple[NodeId, int, float]] = []
+        self.forwarded_count = 0
+
+    def set_routes(self, routes: Dict[NodeId, NodeId]) -> None:
+        """Install the routing table (destination -> next hop)."""
+        self.routing_table = dict(routes)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self.link_status_interval is not None:
+            jitter = (stable_hash(self.node_id) % 10) / 10.0
+            self.sim.schedule_every(
+                self.link_status_interval,
+                self.send_link_status,
+                first_delay=self.link_status_interval * (0.3 + 0.06 * jitter),
+            )
+
+    # -- MAC helpers ---------------------------------------------------------
+
+    def _next_mac_seq(self) -> int:
+        self._mac_seq += 1
+        return self._mac_seq
+
+    def _mac_frame(self, dst: NodeId, payload: Packet) -> Ieee802154Frame:
+        return Ieee802154Frame(
+            pan_id=self.pan_id,
+            seq=self._next_mac_seq(),
+            src=self.node_id,
+            dst=dst,
+            frame_type=FrameType.DATA,
+            payload=payload,
+        )
+
+    # -- NWK layer -----------------------------------------------------------
+
+    def send_link_status(self) -> None:
+        """Broadcast a ZigBee link-status frame (routing chatter)."""
+        status = ZigbeePacket(
+            src=self.node_id,
+            dst=BROADCAST,
+            seq=self._allocate_nwk_seq(),
+            radius=1,
+            zigbee_kind=ZigbeeKind.LINK_STATUS,
+        )
+        self.send(Medium.IEEE_802_15_4, self._mac_frame(BROADCAST, status))
+
+    def _allocate_nwk_seq(self) -> int:
+        self._nwk_seq += 1
+        return self._nwk_seq
+
+    def send_app(self, dst: NodeId, data_length: int = 16) -> bool:
+        """Send an application packet through the mesh; True if routed."""
+        packet = ZigbeePacket(
+            src=self.node_id,
+            dst=dst,
+            seq=self._allocate_nwk_seq(),
+            zigbee_kind=ZigbeeKind.DATA,
+            payload=RawPayload(length=data_length),
+        )
+        return self._route(packet)
+
+    def _route(self, packet: ZigbeePacket) -> bool:
+        next_hop = self.routing_table.get(packet.dst)
+        if next_hop is None:
+            return False
+        self.send(Medium.IEEE_802_15_4, self._mac_frame(next_hop, packet))
+        return True
+
+    # -- reception -----------------------------------------------------------
+
+    def on_receive(
+        self, packet: Packet, medium: Medium, rssi: float, timestamp: float
+    ) -> None:
+        mac = packet if isinstance(packet, Ieee802154Frame) else None
+        if mac is None or mac.pan_id != self.pan_id:
+            return
+        inner = mac.payload
+        if not isinstance(inner, ZigbeePacket):
+            return
+        if inner.zigbee_kind is not ZigbeeKind.DATA:
+            return  # routing chatter needs no action in this model
+        if mac.dst != self.node_id:
+            return  # broadcast data is not used by this application
+        if inner.dst == self.node_id:
+            self.delivered.append((inner.src, inner.seq, timestamp))
+            self.on_app_packet(inner, timestamp)
+            return
+        self.forward_packet(inner, timestamp)
+
+    def on_app_packet(self, packet: ZigbeePacket, timestamp: float) -> None:
+        """Hook: an application packet arrived for this node."""
+
+    def forward_packet(self, packet: ZigbeePacket, timestamp: float) -> None:
+        """Forward an in-transit packet one hop; attackers override this."""
+        if packet.radius == 0:
+            return
+        next_hop = self.routing_table.get(packet.dst)
+        if next_hop is None:
+            return
+        self.forwarded_count += 1
+        self.send(
+            Medium.IEEE_802_15_4, self._mac_frame(next_hop, packet.forwarded())
+        )
+
+
+def compute_mesh_routes(
+    placements: Dict[NodeId, Tuple[float, float]], radio_range: float
+) -> Dict[NodeId, Dict[NodeId, NodeId]]:
+    """Shortest-path next-hop tables for every node in a placement.
+
+    Returns ``{node: {destination: next_hop}}`` computed over the
+    physical connectivity graph — the steady-state result ZigBee route
+    discovery would converge to.
+    """
+    import networkx as nx
+
+    from repro.sim.topology import connectivity_graph
+
+    graph = connectivity_graph(placements, radio_range)
+    tables: Dict[NodeId, Dict[NodeId, NodeId]] = {node: {} for node in placements}
+    for source in sorted(placements):
+        paths = nx.single_source_shortest_path(graph, source)
+        for destination, path in paths.items():
+            if destination == source or len(path) < 2:
+                continue
+            tables[source][destination] = path[1]
+    return tables

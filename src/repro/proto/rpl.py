@@ -1,0 +1,158 @@
+"""RPL nodes for 6LoWPAN networks.
+
+A light DODAG formation: the root periodically multicasts DIOs with
+rank 256; other nodes adopt the best-ranked neighbour as parent, derive
+their own rank, re-advertise, and confirm routes upward with DAOs.  The
+observable artifacts — DIO floods, monotone rank gradients, DAO
+parent announcements — are what the Topology Discovery module keys on
+(the paper names "detection of known protocols such as RPL in 6LoWPAN"
+as a multi-hop signal) and what a sinkhole attacker manipulates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.addressing import BROADCAST
+from repro.net.packets.base import Medium, Packet, RawPayload
+from repro.net.packets.ieee802154 import Ieee802154Frame
+from repro.net.packets.rpl import INFINITE_RANK, RANK_INCREASE, ROOT_RANK, RplDao, RplDio
+from repro.net.packets.sixlowpan import SixLowpanPacket
+from repro.net.packets.udp import UdpDatagram
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId, stable_hash
+
+
+class RplNode(SimNode):
+    """A 6LoWPAN node participating in one RPL DODAG.
+
+    :param node_id: identity.
+    :param is_root: the DODAG root (border router).
+    :param dio_interval: seconds between DIO advertisements.
+    :param data_interval: seconds between upward UDP samples, or None.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float] = (0.0, 0.0),
+        is_root: bool = False,
+        dio_interval: float = 10.0,
+        data_interval: Optional[float] = None,
+        pan_id: int = 0x44,
+        min_link_rssi: float = -85.0,
+    ) -> None:
+        super().__init__(node_id, position, mediums=(Medium.IEEE_802_15_4,))
+        self.is_root = is_root
+        self.dio_interval = dio_interval
+        self.data_interval = data_interval
+        self.pan_id = pan_id
+        #: DIOs weaker than this are ignored — RPL's link-metric filter
+        #: keeping flaky edge-of-range parents out of the DODAG.
+        self.min_link_rssi = min_link_rssi
+        self.dodag_id = "dodag-root" if is_root else ""
+        self.rank: int = ROOT_RANK if is_root else INFINITE_RANK
+        self.parent: Optional[NodeId] = None
+        self._mac_seq = 0
+        self._sample = 0
+        #: Samples collected at the root: (origin, time).
+        self.collected: List[Tuple[NodeId, float]] = []
+        self.forwarded_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        jitter = (stable_hash(self.node_id) % 10) / 10.0
+        self.sim.schedule_every(
+            self.dio_interval,
+            self.send_dio,
+            first_delay=self.dio_interval * (0.1 + 0.05 * jitter),
+        )
+        if self.data_interval is not None and not self.is_root:
+            self.sim.schedule_every(
+                self.data_interval,
+                self.send_sample,
+                first_delay=self.data_interval * (0.5 + 0.05 * jitter),
+            )
+
+    # -- frame helpers ---------------------------------------------------------
+
+    def _frame(self, dst: NodeId, inner: Packet) -> Ieee802154Frame:
+        self._mac_seq += 1
+        lowpan = SixLowpanPacket(src=self.node_id, dst=dst, payload=inner)
+        return Ieee802154Frame(
+            pan_id=self.pan_id,
+            seq=self._mac_seq,
+            src=self.node_id,
+            dst=dst,
+            payload=lowpan,
+        )
+
+    # -- RPL control -----------------------------------------------------------
+
+    def send_dio(self) -> None:
+        if self.rank >= INFINITE_RANK:
+            return  # not joined yet; nothing credible to advertise
+        dio = RplDio(dodag_id=self.dodag_id, rank=self.rank)
+        self.send(Medium.IEEE_802_15_4, self._frame(BROADCAST, dio))
+
+    def advertised_rank(self) -> int:
+        """The rank this node puts in DIOs; sinkhole attackers lie here."""
+        return self.rank
+
+    def _on_dio(self, sender: NodeId, dio: RplDio) -> None:
+        if self.is_root:
+            return
+        candidate_rank = dio.rank + RANK_INCREASE
+        if candidate_rank < self.rank:
+            self.rank = candidate_rank
+            self.parent = sender
+            self.dodag_id = dio.dodag_id
+            dao = RplDao(target=self.node_id, parent=sender)
+            self.send(Medium.IEEE_802_15_4, self._frame(sender, dao))
+
+    # -- data plane --------------------------------------------------------------
+
+    def send_sample(self) -> None:
+        if self.parent is None:
+            return
+        self._sample += 1
+        datagram = UdpDatagram(sport=5683, dport=5683, payload=RawPayload(length=24))
+        self.send(Medium.IEEE_802_15_4, self._frame(self.parent, datagram))
+
+    # -- reception ----------------------------------------------------------------
+
+    def on_receive(
+        self, packet: Packet, medium: Medium, rssi: float, timestamp: float
+    ) -> None:
+        mac = packet if isinstance(packet, Ieee802154Frame) else None
+        if mac is None or mac.pan_id != self.pan_id:
+            return
+        lowpan = mac.payload
+        if not isinstance(lowpan, SixLowpanPacket):
+            return
+        inner = lowpan.payload
+        if isinstance(inner, RplDio):
+            if rssi >= self.min_link_rssi:
+                self._on_dio(mac.src, inner)
+        elif isinstance(inner, RplDao):
+            pass  # roots/parents record downward routes in full RPL
+        elif isinstance(inner, UdpDatagram) and mac.dst == self.node_id:
+            self._on_data(lowpan, timestamp)
+
+    def _on_data(self, lowpan: SixLowpanPacket, timestamp: float) -> None:
+        if self.is_root:
+            self.collected.append((lowpan.src, timestamp))
+            return
+        if self.parent is None or lowpan.hop_limit == 0:
+            return
+        self.forwarded_count += 1
+        self._mac_seq += 1
+        frame = Ieee802154Frame(
+            pan_id=self.pan_id,
+            seq=self._mac_seq,
+            src=self.node_id,
+            dst=self.parent,
+            payload=lowpan.forwarded(),
+        )
+        self.send(Medium.IEEE_802_15_4, frame)

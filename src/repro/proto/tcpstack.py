@@ -1,0 +1,215 @@
+"""A minimal TCP state machine.
+
+Just enough TCP that a sniffer sees realistic handshakes: SYN,
+SYN-ACK, ACK, optional data (PSH/ACK with an ACK back), and FIN/ACK
+teardown.  The SYN-flood detector compares the rate of SYNs against
+completed handshakes, so the distinction between half-open and
+established connections is the load-bearing part.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+
+
+class TcpConnectionState(enum.Enum):
+    """States of one connection (subset of RFC 793)."""
+
+    CLOSED = "closed"
+    SYN_SENT = "syn_sent"
+    SYN_RECEIVED = "syn_received"
+    ESTABLISHED = "established"
+    FIN_WAIT = "fin_wait"
+
+
+#: Connection key: (peer_ip, peer_port, local_port).
+ConnKey = Tuple[str, int, int]
+
+
+@dataclass
+class _Connection:
+    state: TcpConnectionState = TcpConnectionState.CLOSED
+    local_seq: int = 0
+    peer_seq: int = 0
+    pending_data: int = 0
+    close_after_ack: bool = False
+
+
+@dataclass
+class TcpStack:
+    """Per-host TCP connection bookkeeping.
+
+    The owner (an :class:`~repro.proto.iphost.IpHost`) feeds received
+    segments in and transmits whatever segments this stack returns.
+    """
+
+    listening_ports: set = field(default_factory=set)
+    _connections: Dict[ConnKey, _Connection] = field(default_factory=dict)
+    _next_seq: int = 1000
+    _next_ephemeral: int = 49152
+    established_count: int = 0
+
+    def listen(self, port: int) -> None:
+        self.listening_ports.add(port)
+
+    def allocate_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 65535:
+            self._next_ephemeral = 49152
+        return port
+
+    def _allocate_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 10_000
+        return seq
+
+    # -- client side -----------------------------------------------------------
+
+    def open(
+        self,
+        peer_ip: str,
+        peer_port: int,
+        data_bytes: int = 0,
+        close_after_ack: bool = True,
+    ) -> TcpSegment:
+        """Start a handshake; returns the SYN to transmit.
+
+        With ``close_after_ack`` (the default), the connection tears
+        down with a FIN once the peer acknowledges our data — the short
+        request/response lifecycle typical of IoT cloud check-ins.
+        """
+        local_port = self.allocate_port()
+        key = (peer_ip, peer_port, local_port)
+        connection = _Connection(
+            state=TcpConnectionState.SYN_SENT,
+            local_seq=self._allocate_seq(),
+            pending_data=data_bytes,
+            close_after_ack=close_after_ack and data_bytes > 0,
+        )
+        self._connections[key] = connection
+        return TcpSegment(
+            sport=local_port,
+            dport=peer_port,
+            flags=TcpFlags.SYN,
+            seq=connection.local_seq,
+        )
+
+    # -- segment processing ------------------------------------------------------
+
+    def on_segment(self, peer_ip: str, segment: TcpSegment) -> Optional[TcpSegment]:
+        """Process a received segment; returns the reply to send, if any."""
+        key = (peer_ip, segment.sport, segment.dport)
+        connection = self._connections.get(key)
+
+        if segment.is_syn:
+            return self._on_syn(key, segment)
+        if connection is None:
+            return None  # segment for an unknown connection; real stacks RST
+        if segment.is_syn_ack and connection.state is TcpConnectionState.SYN_SENT:
+            return self._on_syn_ack(connection, segment)
+        if segment.flags & TcpFlags.FIN:
+            return self._on_fin(key, connection, segment)
+        if segment.flags & TcpFlags.ACK:
+            return self._on_ack(connection, segment)
+        return None
+
+    def _on_syn(self, key: ConnKey, segment: TcpSegment) -> Optional[TcpSegment]:
+        if segment.dport not in self.listening_ports:
+            return TcpSegment(
+                sport=segment.dport,
+                dport=segment.sport,
+                flags=TcpFlags.RST,
+                ack=segment.seq + 1,
+            )
+        connection = _Connection(
+            state=TcpConnectionState.SYN_RECEIVED,
+            local_seq=self._allocate_seq(),
+            peer_seq=segment.seq,
+        )
+        self._connections[key] = connection
+        return TcpSegment(
+            sport=segment.dport,
+            dport=segment.sport,
+            flags=TcpFlags.SYN | TcpFlags.ACK,
+            seq=connection.local_seq,
+            ack=segment.seq + 1,
+        )
+
+    def _on_syn_ack(
+        self, connection: _Connection, segment: TcpSegment
+    ) -> TcpSegment:
+        connection.state = TcpConnectionState.ESTABLISHED
+        connection.peer_seq = segment.seq
+        self.established_count += 1
+        data = connection.pending_data
+        connection.pending_data = 0
+        flags = TcpFlags.ACK | (TcpFlags.PSH if data else TcpFlags.NONE)
+        return TcpSegment(
+            sport=segment.dport,
+            dport=segment.sport,
+            flags=flags,
+            seq=connection.local_seq + 1,
+            ack=segment.seq + 1,
+            data_length=data,
+        )
+
+    def _on_ack(
+        self, connection: _Connection, segment: TcpSegment
+    ) -> Optional[TcpSegment]:
+        if connection.state is TcpConnectionState.SYN_RECEIVED:
+            connection.state = TcpConnectionState.ESTABLISHED
+            self.established_count += 1
+        if segment.data_length > 0:
+            # Acknowledge received data.
+            return TcpSegment(
+                sport=segment.dport,
+                dport=segment.sport,
+                flags=TcpFlags.ACK,
+                seq=connection.local_seq + 1,
+                ack=segment.seq + segment.data_length,
+            )
+        if (
+            connection.close_after_ack
+            and connection.state is TcpConnectionState.ESTABLISHED
+        ):
+            # Our data was acknowledged; tear the connection down.
+            connection.state = TcpConnectionState.FIN_WAIT
+            return TcpSegment(
+                sport=segment.dport,
+                dport=segment.sport,
+                flags=TcpFlags.FIN | TcpFlags.ACK,
+                seq=connection.local_seq + 1,
+                ack=segment.seq + 1,
+            )
+        return None
+
+    def _on_fin(
+        self, key: ConnKey, connection: _Connection, segment: TcpSegment
+    ) -> TcpSegment:
+        del self._connections[key]
+        return TcpSegment(
+            sport=segment.dport,
+            dport=segment.sport,
+            flags=TcpFlags.FIN | TcpFlags.ACK,
+            seq=connection.local_seq + 1,
+            ack=segment.seq + 1,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def half_open_count(self) -> int:
+        """Connections stuck mid-handshake (SYN flood leaves many)."""
+        return sum(
+            1
+            for connection in self._connections.values()
+            if connection.state
+            in (TcpConnectionState.SYN_SENT, TcpConnectionState.SYN_RECEIVED)
+        )
+
+    def connection_count(self) -> int:
+        return len(self._connections)

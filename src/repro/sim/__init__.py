@@ -1,0 +1,51 @@
+"""Discrete-event network simulator.
+
+Replaces the paper's physical testbed (Odroid + TelosB bridge + live
+radios).  The simulator provides exactly the observable surface a
+passive IDS has in the real deployment:
+
+- frames delivered to addressed receivers and overheard by promiscuous
+  sniffers within radio range;
+- a received-signal-strength (RSSI) value per reception, produced by a
+  log-distance path-loss model with shadowing, so RSSI-based techniques
+  (mobility awareness, replica disambiguation) exercise the same code
+  path as on hardware;
+- a simulated clock.
+
+Ground truth (who the attacker is, true node positions) never crosses
+into the IDS; it flows only to :mod:`repro.metrics` for scoring.
+"""
+
+from repro.sim.capture import Capture
+from repro.sim.engine import Simulator
+from repro.sim.medium import PathLossParams, RadioMedium
+from repro.sim.mobility import (
+    MobilityModel,
+    RandomWaypointMobility,
+    StaticMobility,
+    TogglingMobility,
+)
+from repro.sim.node import SimNode, SnifferNode
+from repro.sim.topology import (
+    grid_positions,
+    line_positions,
+    random_positions,
+    star_positions,
+)
+
+__all__ = [
+    "Capture",
+    "Simulator",
+    "PathLossParams",
+    "RadioMedium",
+    "MobilityModel",
+    "RandomWaypointMobility",
+    "StaticMobility",
+    "TogglingMobility",
+    "SimNode",
+    "SnifferNode",
+    "grid_positions",
+    "line_positions",
+    "random_positions",
+    "star_positions",
+]

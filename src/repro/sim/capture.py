@@ -1,0 +1,48 @@
+"""The observation contract between the world and any IDS.
+
+A :class:`Capture` is everything a promiscuous sniffer can physically
+measure about one frame: the frame itself, when it arrived, on which
+medium/interface, and at what signal strength.  Crucially it does *not*
+identify the true transmitter — address fields inside the frame are
+attacker-controlled, and the RSSI is the only physical-layer hint about
+who really sent it.  Every IDS in this package (Kalis, the traditional
+baseline, the Snort baseline) consumes only Captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets.base import Medium, Packet
+from repro.util.ids import NodeId
+
+
+@dataclass(frozen=True)
+class Capture:
+    """One overheard frame.
+
+    :param packet: the outermost frame as captured off the air.
+    :param timestamp: capture time, seconds since scenario start.
+    :param medium: physical medium the frame was heard on.
+    :param rssi: received signal strength at the sniffer, in dBm.
+    :param observer: identifier of the sniffing node (the IDS's own id;
+        useful when multiple Kalis nodes share knowledge).
+    """
+
+    packet: Packet
+    timestamp: float
+    medium: Medium
+    rssi: float
+    observer: Optional[NodeId] = None
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+
+    def summary(self) -> str:
+        observer = f" @{self.observer}" if self.observer else ""
+        return (
+            f"[{self.timestamp:10.4f}s {self.medium.value:>9} "
+            f"{self.rssi:6.1f}dBm{observer}] {self.packet.summary()}"
+        )

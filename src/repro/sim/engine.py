@@ -1,0 +1,199 @@
+"""The discrete-event simulation engine.
+
+A classic event-queue simulator: callbacks are scheduled at absolute
+simulated times and dispatched in time order (FIFO among equal times).
+The engine also owns frame propagation — :meth:`Simulator.transmit`
+asks the medium which nodes can hear a frame and schedules deliveries.
+
+Determinism: node iteration is sorted by node id, tie-breaking in the
+event queue is by insertion sequence, and all randomness comes from the
+seeded generators in :mod:`repro.util.rng` — so a scenario re-run with
+the same seed reproduces every capture, RSSI value and alert exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.packets.base import Medium, Packet
+from repro.sim.medium import RadioMedium
+from repro.util.clock import ManualClock
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+#: Fixed per-frame propagation-plus-processing latency, seconds.
+TRANSMIT_LATENCY_S = 2e-4
+
+#: Approximate serialization rate used to add a size-dependent component.
+BITS_PER_SECOND = {
+    Medium.IEEE_802_15_4: 250_000.0,
+    Medium.WIFI: 54_000_000.0,
+    Medium.BLUETOOTH: 1_000_000.0,
+    Medium.WIRED: 1_000_000_000.0,
+}
+
+
+class Simulator:
+    """Owns simulated time, the node registry and the radio mediums."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.clock = ManualClock()
+        self.rng = SeededRng(seed, "sim")
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._nodes: Dict[NodeId, "SimNode"] = {}
+        self._mediums: Dict[Medium, RadioMedium] = {}
+        self.transmissions = 0
+        self.deliveries = 0
+        self._running = False
+
+    # -- registries ----------------------------------------------------------
+
+    def medium(self, medium: Medium) -> RadioMedium:
+        """Get (lazily creating) the propagation model for a medium."""
+        if medium not in self._mediums:
+            self._mediums[medium] = RadioMedium(
+                medium, rng=self.rng.substream("medium", medium.value)
+            )
+        return self._mediums[medium]
+
+    def set_medium(self, model: RadioMedium) -> None:
+        """Install a custom propagation model for its medium."""
+        self._mediums[model.medium] = model
+
+    def add_node(self, node: "SimNode") -> "SimNode":
+        """Register a node and schedule its :meth:`SimNode.start`."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        node.attach(self)
+        self.schedule_at(self.clock.now, node.start)
+        return node
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node from the world (e.g. after revocation)."""
+        node = self._nodes.pop(node_id, None)
+        if node is not None:
+            node.detach()
+
+    def node(self, node_id: NodeId) -> "SimNode":
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> List["SimNode"]:
+        """All nodes, sorted by id for deterministic iteration."""
+        return [self._nodes[key] for key in sorted(self._nodes)]
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past: now={self.clock.now}, at={timestamp}"
+            )
+        heapq.heappush(self._queue, (timestamp, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        first_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``callback`` periodically, optionally ending at ``until``."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+
+        def tick() -> None:
+            if until is not None and self.clock.now > until:
+                return
+            callback()
+            self.schedule_in(interval, tick)
+
+        self.schedule_in(first_delay if first_delay is not None else interval, tick)
+
+    def run_until(self, end_time: float) -> None:
+        """Dispatch events in order until simulated time reaches ``end_time``."""
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue and self._queue[0][0] <= end_time:
+                timestamp, _seq, callback = heapq.heappop(self._queue)
+                self.clock.advance_to(timestamp)
+                callback()
+            self.clock.advance_to(max(end_time, self.clock.now))
+        finally:
+            self._running = False
+
+    def run(self, duration: float) -> None:
+        """Run the simulation for ``duration`` more seconds."""
+        self.run_until(self.clock.now + duration)
+
+    # -- transmission --------------------------------------------------------
+
+    def transmit(self, sender: "SimNode", medium: Medium, packet: Packet) -> int:
+        """Broadcast a frame into the world; returns receptions scheduled.
+
+        Every node (other than the sender) equipped with the medium and
+        within radio range hears the frame; addressing is a convention
+        interpreted by receivers, exactly as on a shared wireless medium.
+        """
+        model = self.medium(medium)
+        self.transmissions += 1
+        airtime = packet.size_bytes * 8.0 / BITS_PER_SECOND[medium]
+        arrival = self.clock.now + TRANSMIT_LATENCY_S + airtime
+        receptions = 0
+        for receiver in self.nodes():
+            if receiver.node_id == sender.node_id:
+                continue
+            if medium not in receiver.mediums:
+                continue
+            distance = _distance(sender.position, receiver.position)
+            rssi = model.rssi_at(distance)
+            if not model.receivable(rssi):
+                continue
+            if model.frame_lost():
+                continue
+            receptions += 1
+            self.deliveries += 1
+            self.schedule_at(
+                arrival,
+                _Delivery(receiver, packet, medium, rssi, arrival),
+            )
+        return receptions
+
+
+class _Delivery:
+    """A scheduled frame delivery (callable; keeps the queue picklable)."""
+
+    __slots__ = ("receiver", "packet", "medium", "rssi", "timestamp")
+
+    def __init__(self, receiver, packet, medium, rssi, timestamp) -> None:
+        self.receiver = receiver
+        self.packet = packet
+        self.medium = medium
+        self.rssi = rssi
+        self.timestamp = timestamp
+
+    def __call__(self) -> None:
+        if self.receiver.attached:
+            self.receiver.handle_frame(
+                self.packet, self.medium, self.rssi, self.timestamp
+            )
+
+
+def _distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    return math.hypot(a[0] - b[0], a[1] - b[1])

@@ -1,0 +1,140 @@
+"""Radio propagation model.
+
+A :class:`RadioMedium` computes, for each transmission, which nodes can
+hear it and at what RSSI, using the standard log-distance path-loss
+model with log-normal shadowing::
+
+    rssi(d) = tx_power - (pl_d0 + 10 * exponent * log10(d / d0)) + X_sigma
+
+A frame is receivable when its RSSI is at or above the medium's receiver
+sensitivity.  Radio range is therefore an emergent property of the
+path-loss parameters, which keeps single-hop vs multi-hop topologies
+honest: a "multi-hop" network is simply one whose nodes are physically
+placed so that the sensitivity threshold forces intermediate forwarders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.net.packets.base import Medium
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class PathLossParams:
+    """Parameters of the log-distance path-loss model for one medium.
+
+    :param tx_power_dbm: transmit power.
+    :param pl_d0_db: path loss at the reference distance ``d0``.
+    :param exponent: path-loss exponent (2 free space, ~3 indoors).
+    :param d0_m: reference distance in metres.
+    :param sensitivity_dbm: minimum RSSI at which reception succeeds.
+    :param shadowing_sigma_db: std-dev of log-normal shadowing.
+    """
+
+    tx_power_dbm: float = 0.0
+    pl_d0_db: float = 40.0
+    exponent: float = 3.0
+    d0_m: float = 1.0
+    sensitivity_dbm: float = -90.0
+    shadowing_sigma_db: float = 1.5
+
+    def mean_rssi(self, distance_m: float) -> float:
+        """Deterministic (shadowing-free) RSSI at a given distance."""
+        clamped = max(distance_m, 0.1)
+        path_loss = self.pl_d0_db + 10.0 * self.exponent * math.log10(
+            clamped / self.d0_m
+        )
+        return self.tx_power_dbm - path_loss
+
+    def max_range_m(self) -> float:
+        """Distance at which mean RSSI crosses the sensitivity floor."""
+        budget = self.tx_power_dbm - self.sensitivity_dbm - self.pl_d0_db
+        return self.d0_m * 10.0 ** (budget / (10.0 * self.exponent))
+
+
+#: Defaults per medium, roughly matching commodity hardware:
+#: 802.15.4 motes (0 dBm, ~-90 dBm sensitivity, short range),
+#: home WiFi (20 dBm, longer range), BLE (0 dBm, short range).
+DEFAULT_PARAMS = {
+    Medium.IEEE_802_15_4: PathLossParams(
+        tx_power_dbm=0.0,
+        pl_d0_db=40.0,
+        exponent=3.0,
+        sensitivity_dbm=-90.0,
+        shadowing_sigma_db=1.5,
+    ),
+    Medium.WIFI: PathLossParams(
+        tx_power_dbm=20.0,
+        pl_d0_db=40.0,
+        exponent=3.0,
+        sensitivity_dbm=-85.0,
+        shadowing_sigma_db=2.0,
+    ),
+    Medium.BLUETOOTH: PathLossParams(
+        tx_power_dbm=0.0,
+        pl_d0_db=40.0,
+        exponent=3.0,
+        sensitivity_dbm=-80.0,
+        shadowing_sigma_db=2.0,
+    ),
+    Medium.WIRED: PathLossParams(
+        tx_power_dbm=0.0,
+        pl_d0_db=0.0,
+        exponent=0.01,
+        sensitivity_dbm=-100.0,
+        shadowing_sigma_db=0.0,
+    ),
+}
+
+
+class RadioMedium:
+    """Propagation and loss model for one physical medium."""
+
+    def __init__(
+        self,
+        medium: Medium,
+        params: PathLossParams = None,
+        rng: SeededRng = None,
+        base_loss_probability: float = 0.0,
+    ) -> None:
+        if params is None:
+            params = DEFAULT_PARAMS[medium]
+        if not 0.0 <= base_loss_probability < 1.0:
+            raise ValueError(
+                f"base_loss_probability must be in [0, 1), got {base_loss_probability}"
+            )
+        self.medium = medium
+        self.params = params
+        self._rng = rng if rng is not None else SeededRng(0, "medium", medium.value)
+        self.base_loss_probability = base_loss_probability
+        #: Extra loss injected by environment effects (e.g. jamming attack).
+        self.interference_loss_probability = 0.0
+
+    def rssi_at(self, distance_m: float) -> float:
+        """Sample the RSSI for one reception at the given distance."""
+        mean = self.params.mean_rssi(distance_m)
+        sigma = self.params.shadowing_sigma_db
+        if sigma <= 0:
+            return mean
+        return mean + self._rng.normal(0.0, sigma)
+
+    def receivable(self, rssi_dbm: float) -> bool:
+        return rssi_dbm >= self.params.sensitivity_dbm
+
+    def frame_lost(self) -> bool:
+        """Sample whether an otherwise-receivable frame is dropped."""
+        loss = self.base_loss_probability + self.interference_loss_probability
+        if loss <= 0.0:
+            return False
+        return self._rng.chance(min(loss, 0.999))
+
+    def set_interference(self, loss_probability: float) -> None:
+        """Set environment-induced loss (used by the jamming attack)."""
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1], got {loss_probability}"
+            )
+        self.interference_loss_probability = loss_probability

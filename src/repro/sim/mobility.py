@@ -1,0 +1,173 @@
+"""Mobility models.
+
+The replication-attack experiment (paper §VI-B2) runs on a network that
+"randomly changes between a static and mobile behavior of the nodes over
+time"; :class:`TogglingMobility` reproduces exactly that, alternating a
+:class:`StaticMobility` phase with a :class:`RandomWaypointMobility`
+phase.  Mobility matters to the IDS only through its physical effect:
+moving nodes change their distances to the sniffer, hence their RSSI,
+which the Mobility Awareness sensing module picks up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+Position = Tuple[float, float]
+
+
+class MobilityModel:
+    """Base mobility model: periodically repositions a set of nodes."""
+
+    def __init__(self, node_ids: Sequence[NodeId], update_interval: float = 1.0):
+        if update_interval <= 0:
+            raise ValueError(f"update_interval must be positive, got {update_interval}")
+        self.node_ids = list(node_ids)
+        self.update_interval = update_interval
+
+    def install(self, sim, until: Optional[float] = None) -> None:
+        """Attach to a simulator: tick every ``update_interval`` seconds."""
+        sim.schedule_every(self.update_interval, lambda: self.tick(sim), until=until)
+
+    def tick(self, sim) -> None:
+        """Advance one mobility step; override in subclasses."""
+
+    @property
+    def is_mobile_now(self) -> bool:
+        """Ground truth: whether nodes are currently moving (for scoring)."""
+        return False
+
+
+class StaticMobility(MobilityModel):
+    """Nodes never move."""
+
+    def tick(self, sim) -> None:  # noqa: D102 - nothing to do
+        pass
+
+
+class RandomWaypointMobility(MobilityModel):
+    """The classic random-waypoint model.
+
+    Each node picks a random destination inside ``area`` and walks toward
+    it at ``speed`` metres/second; on arrival it picks a new waypoint.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[NodeId],
+        area: Tuple[float, float, float, float],
+        speed: float = 1.0,
+        update_interval: float = 1.0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(node_ids, update_interval)
+        x_min, y_min, x_max, y_max = area
+        if x_max <= x_min or y_max <= y_min:
+            raise ValueError(f"degenerate area {area}")
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self.area = area
+        self.speed = speed
+        self._rng = rng if rng is not None else SeededRng(0, "mobility")
+        self._waypoints: Dict[NodeId, Position] = {}
+
+    @property
+    def is_mobile_now(self) -> bool:
+        return True
+
+    def _pick_waypoint(self) -> Position:
+        x_min, y_min, x_max, y_max = self.area
+        return (self._rng.uniform(x_min, x_max), self._rng.uniform(y_min, y_max))
+
+    def tick(self, sim) -> None:
+        step = self.speed * self.update_interval
+        for node_id in self.node_ids:
+            if not sim.has_node(node_id):
+                continue
+            node = sim.node(node_id)
+            waypoint = self._waypoints.get(node_id)
+            if waypoint is None:
+                waypoint = self._pick_waypoint()
+                self._waypoints[node_id] = waypoint
+            dx = waypoint[0] - node.position[0]
+            dy = waypoint[1] - node.position[1]
+            distance = math.hypot(dx, dy)
+            if distance <= step:
+                node.move_to(waypoint)
+                self._waypoints[node_id] = self._pick_waypoint()
+            else:
+                fraction = step / distance
+                node.move_to(
+                    (node.position[0] + dx * fraction, node.position[1] + dy * fraction)
+                )
+
+
+class TogglingMobility(MobilityModel):
+    """Alternates randomly between static and mobile phases.
+
+    Phase durations are sampled uniformly from ``phase_range``; the model
+    exposes :attr:`is_mobile_now` as ground truth so experiments can
+    score whether the IDS selected the right replication detector.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[NodeId],
+        area: Tuple[float, float, float, float],
+        speed: float = 1.0,
+        phase_range: Tuple[float, float] = (20.0, 60.0),
+        update_interval: float = 1.0,
+        rng: Optional[SeededRng] = None,
+        start_mobile: bool = False,
+    ) -> None:
+        super().__init__(node_ids, update_interval)
+        low, high = phase_range
+        if low <= 0 or high < low:
+            raise ValueError(f"invalid phase_range {phase_range}")
+        self._rng = rng if rng is not None else SeededRng(0, "toggling-mobility")
+        self._mobile_model = RandomWaypointMobility(
+            node_ids,
+            area,
+            speed=speed,
+            update_interval=update_interval,
+            rng=self._rng.substream("waypoints"),
+        )
+        self.phase_range = phase_range
+        self._mobile = start_mobile
+        self._phase_ends_at: Optional[float] = None
+        #: (time, is_mobile) phase-change log, for experiment scoring.
+        self.phase_history: List[Tuple[float, bool]] = []
+
+    @property
+    def is_mobile_now(self) -> bool:
+        return self._mobile
+
+    def _next_phase_duration(self) -> float:
+        low, high = self.phase_range
+        return self._rng.uniform(low, high)
+
+    def tick(self, sim) -> None:
+        now = sim.clock.now
+        if self._phase_ends_at is None:
+            self._phase_ends_at = now + self._next_phase_duration()
+            self.phase_history.append((now, self._mobile))
+        if now >= self._phase_ends_at:
+            self._mobile = not self._mobile
+            self._phase_ends_at = now + self._next_phase_duration()
+            self.phase_history.append((now, self._mobile))
+        if self._mobile:
+            self._mobile_model.tick(sim)
+
+    def mobile_at(self, timestamp: float) -> bool:
+        """Ground-truth mobility state at a past instant."""
+        state = False
+        for change_time, is_mobile in self.phase_history:
+            if change_time <= timestamp:
+                state = is_mobile
+            else:
+                break
+        return state

@@ -1,0 +1,153 @@
+"""Simulation nodes.
+
+:class:`SimNode` is the base for every simulated entity — IoT devices,
+WSN motes, routers, attackers and IDS sniffers.  A node has an id, a
+position, a set of radio mediums it is equipped with, and receives
+frames through :meth:`handle_frame`.
+
+:class:`SnifferNode` is the promiscuous observer an IDS deploys: it
+turns every overheard frame into a :class:`~repro.sim.capture.Capture`
+and hands it to registered listeners.  It never transmits (except when a
+higher layer, such as Kalis' collective-knowledge sync, explicitly asks
+it to).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.net.addressing import BROADCAST
+from repro.net.packets.base import Medium, Packet
+from repro.sim.capture import Capture
+from repro.util.ids import NodeId
+
+CaptureListener = Callable[[Capture], None]
+
+
+def frame_destination(packet: Packet) -> Optional[NodeId]:
+    """The link-layer destination of the outermost addressed layer."""
+    destination = getattr(packet, "dst", None)
+    return destination if isinstance(destination, NodeId) else None
+
+
+class SimNode:
+    """Base class for all simulated entities."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float] = (0.0, 0.0),
+        mediums: Iterable[Medium] = (Medium.WIFI,),
+        promiscuous: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self.position = (float(position[0]), float(position[1]))
+        self.mediums = frozenset(mediums)
+        if not self.mediums:
+            raise ValueError(f"node {node_id} must have at least one medium")
+        self.promiscuous = promiscuous
+        self.sim = None
+        self.attached = False
+        self.sent_count = 0
+        self.received_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, sim) -> None:
+        self.sim = sim
+        self.attached = True
+
+    def detach(self) -> None:
+        self.attached = False
+
+    def start(self) -> None:
+        """Called once when the node enters the simulation; override to
+        schedule periodic behaviour."""
+
+    # -- movement ------------------------------------------------------------
+
+    def move_to(self, position: Tuple[float, float]) -> None:
+        self.position = (float(position[0]), float(position[1]))
+
+    # -- IO ------------------------------------------------------------------
+
+    def send(self, medium: Medium, packet: Packet) -> int:
+        """Transmit a frame; returns the number of receptions scheduled."""
+        if not self.attached:
+            return 0
+        if medium not in self.mediums:
+            raise ValueError(
+                f"node {self.node_id} has no {medium.value} interface"
+            )
+        self.sent_count += 1
+        return self.sim.transmit(self, medium, packet)
+
+    def handle_frame(
+        self, packet: Packet, medium: Medium, rssi: float, timestamp: float
+    ) -> None:
+        """Dispatch an arriving frame to :meth:`on_receive`/:meth:`on_overhear`.
+
+        Addressing is a receiver-side convention: frames addressed to
+        this node (or broadcast, or with no link-layer destination) go to
+        :meth:`on_receive`; promiscuous nodes additionally observe
+        everything through :meth:`on_overhear`.
+        """
+        destination = frame_destination(packet)
+        addressed = (
+            destination is None
+            or destination == self.node_id
+            or destination == BROADCAST
+        )
+        if addressed:
+            self.received_count += 1
+            self.on_receive(packet, medium, rssi, timestamp)
+        if self.promiscuous:
+            self.on_overhear(packet, medium, rssi, timestamp)
+
+    def on_receive(
+        self, packet: Packet, medium: Medium, rssi: float, timestamp: float
+    ) -> None:
+        """Handle a frame addressed to this node; override in subclasses."""
+
+    def on_overhear(
+        self, packet: Packet, medium: Medium, rssi: float, timestamp: float
+    ) -> None:
+        """Handle any overheard frame (promiscuous nodes only)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.node_id})"
+
+
+class SnifferNode(SimNode):
+    """A promiscuous observer that forwards every frame as a Capture."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Tuple[float, float] = (0.0, 0.0),
+        mediums: Iterable[Medium] = (
+            Medium.WIFI,
+            Medium.IEEE_802_15_4,
+            Medium.BLUETOOTH,
+        ),
+    ) -> None:
+        super().__init__(node_id, position, mediums, promiscuous=True)
+        self._listeners: List[CaptureListener] = []
+        self.captures = 0
+
+    def add_listener(self, listener: CaptureListener) -> None:
+        self._listeners.append(listener)
+
+    def on_overhear(
+        self, packet: Packet, medium: Medium, rssi: float, timestamp: float
+    ) -> None:
+        capture = Capture(
+            packet=packet,
+            timestamp=timestamp,
+            medium=medium,
+            rssi=rssi,
+            observer=self.node_id,
+        )
+        self.captures += 1
+        for listener in self._listeners:
+            listener(capture)

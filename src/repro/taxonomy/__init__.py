@@ -1,0 +1,44 @@
+"""Machine-readable encodings of the paper's two taxonomies (§III-B).
+
+- :mod:`~repro.taxonomy.by_target` — Table I: attack patterns by
+  source and target (Denial of Service / Denial of Thing / Control
+  Denial of Thing / Denial of Routing);
+- :mod:`~repro.taxonomy.by_feature` — Figure 3: the relationships
+  between network/device features and attacks (possible / impossible /
+  technique-depends-on-feature).
+
+Both are data, not prose: tests machine-check the Figure 3 matrix
+against the actual ``REQUIREMENTS`` declared by the detection-module
+library, so the taxonomy and the implementation cannot silently drift
+apart.
+"""
+
+from repro.taxonomy.by_feature import (
+    ATTACKS,
+    FEATURES,
+    Applicability,
+    applicability,
+    feature_matrix,
+    render_matrix,
+)
+from repro.taxonomy.by_target import (
+    AttackPattern,
+    EntityClass,
+    attack_pattern,
+    target_table,
+    render_target_table,
+)
+
+__all__ = [
+    "ATTACKS",
+    "FEATURES",
+    "Applicability",
+    "applicability",
+    "feature_matrix",
+    "render_matrix",
+    "AttackPattern",
+    "EntityClass",
+    "attack_pattern",
+    "target_table",
+    "render_target_table",
+]

@@ -1,0 +1,195 @@
+"""Figure 3 — relationships between network/device features and attacks.
+
+"Dots and crosses indicate the possibility and impossibility,
+respectively, of an attack in presence of a specific feature; circles
+indicate that the appropriate detection technique for the attack
+depends on the specific feature."
+
+The features here are the binary features the module library actually
+consumes (each feature name is one side of a knowgget):
+
+- ``single_hop`` / ``multi_hop`` — the Topology Discovery verdict;
+- ``static`` / ``mobile`` — the Mobility Awareness verdict;
+- ``integrity_protected`` — cryptographic prevention deployed (a static
+  knowgget; the paper's "presence of prevention techniques" feature).
+
+Tests cross-check every POSSIBLE/IMPOSSIBLE cell against the detection
+modules' declared ``REQUIREMENTS``, so this matrix is enforced, not
+decorative.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+#: Attack vocabulary (the SymptomLog / Alert attack names).
+ATTACKS: Tuple[str, ...] = (
+    "icmp_flood",
+    "smurf",
+    "syn_flood",
+    "selective_forwarding",
+    "blackhole",
+    "wormhole",
+    "sinkhole",
+    "replication",
+    "sybil",
+    "spoofing",
+    "hello_flood",
+    "data_alteration",
+    "jamming",
+)
+
+#: Feature vocabulary.
+FEATURES: Tuple[str, ...] = (
+    "single_hop",
+    "multi_hop",
+    "static",
+    "mobile",
+    "integrity_protected",
+)
+
+
+class Applicability(enum.Enum):
+    """One Figure 3 cell."""
+
+    POSSIBLE = "o"          # dot: the attack can happen
+    IMPOSSIBLE = "x"        # cross: the attack cannot happen
+    TECHNIQUE_DEPENDS = "?"  # circle: detection technique depends on it
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_O = Applicability.POSSIBLE
+_X = Applicability.IMPOSSIBLE
+_D = Applicability.TECHNIQUE_DEPENDS
+
+#: The matrix.  Keys: (attack, feature).
+_MATRIX: Dict[Tuple[str, str], Applicability] = {
+    # ICMP flood: works anywhere; technique unaffected by mobility.
+    ("icmp_flood", "single_hop"): _O,
+    ("icmp_flood", "multi_hop"): _O,
+    ("icmp_flood", "static"): _O,
+    ("icmp_flood", "mobile"): _O,
+    ("icmp_flood", "integrity_protected"): _O,
+    # Smurf: needs a reflection path — impossible single-hop (§III-A1).
+    ("smurf", "single_hop"): _X,
+    ("smurf", "multi_hop"): _O,
+    ("smurf", "static"): _O,
+    ("smurf", "mobile"): _O,
+    ("smurf", "integrity_protected"): _O,
+    # SYN flood: topology-independent.
+    ("syn_flood", "single_hop"): _O,
+    ("syn_flood", "multi_hop"): _O,
+    ("syn_flood", "static"): _O,
+    ("syn_flood", "mobile"): _O,
+    ("syn_flood", "integrity_protected"): _O,
+    # Selective forwarding: nothing to forward in single-hop nets (§III).
+    ("selective_forwarding", "single_hop"): _X,
+    ("selective_forwarding", "multi_hop"): _O,
+    ("selective_forwarding", "static"): _O,
+    ("selective_forwarding", "mobile"): _O,
+    ("selective_forwarding", "integrity_protected"): _O,
+    # Blackhole: same structural constraint as selective forwarding.
+    ("blackhole", "single_hop"): _X,
+    ("blackhole", "multi_hop"): _O,
+    ("blackhole", "static"): _O,
+    ("blackhole", "mobile"): _O,
+    ("blackhole", "integrity_protected"): _O,
+    # Wormhole: needs a multi-hop fabric to tunnel across.
+    ("wormhole", "single_hop"): _X,
+    ("wormhole", "multi_hop"): _O,
+    ("wormhole", "static"): _O,
+    ("wormhole", "mobile"): _O,
+    ("wormhole", "integrity_protected"): _O,
+    # Sinkhole: needs a routing gradient; detection differs single vs
+    # multi-hop (a "circle" in the paper, §III-B2).
+    ("sinkhole", "single_hop"): _X,
+    ("sinkhole", "multi_hop"): _O,
+    ("sinkhole", "static"): _O,
+    ("sinkhole", "mobile"): _O,
+    ("sinkhole", "integrity_protected"): _O,
+    # Replication: possible everywhere, but the technique depends on
+    # mobility — the paper's §VI-B2 experiment (circles on both).
+    ("replication", "single_hop"): _O,
+    ("replication", "multi_hop"): _O,
+    ("replication", "static"): _D,
+    ("replication", "mobile"): _D,
+    ("replication", "integrity_protected"): _O,
+    # Sybil: detection technique also hinges on mobility (RSSI-based
+    # fingerprinting needs a static network; §III-B2 names sybil).
+    ("sybil", "single_hop"): _O,
+    ("sybil", "multi_hop"): _O,
+    ("sybil", "static"): _D,
+    ("sybil", "mobile"): _D,
+    ("sybil", "integrity_protected"): _O,
+    # Spoofing: RSSI fingerprinting, same mobility dependence.
+    ("spoofing", "single_hop"): _O,
+    ("spoofing", "multi_hop"): _O,
+    ("spoofing", "static"): _D,
+    ("spoofing", "mobile"): _D,
+    ("spoofing", "integrity_protected"): _O,
+    # HELLO flood: link-local beacon abuse, works anywhere.
+    ("hello_flood", "single_hop"): _O,
+    ("hello_flood", "multi_hop"): _O,
+    ("hello_flood", "static"): _O,
+    ("hello_flood", "mobile"): _O,
+    ("hello_flood", "integrity_protected"): _O,
+    # Data alteration: needs forwarders to tamper in transit, and
+    # cryptographic integrity protection makes it impossible (§III-B2).
+    ("data_alteration", "single_hop"): _X,
+    ("data_alteration", "multi_hop"): _O,
+    ("data_alteration", "static"): _O,
+    ("data_alteration", "mobile"): _O,
+    ("data_alteration", "integrity_protected"): _X,
+    # Jamming: a physical-layer attack, indifferent to every logical
+    # feature; crypto cannot protect the channel itself.
+    ("jamming", "single_hop"): _O,
+    ("jamming", "multi_hop"): _O,
+    ("jamming", "static"): _O,
+    ("jamming", "mobile"): _O,
+    ("jamming", "integrity_protected"): _O,
+}
+
+
+def applicability(attack: str, feature: str) -> Applicability:
+    """The Figure 3 cell for (attack, feature)."""
+    key = (attack, feature)
+    if key not in _MATRIX:
+        raise KeyError(f"({attack}, {feature}) is outside the Figure 3 matrix")
+    return _MATRIX[key]
+
+
+def feature_matrix() -> Dict[Tuple[str, str], Applicability]:
+    """A copy of the full matrix."""
+    return dict(_MATRIX)
+
+
+def attacks_impossible_given(feature: str) -> List[str]:
+    """Attacks ruled out by the presence of a feature."""
+    return sorted(
+        attack
+        for attack in ATTACKS
+        if _MATRIX[(attack, feature)] is Applicability.IMPOSSIBLE
+    )
+
+
+def render_matrix() -> str:
+    """Render the matrix as aligned text (the bench for E8 prints this).
+
+    Legend follows the paper: ``o`` possible, ``x`` impossible, ``?``
+    technique depends on the feature.
+    """
+    header = ["attack \\ feature"] + list(FEATURES)
+    rows = [header]
+    for attack in ATTACKS:
+        row = [attack]
+        for feature in FEATURES:
+            row.append(_MATRIX[(attack, feature)].value)
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = ["legend: o possible, x impossible, ? technique depends on feature", ""]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Table I — taxonomy of IoT attacks by source and target.
+
+Rows are attack sources, columns are targets; each cell is the attack
+pattern class, or None where the pair is infeasible ("a sub would not
+typically be able to attack a router or an Internet service directly,
+as it lacks the communication hardware", §III-B1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+
+class EntityClass(enum.Enum):
+    """The entity classes of the paper's communication patterns."""
+
+    INTERNET_SERVICE = "Internet Service"
+    HUB = "Hub"
+    SUB = "Sub"
+    ROUTER = "Router"
+    INTERNET = "Internet"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AttackPattern(enum.Enum):
+    """The pattern classes named in Table I."""
+
+    DENIAL_OF_SERVICE = "Denial of Service"
+    REMOTE_DENIAL_OF_THING = "Remote Denial of Thing"
+    CONTROL_DENIAL_OF_THING = "Control Denial of Thing"
+    DENIAL_OF_THING = "Denial of Thing"
+    DENIAL_OF_ROUTING = "Denial of Routing"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The exact contents of Table I.  Keys: (source, target).
+_TABLE: Dict[Tuple[EntityClass, EntityClass], Optional[AttackPattern]] = {
+    # Internet as source.
+    (EntityClass.INTERNET, EntityClass.INTERNET_SERVICE): AttackPattern.DENIAL_OF_SERVICE,
+    (EntityClass.INTERNET, EntityClass.HUB): AttackPattern.REMOTE_DENIAL_OF_THING,
+    (EntityClass.INTERNET, EntityClass.SUB): None,
+    (EntityClass.INTERNET, EntityClass.ROUTER): None,
+    # Hub as source.
+    (EntityClass.HUB, EntityClass.INTERNET_SERVICE): AttackPattern.DENIAL_OF_SERVICE,
+    (EntityClass.HUB, EntityClass.HUB): AttackPattern.CONTROL_DENIAL_OF_THING,
+    (EntityClass.HUB, EntityClass.SUB): AttackPattern.DENIAL_OF_THING,
+    (EntityClass.HUB, EntityClass.ROUTER): AttackPattern.DENIAL_OF_ROUTING,
+    # Sub as source.
+    (EntityClass.SUB, EntityClass.INTERNET_SERVICE): None,
+    (EntityClass.SUB, EntityClass.HUB): None,
+    (EntityClass.SUB, EntityClass.SUB): AttackPattern.DENIAL_OF_THING,
+    (EntityClass.SUB, EntityClass.ROUTER): None,
+    # Router as source.
+    (EntityClass.ROUTER, EntityClass.INTERNET_SERVICE): None,
+    (EntityClass.ROUTER, EntityClass.HUB): AttackPattern.CONTROL_DENIAL_OF_THING,
+    (EntityClass.ROUTER, EntityClass.SUB): None,
+    (EntityClass.ROUTER, EntityClass.ROUTER): AttackPattern.DENIAL_OF_ROUTING,
+}
+
+#: Row (source) order as printed in the paper.
+SOURCES = (EntityClass.INTERNET, EntityClass.HUB, EntityClass.SUB, EntityClass.ROUTER)
+#: Column (target) order as printed in the paper.
+TARGETS = (
+    EntityClass.INTERNET_SERVICE,
+    EntityClass.HUB,
+    EntityClass.SUB,
+    EntityClass.ROUTER,
+)
+
+
+def attack_pattern(
+    source: EntityClass, target: EntityClass
+) -> Optional[AttackPattern]:
+    """The Table I cell for a (source, target) pair; None = infeasible."""
+    if (source, target) not in _TABLE:
+        raise KeyError(f"pair ({source}, {target}) is outside Table I")
+    return _TABLE[(source, target)]
+
+
+def target_table() -> Dict[Tuple[EntityClass, EntityClass], Optional[AttackPattern]]:
+    """A copy of the full table."""
+    return dict(_TABLE)
+
+
+def render_target_table() -> str:
+    """Render Table I as aligned text (the bench for E7 prints this)."""
+    header = ["SOURCE \\ TARGET"] + [target.value for target in TARGETS]
+    rows = [header]
+    for source in SOURCES:
+        row = [source.value]
+        for target in TARGETS:
+            pattern = _TABLE[(source, target)]
+            row.append(pattern.value if pattern else "-")
+        rows.append(row)
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""The attack-to-module mapping and feature-to-knowledge translation.
+
+Connects the Figure 3 taxonomy vocabulary to the concrete module
+library: which detection modules cover each attack, and which knowgget
+assignment expresses each taxonomy feature.  Tests and benchmarks use
+these to machine-check that taxonomy and implementation agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.util.ids import NodeId
+
+#: Detection modules covering each attack in the taxonomy vocabulary.
+MODULES_FOR_ATTACK: Dict[str, List[str]] = {
+    "icmp_flood": ["IcmpFloodModule"],
+    "smurf": ["SmurfModule"],
+    "syn_flood": ["SynFloodModule"],
+    "selective_forwarding": ["ForwardingMisbehaviorModule"],
+    "blackhole": ["ForwardingMisbehaviorModule"],
+    "wormhole": ["WormholeModule"],
+    "sinkhole": ["SinkholeModule"],
+    "replication": ["ReplicationStaticModule", "ReplicationMobileModule"],
+    "sybil": ["SybilModule"],
+    "spoofing": ["SpoofingModule"],
+    "hello_flood": ["HelloFloodModule"],
+    "data_alteration": ["DataAlterationModule"],
+    "jamming": ["JammingModule"],
+}
+
+#: Attacks whose observable surface is the WiFi/IP side; the Figure 3
+#: hop-count feature maps to that medium's Multihop knowgget for them.
+WIFI_ATTACKS = frozenset({"icmp_flood", "smurf", "syn_flood"})
+
+
+def feature_knowledge(attack: str, feature: str) -> Tuple[str, bool]:
+    """The (knowgget label, value) expressing a feature for an attack."""
+    medium_label = (
+        "Multihop.wifi" if attack in WIFI_ATTACKS else "Multihop.802154"
+    )
+    mapping = {
+        "single_hop": (medium_label, False),
+        "multi_hop": (medium_label, True),
+        "static": ("Mobility", False),
+        "mobile": ("Mobility", True),
+        "integrity_protected": ("IntegrityProtection", True),
+    }
+    if feature not in mapping:
+        raise KeyError(f"unknown feature {feature!r}")
+    return mapping[feature]
+
+
+def enabling_knowledge_base(attack: str):
+    """A Knowledge Base under which the attack's modules are required."""
+    from repro.core.knowledge import KnowledgeBase
+    from repro.core.modules.base import EXISTS
+    from repro.core.modules.registry import module_class
+
+    kb = KnowledgeBase(NodeId("kalis-1"))
+    for name in MODULES_FOR_ATTACK[attack]:
+        for requirement in module_class(name).REQUIREMENTS:
+            if requirement.equals is EXISTS:
+                if kb.get_knowgget(requirement.label) is None:
+                    kb.put(requirement.label, True)
+            elif not requirement.negate:
+                kb.put(requirement.label, requirement.equals)
+    return kb

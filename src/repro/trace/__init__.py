@@ -1,0 +1,31 @@
+"""Traffic trace recording, storage and replay.
+
+The paper's evaluation methodology: "we choose to record and replay
+actual traces of network traffic from these devices, enhanced with
+additional packets representing symptoms of such attacks" (§VI-A).
+This package implements that pipeline:
+
+- :class:`~repro.trace.recorder.TraceRecorder` records captures from a
+  sniffer into a :class:`~repro.trace.trace.Trace`;
+- ground-truth attack labels ride alongside each record (never visible
+  to the IDS, only to the scorer);
+- traces persist to JSONL (optionally gzipped) and round-trip exactly;
+- :class:`~repro.trace.replay.TraceReplayer` feeds a trace back into any
+  capture listener — the Kalis Data Store replays traffic
+  "transparently to the detection modules, which will perform their
+  tasks as if operating on live traffic" (§IV-B2).
+"""
+
+from repro.trace.inject import SymptomInjector
+from repro.trace.record import TraceRecord
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import TraceReplayer
+from repro.trace.trace import Trace
+
+__all__ = [
+    "SymptomInjector",
+    "Trace",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+]

@@ -1,0 +1,42 @@
+"""Recording live simulation traffic into a trace."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.capture import Capture
+from repro.sim.node import SnifferNode
+from repro.trace.record import TraceRecord
+from repro.trace.trace import Trace
+
+#: Labels a capture with ground truth: returns (attack, attacker, instance)
+#: or None for benign traffic.  Scenario harnesses provide this from the
+#: attacker objects they instantiated.
+GroundTruthLabeler = Callable[[Capture], Optional[tuple]]
+
+
+class TraceRecorder:
+    """Attaches to a sniffer and accumulates a labelled trace."""
+
+    def __init__(self, labeler: Optional[GroundTruthLabeler] = None) -> None:
+        self.trace = Trace()
+        self._labeler = labeler
+
+    def attach(self, sniffer: SnifferNode) -> "TraceRecorder":
+        sniffer.add_listener(self.on_capture)
+        return self
+
+    def on_capture(self, capture: Capture) -> None:
+        labels = self._labeler(capture) if self._labeler else None
+        if labels is None:
+            self.trace.append(TraceRecord(capture=capture))
+        else:
+            attack, attacker, instance = labels
+            self.trace.append(
+                TraceRecord(
+                    capture=capture,
+                    attack=attack,
+                    attacker=attacker,
+                    instance=instance,
+                )
+            )

@@ -1,0 +1,29 @@
+"""Shared utilities: identifiers, clocks, seeded randomness, validation."""
+
+from repro.util.clock import Clock, ManualClock
+from repro.util.ids import NodeId, make_node_id, stable_hash
+from repro.util.rng import SeededRng, derive_seed
+from repro.util.validation import (
+    ValidationError,
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "NodeId",
+    "make_node_id",
+    "stable_hash",
+    "SeededRng",
+    "derive_seed",
+    "ValidationError",
+    "require",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_type",
+]

@@ -1,0 +1,46 @@
+"""Clock abstractions.
+
+The simulator, the trace replayer, and the Kalis data store all need a
+notion of "now".  To keep every component testable and deterministic we
+never read the wall clock; instead components accept a :class:`Clock`
+and the simulation engine advances it.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """Read-only view of simulated time, in seconds since scenario start."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock start must be non-negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+
+class ManualClock(Clock):
+    """A clock that owners advance explicitly.
+
+    The simulation engine owns a :class:`ManualClock` and advances it as
+    events are dispatched; all other components hold it as a plain
+    :class:`Clock` and may only read it.
+    """
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move time forward to ``timestamp``.  Time never goes backwards."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock cannot go backwards: now={self._now}, requested={timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Move time forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self._now += float(delta)

@@ -1,0 +1,51 @@
+"""Small validation helpers used at public API boundaries.
+
+Internal code relies on types being correct; public entry points (config
+parsing, scenario parameters, packet constructors) validate eagerly so
+that mistakes fail close to their cause with a clear message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+class ValidationError(ValueError):
+    """Raised when a public API argument fails validation."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_type(value: Any, expected: Union[Type, Tuple[Type, ...]], name: str) -> None:
+    """Require ``value`` to be an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise ValidationError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value`` to be strictly positive."""
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value`` to be zero or positive."""
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value}")

@@ -1,0 +1,117 @@
+"""Shared fixtures and capture factories for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packets.base import Medium
+from repro.net.packets.ctp import CtpDataFrame, CtpRoutingFrame
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ieee802154 import Ieee802154Frame
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+from repro.net.packets.wifi import WifiFrame
+from repro.sim.capture import Capture
+from repro.util.ids import NodeId
+
+
+@pytest.fixture
+def nodes():
+    """A handful of commonly-used node identities."""
+    return {
+        "a": NodeId("node-a"),
+        "b": NodeId("node-b"),
+        "c": NodeId("node-c"),
+        "victim": NodeId("victim"),
+        "attacker": NodeId("attacker"),
+        "kalis": NodeId("kalis-1"),
+    }
+
+
+def wifi_icmp_capture(
+    src: NodeId,
+    dst: NodeId,
+    dst_ip: str,
+    timestamp: float,
+    icmp_type: IcmpType = IcmpType.ECHO_REPLY,
+    src_ip: str = "10.23.1.1",
+    rssi: float = -55.0,
+) -> Capture:
+    """A WiFi frame carrying an ICMP message, as a capture."""
+    packet = WifiFrame(
+        src=src,
+        dst=dst,
+        payload=IpPacket(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            payload=IcmpMessage(icmp_type=icmp_type, identifier=1, sequence=0),
+        ),
+    )
+    return Capture(packet=packet, timestamp=timestamp, medium=Medium.WIFI, rssi=rssi)
+
+
+def wifi_tcp_capture(
+    src: NodeId,
+    dst: NodeId,
+    dst_ip: str,
+    timestamp: float,
+    flags: TcpFlags = TcpFlags.SYN,
+    src_ip: str = "10.23.1.1",
+    sport: int = 50000,
+    dport: int = 443,
+    rssi: float = -55.0,
+) -> Capture:
+    packet = WifiFrame(
+        src=src,
+        dst=dst,
+        payload=IpPacket(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            payload=TcpSegment(sport=sport, dport=dport, flags=flags),
+        ),
+    )
+    return Capture(packet=packet, timestamp=timestamp, medium=Medium.WIFI, rssi=rssi)
+
+
+def ctp_data_capture(
+    transmitter: NodeId,
+    receiver: NodeId,
+    origin: NodeId,
+    seqno: int,
+    timestamp: float,
+    thl: int = 0,
+    rssi: float = -60.0,
+    seq: int = 1,
+) -> Capture:
+    """An 802.15.4 frame carrying a CTP data frame, as a capture."""
+    packet = Ieee802154Frame(
+        pan_id=0x22,
+        seq=seq,
+        src=transmitter,
+        dst=receiver,
+        payload=CtpDataFrame(origin=origin, seqno=seqno, thl=thl, etx=2),
+    )
+    return Capture(
+        packet=packet, timestamp=timestamp, medium=Medium.IEEE_802_15_4, rssi=rssi
+    )
+
+
+def ctp_beacon_capture(
+    transmitter: NodeId,
+    parent: NodeId,
+    etx: int,
+    timestamp: float,
+    rssi: float = -60.0,
+) -> Capture:
+    from repro.net.addressing import BROADCAST
+
+    packet = Ieee802154Frame(
+        pan_id=0x22,
+        seq=1,
+        src=transmitter,
+        dst=BROADCAST,
+        payload=CtpRoutingFrame(parent=parent, etx=etx),
+    )
+    return Capture(
+        packet=packet, timestamp=timestamp, medium=Medium.IEEE_802_15_4, rssi=rssi
+    )

@@ -1,0 +1,97 @@
+"""Tests for alerts, the alert sink, and the Communication System."""
+
+import json
+
+import pytest
+
+from repro.core.alerts import Alert, AlertSink
+from repro.core.comm import CommunicationSystem
+from repro.net.packets.base import Medium
+from repro.util.ids import NodeId
+from tests.conftest import ctp_data_capture, wifi_icmp_capture
+
+A, B, K = NodeId("a"), NodeId("b"), NodeId("kalis-1")
+
+
+def alert_at(timestamp, attack="icmp_flood"):
+    return Alert(
+        attack=attack,
+        timestamp=timestamp,
+        detected_by="TestModule",
+        kalis_node=K,
+        suspects=(A,),
+        victim=B,
+        details={"rate": 3},
+    )
+
+
+class TestAlert:
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            Alert(
+                attack="x", timestamp=0.0, detected_by="m",
+                kalis_node=K, confidence=1.5,
+            )
+
+    def test_to_dict_is_json_safe(self):
+        payload = json.dumps(alert_at(1.0).to_dict())
+        decoded = json.loads(payload)
+        assert decoded["attack"] == "icmp_flood"
+        assert decoded["suspects"] == ["a"]
+        assert decoded["victim"] == "b"
+
+
+class TestAlertSink:
+    def test_queries(self):
+        sink = AlertSink()
+        sink.on_alert(alert_at(1.0))
+        sink.on_alert(alert_at(5.0, attack="smurf"))
+        sink.on_alert(alert_at(9.0))
+        assert len(sink) == 3
+        assert len(sink.by_attack("icmp_flood")) == 2
+        assert sink.attacks_seen() == ["icmp_flood", "smurf"]
+        assert [a.timestamp for a in sink.between(2.0, 9.0)] == [5.0, 9.0]
+        assert sink.first().timestamp == 1.0
+
+    def test_empty_sink(self):
+        sink = AlertSink()
+        assert sink.first() is None
+        assert sink.to_siem() == ""
+
+    def test_siem_export_one_json_per_line(self):
+        sink = AlertSink()
+        sink.on_alert(alert_at(1.0))
+        sink.on_alert(alert_at(2.0))
+        lines = sink.to_siem().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["kalis_node"] == "kalis-1" for line in lines)
+
+
+class TestCommunicationSystem:
+    def test_counts_per_medium(self):
+        comm = CommunicationSystem()
+        seen = []
+        comm.add_listener(seen.append)
+        comm.on_capture(wifi_icmp_capture(A, B, "10.23.0.1", 0.0))
+        comm.on_capture(ctp_data_capture(A, B, A, 1, 1.0))
+        assert comm.total_captures == 2
+        assert comm.captures_by_medium[Medium.WIFI] == 1
+        assert comm.captures_by_medium[Medium.IEEE_802_15_4] == 1
+        assert len(seen) == 2
+
+    def test_unsupported_medium_dropped(self):
+        """The Snort-has-no-802.15.4-radio property, in one unit test."""
+        comm = CommunicationSystem(supported_mediums=[Medium.WIFI])
+        seen = []
+        comm.add_listener(seen.append)
+        comm.on_capture(ctp_data_capture(A, B, A, 1, 0.0))
+        assert seen == []
+        assert comm.dropped_unsupported == 1
+
+    def test_listener_order_preserved(self):
+        comm = CommunicationSystem()
+        order = []
+        comm.add_listener(lambda c: order.append("first"))
+        comm.add_listener(lambda c: order.append("second"))
+        comm.on_capture(wifi_icmp_capture(A, B, "10.23.0.1", 0.0))
+        assert order == ["first", "second"]

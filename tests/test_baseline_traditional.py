@@ -1,0 +1,58 @@
+"""Tests for the traditional-IDS baseline."""
+
+import pytest
+
+from repro.baselines.traditional import TraditionalIds
+from repro.core.kalis import DEFAULT_DETECTION_MODULES, DEFAULT_SENSING_MODULES
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+from tests.conftest import wifi_icmp_capture
+
+T = NodeId("trad-1")
+
+
+class TestTraditionalIds:
+    def test_everything_active_always(self):
+        trad = TraditionalIds(T)
+        active = set(trad.active_module_names())
+        assert active == set(DEFAULT_SENSING_MODULES) | set(
+            DEFAULT_DETECTION_MODULES
+        )
+
+    def test_knowledge_changes_do_not_deactivate(self):
+        trad = TraditionalIds(T)
+        trad.kb.put("Multihop.wifi", True)  # would kill IcmpFloodModule in Kalis
+        assert "IcmpFloodModule" in trad.active_module_names()
+
+    def test_every_capture_costs_full_library(self):
+        trad = TraditionalIds(T)
+        module_count = len(trad.manager.modules())
+        trad.feed(wifi_icmp_capture(NodeId("a"), NodeId("b"), "10.23.0.1", 0.0))
+        # Work is at least one unit per module (weights vary >= 0.9).
+        assert trad.cpu_work_units() >= module_count * 0.9
+
+    def test_static_module_choice_excludes_alternative(self):
+        rng = SeededRng(5)
+        trad = TraditionalIds.with_static_module_choice(
+            T,
+            alternatives=["ReplicationStaticModule", "ReplicationMobileModule"],
+            rng=rng,
+        )
+        registered = {m.NAME for m in trad.manager.modules()}
+        chosen = trad.static_choice
+        other = (
+            {"ReplicationStaticModule", "ReplicationMobileModule"} - {chosen}
+        ).pop()
+        assert chosen in registered
+        assert other not in registered
+
+    def test_static_choice_varies_with_seed(self):
+        choices = {
+            TraditionalIds.with_static_module_choice(
+                NodeId(f"t-{seed}"),
+                alternatives=["ReplicationStaticModule", "ReplicationMobileModule"],
+                rng=SeededRng(seed),
+            ).static_choice
+            for seed in range(12)
+        }
+        assert len(choices) == 2  # both alternatives occur over seeds

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "e99"])
+
+
+class TestCommands:
+    def test_modules_listing(self, capsys):
+        assert main(["modules"]) == 0
+        out = capsys.readouterr().out
+        assert "IcmpFloodModule" in out
+        assert "requires:" in out
+
+    def test_taxonomy_target(self, capsys):
+        assert main(["taxonomy", "target"]) == 0
+        assert "Denial of Thing" in capsys.readouterr().out
+
+    def test_taxonomy_feature(self, capsys):
+        assert main(["taxonomy", "feature"]) == 0
+        assert "selective_forwarding" in capsys.readouterr().out
+
+    def test_experiment_reactivity(self, capsys):
+        assert main(["experiment", "reactivity", "--seed", "13"]) == 0
+        assert "detection rate 100%" in capsys.readouterr().out
+
+    def test_experiment_e1_small(self, capsys):
+        assert main(["experiment", "e1", "--instances", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "kalis" in out and "traditional" in out
+
+    def test_experiment_wormhole(self, capsys):
+        assert main(["experiment", "wormhole", "--seed", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "isolated" in out and "collective" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "42", "--duration", "45"]) == 0
+        out = capsys.readouterr().out
+        assert "KalisNode kalis-1" in out
+        assert "ALERT" in out

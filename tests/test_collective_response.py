@@ -1,0 +1,144 @@
+"""Tests for collective knowledge sync and the revocation engine."""
+
+import pytest
+
+from repro.core.alerts import ALERT_TOPIC, Alert
+from repro.core.collective import CollectiveKnowledgeNetwork, PeerLink
+from repro.core.knowledge import KnowledgeBase
+from repro.core.response import RevocationEngine
+from repro.eventbus.bus import EventBus
+from repro.sim.engine import Simulator
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+K1, K2, K3 = NodeId("kalis-1"), NodeId("kalis-2"), NodeId("kalis-3")
+
+
+def kb_for(owner):
+    return KnowledgeBase(owner, EventBus())
+
+
+class TestPeerLink:
+    def test_synchronous_transfer(self):
+        target = kb_for(K2)
+        link = PeerLink(sim=None, target_kb=target, sender=K1)
+        from repro.core.knowledge import Knowgget
+
+        link.transfer(Knowgget(label="Mobility", value="true", creator=K1))
+        assert target.get("Mobility", bool, creator=K1) is True
+        assert link.delivered == 1
+
+    def test_latency_via_simulator(self):
+        sim = Simulator()
+        target = kb_for(K2)
+        link = PeerLink(sim=sim, target_kb=target, sender=K1, latency=0.5)
+        from repro.core.knowledge import Knowgget
+
+        link.transfer(Knowgget(label="Mobility", value="true", creator=K1))
+        assert target.get("Mobility", bool, creator=K1) is None  # in flight
+        sim.run_until(1.0)
+        assert target.get("Mobility", bool, creator=K1) is True
+
+    def test_lossy_link_drops(self):
+        target = kb_for(K2)
+        link = PeerLink(
+            sim=None, target_kb=target, sender=K1,
+            loss_probability=0.9, rng=SeededRng(1),
+        )
+        from repro.core.knowledge import Knowgget
+
+        for i in range(30):
+            link.transfer(Knowgget(label=f"L{i}", value="1", creator=K1))
+        assert link.lost > 0
+        assert link.delivered + link.lost == link.sent
+
+
+class TestCollectiveNetwork:
+    def test_collective_knowggets_propagate_to_all_peers(self):
+        network = CollectiveKnowledgeNetwork(sim=None)
+        kbs = [kb_for(owner) for owner in (K1, K2, K3)]
+        for kb in kbs:
+            network.join(kb)
+        kbs[0].put("ForwardingAnomaly", True, entity=NodeId("B1"), collective=True)
+        for other in kbs[1:]:
+            assert other.get(
+                "ForwardingAnomaly", bool, creator=K1, entity=NodeId("B1")
+            ) is True
+
+    def test_non_collective_knowggets_stay_local(self):
+        network = CollectiveKnowledgeNetwork(sim=None)
+        kb1, kb2 = kb_for(K1), kb_for(K2)
+        network.join(kb1)
+        network.join(kb2)
+        kb1.put("Private", 1)
+        assert kb2.get("Private", int, creator=K1) is None
+
+    def test_update_flows_back_under_original_creator(self):
+        network = CollectiveKnowledgeNetwork(sim=None)
+        kb1, kb2 = kb_for(K1), kb_for(K2)
+        network.join(kb1)
+        network.join(kb2)
+        kb1.put("Shared", 1, collective=True)
+        kb1.put("Shared", 2, collective=True)  # an update, same creator
+        assert kb2.get("Shared", int, creator=K1) == 2
+
+    def test_peers_listing(self):
+        network = CollectiveKnowledgeNetwork(sim=None)
+        for owner in (K1, K2, K3):
+            network.join(kb_for(owner))
+        assert network.peers_of(K1) == [K2, K3]
+        assert network.member_count() == 3
+
+    def test_double_join_rejected(self):
+        network = CollectiveKnowledgeNetwork(sim=None)
+        network.join(kb_for(K1))
+        with pytest.raises(ValueError):
+            network.join(kb_for(K1))
+
+
+class TestRevocationEngine:
+    @staticmethod
+    def _alert(suspects, attack="blackhole"):
+        return Alert(
+            attack=attack, timestamp=1.0, detected_by="m",
+            kalis_node=K1, suspects=tuple(suspects),
+        )
+
+    def test_suspects_removed_from_simulation(self):
+        sim = Simulator()
+        bus = EventBus()
+        target = sim.add_node(SimNode(NodeId("evil")))
+        engine = RevocationEngine(sim, bus)
+        bus.publish(ALERT_TOPIC, self._alert([NodeId("evil")]))
+        assert not sim.has_node(NodeId("evil"))
+        assert engine.revoked_nodes == [NodeId("evil")]
+
+    def test_each_node_revoked_once(self):
+        sim = Simulator()
+        bus = EventBus()
+        sim.add_node(SimNode(NodeId("evil")))
+        engine = RevocationEngine(sim, bus)
+        bus.publish(ALERT_TOPIC, self._alert([NodeId("evil")]))
+        bus.publish(ALERT_TOPIC, self._alert([NodeId("evil")]))
+        assert len(engine.revocations) == 1
+
+    def test_max_revocations_cap(self):
+        sim = Simulator()
+        bus = EventBus()
+        for name in ("a", "b", "c"):
+            sim.add_node(SimNode(NodeId(name)))
+        engine = RevocationEngine(sim, bus, max_revocations=2)
+        bus.publish(
+            ALERT_TOPIC, self._alert([NodeId("a"), NodeId("b"), NodeId("c")])
+        )
+        assert len(engine.revocations) == 2
+        assert sim.has_node(NodeId("c"))
+
+    def test_phantom_suspect_recorded_but_nothing_removed(self):
+        sim = Simulator()
+        bus = EventBus()
+        engine = RevocationEngine(sim, bus)
+        bus.publish(ALERT_TOPIC, self._alert([NodeId("ghost")]))
+        assert len(engine.revocations) == 1
+        assert engine.revocations[0].node == NodeId("ghost")

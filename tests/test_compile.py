@@ -1,0 +1,112 @@
+"""Tests for compile-time module configuration (paper §VIII)."""
+
+import pytest
+
+from repro.attacks import SelectiveForwardingMote
+from repro.core.compile import (
+    compile_configuration,
+    compile_configuration_text,
+    deploy_constrained,
+)
+from repro.core.config import parse_config
+from repro.core.kalis import KalisNode
+from repro.core.knowledge import KnowledgeBase
+from repro.devices.wsn import TelosbMote
+from repro.sim.engine import Simulator
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+def multihop_static_kb():
+    kb = KnowledgeBase(NodeId("kalis-1"))
+    kb.put("Multihop.802154", True)
+    kb.put("Multihop", True)
+    kb.put("Mobility", False)
+    kb.put("MonitoredNodes", 5)
+    kb.put("TrafficFrequency.CTPData", 1.23)  # volatile; must not freeze
+    return kb
+
+
+class TestCompileConfiguration:
+    def test_selects_required_modules_only(self):
+        config = compile_configuration(multihop_static_kb())
+        names = {spec.name for spec in config.modules}
+        assert "ForwardingMisbehaviorModule" in names
+        assert "ReplicationStaticModule" in names
+        assert "ReplicationMobileModule" not in names  # network is static
+        assert "IcmpFloodModule" not in names  # no WiFi knowledge at all
+
+    def test_freezes_feature_knowledge_not_statistics(self):
+        config = compile_configuration(multihop_static_kb())
+        labels = {k.label for k in config.knowggets}
+        assert "Multihop.802154" in labels
+        assert "Mobility" in labels
+        assert "MonitoredNodes" in labels
+        assert not any(label.startswith("TrafficFrequency") for label in labels)
+
+    def test_value_types_preserved(self):
+        config = compile_configuration(multihop_static_kb())
+        by_label = {k.label: k.value for k in config.knowggets}
+        assert by_label["Mobility"] is False
+        assert by_label["MonitoredNodes"] == 5
+
+    def test_rendered_text_parses_back(self):
+        text = compile_configuration_text(multihop_static_kb())
+        reparsed = parse_config(text)
+        assert reparsed.module_named("ForwardingMisbehaviorModule") is not None
+
+    def test_empty_knowledge_compiles_empty_module_set(self):
+        config = compile_configuration(KnowledgeBase(NodeId("kalis-1")))
+        assert config.modules == []
+
+
+class TestConstrainedDeployment:
+    def test_deploys_only_compiled_modules(self):
+        config = compile_configuration(multihop_static_kb())
+        constrained = deploy_constrained(NodeId("tiny-1"), config)
+        registered = {m.NAME for m in constrained.manager.modules()}
+        assert registered == {spec.name for spec in config.modules}
+        # Everything aboard is active: no sensing, no re-evaluation.
+        assert set(constrained.active_module_names()) == registered
+
+    def test_constrained_node_is_smaller(self):
+        config = compile_configuration(multihop_static_kb())
+        constrained = deploy_constrained(NodeId("tiny-1"), config)
+        full = KalisNode(NodeId("full-1"))
+        assert len(constrained.manager.modules()) < len(full.manager.modules())
+        assert constrained.datastore.window_size < full.datastore.window_size
+
+    def test_end_to_end_full_node_compiles_config_for_tiny_node(self):
+        """The §VIII pipeline: monitor, compile, flash, detect."""
+        # Phase 1: a full Kalis node learns the WSN's features.
+        sim = Simulator(seed=91)
+        sim.add_node(TelosbMote(NodeId("mote-base"), (0.0, 0.0), is_root=True))
+        sim.add_node(TelosbMote(NodeId("mote-1"), (25.0, 0.0)))
+        sim.add_node(TelosbMote(NodeId("mote-2"), (50.0, 0.0)))
+        sim.add_node(TelosbMote(NodeId("mote-3"), (75.0, 0.0)))
+        scout = KalisNode(NodeId("scout"))
+        scout.deploy(sim, position=(50.0, 8.0))
+        sim.run(60.0)
+        assert scout.kb.get("Multihop.802154", bool) is True
+
+        # Phase 2: compile and "flash".
+        text = compile_configuration_text(scout.kb)
+        config = parse_config(text)
+
+        # Phase 3: the constrained node, in a fresh deployment of the
+        # same network — now with an attacker — still detects.
+        sim2 = Simulator(seed=92)
+        sim2.add_node(TelosbMote(NodeId("mote-base"), (0.0, 0.0), is_root=True))
+        sim2.add_node(TelosbMote(NodeId("mote-1"), (25.0, 0.0)))
+        sim2.add_node(
+            SelectiveForwardingMote(
+                NodeId("forwarder"), (50.0, 0.0), drop_probability=0.8,
+                rng=SeededRng(92, "attacker"),
+            )
+        )
+        sim2.add_node(TelosbMote(NodeId("mote-3"), (75.0, 0.0)))
+        tiny = deploy_constrained(NodeId("tiny-1"), config)
+        tiny.deploy(sim2, position=(50.0, 8.0))
+        sim2.run(120.0)
+        accused = {s for a in tiny.alerts.alerts for s in a.suspects}
+        assert NodeId("forwarder") in accused

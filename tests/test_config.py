@@ -1,0 +1,169 @@
+"""Tests for the Figure 6 configuration-language parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    ConfigError,
+    KalisConfig,
+    ModuleSpec,
+    StaticKnowgget,
+    parse_config,
+    render_config,
+)
+from repro.util.ids import NodeId
+
+#: The paper's Figure 7 configuration file, verbatim.
+FIGURE_7 = """
+modules = {
+  TopologyDetectionModule,
+  TrafficStatsModule (
+    activationThresh=1,
+    detectionThresh=2
+  )
+}
+knowggets = {
+  mobility = false
+}
+"""
+
+
+class TestPaperExample:
+    def test_figure7_parses(self):
+        config = parse_config(FIGURE_7)
+        assert [m.name for m in config.modules] == [
+            "TopologyDetectionModule",
+            "TrafficStatsModule",
+        ]
+        stats = config.module_named("TrafficStatsModule")
+        assert stats.params == {"activationThresh": 1, "detectionThresh": 2}
+        assert config.knowggets == [StaticKnowgget(label="mobility", value=False)]
+
+    def test_module_named_missing(self):
+        assert parse_config(FIGURE_7).module_named("Nope") is None
+
+
+class TestValues:
+    def test_booleans(self):
+        config = parse_config("knowggets = { a = true, b = FALSE }")
+        assert config.knowggets[0].value is True
+        assert config.knowggets[1].value is False
+
+    def test_numbers(self):
+        config = parse_config("knowggets = { a = 3, b = 2.5, c = -4 }")
+        assert config.knowggets[0].value == 3
+        assert config.knowggets[1].value == 2.5
+        assert config.knowggets[2].value == -4
+
+    def test_strings_and_identifiers(self):
+        config = parse_config('knowggets = { a = "hello world", b = bareword }')
+        assert config.knowggets[0].value == "hello world"
+        assert config.knowggets[1].value == "bareword"
+
+    def test_entity_suffix_on_knowgget_key(self):
+        config = parse_config("knowggets = { SignalStrength@SensorA = -67 }")
+        knowgget = config.knowggets[0]
+        assert knowgget.label == "SignalStrength"
+        assert knowgget.entity == NodeId("SensorA")
+        assert knowgget.value == -67
+
+    def test_comments_ignored(self):
+        config = parse_config("# leading comment\nmodules = { A } # trailing\n")
+        assert config.modules == [ModuleSpec(name="A")]
+
+    def test_sections_in_either_order(self):
+        config = parse_config("knowggets = { a = 1 }\nmodules = { B }")
+        assert config.modules[0].name == "B"
+
+    def test_empty_sections(self):
+        config = parse_config("modules = { }\nknowggets = { }")
+        assert config.modules == []
+        assert config.knowggets == []
+
+
+class TestErrors:
+    def test_unknown_section(self):
+        with pytest.raises(ConfigError, match="unknown section"):
+            parse_config("stuff = { }")
+
+    def test_duplicate_section(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            parse_config("modules = { A }\nmodules = { B }")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ConfigError, match="unterminated"):
+            parse_config('knowggets = { a = "oops }')
+
+    def test_missing_equals(self):
+        with pytest.raises(ConfigError):
+            parse_config("modules { A }")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_config("modules = {\n  A,\n  %bad\n}")
+        except ConfigError as error:
+            assert error.line == 3
+        else:
+            pytest.fail("expected ConfigError")
+
+    def test_empty_entity_rejected(self):
+        with pytest.raises(ConfigError, match="empty entity"):
+            parse_config("knowggets = { label@ = 1 }")
+
+    def test_dangling_param_list(self):
+        with pytest.raises(ConfigError):
+            parse_config("modules = { A(x=1 }")
+
+
+class TestRender:
+    def test_render_parses_back(self):
+        config = parse_config(FIGURE_7)
+        assert parse_config(render_config(config)) == config
+
+    def test_render_quotes_strings_with_spaces(self):
+        config = KalisConfig(
+            knowggets=[StaticKnowgget(label="note", value="two words")]
+        )
+        assert '"two words"' in render_config(config)
+
+
+module_names = st.from_regex(r"[A-Z][A-Za-z0-9]{0,12}", fullmatch=True)
+param_values = st.one_of(
+    st.booleans(),
+    st.integers(-1000, 1000),
+    # Bareword strings; 'true'/'false' would parse back as booleans.
+    st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+        lambda v: v not in ("true", "false")
+    ),
+)
+module_specs = st.builds(
+    ModuleSpec,
+    name=module_names,
+    params=st.dictionaries(
+        st.from_regex(r"[a-z][A-Za-z0-9]{0,10}", fullmatch=True),
+        param_values,
+        max_size=4,
+    ),
+)
+knowgget_specs = st.builds(
+    StaticKnowgget,
+    label=st.from_regex(r"[A-Za-z][A-Za-z0-9_.]{0,12}", fullmatch=True).filter(
+        lambda l: not l.lower() in ("true", "false") and not l.endswith(".")
+    ),
+    value=param_values,
+    entity=st.one_of(
+        st.none(), st.from_regex(r"[A-Za-z0-9][A-Za-z0-9\-]{0,6}", fullmatch=True).map(NodeId)
+    ),
+)
+
+
+@given(
+    modules=st.lists(module_specs, max_size=4),
+    knowggets=st.lists(knowgget_specs, max_size=4),
+)
+def test_render_parse_roundtrip_property(modules, knowggets):
+    config = KalisConfig(modules=modules, knowggets=knowggets)
+    reparsed = parse_config(render_config(config))
+    assert reparsed.modules == config.modules
+    assert reparsed.knowggets == config.knowggets

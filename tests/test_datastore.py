@@ -1,0 +1,102 @@
+"""Tests for the Data Store sliding window and disk log."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datastore import DataStore
+from tests.conftest import wifi_icmp_capture
+from repro.util.ids import NodeId
+
+A, B = NodeId("a"), NodeId("b")
+
+
+def captures(count, spacing=1.0, start=0.0):
+    return [
+        wifi_icmp_capture(A, B, "10.23.0.9", start + i * spacing)
+        for i in range(count)
+    ]
+
+
+class TestWindow:
+    def test_size_bound_evicts_oldest(self):
+        store = DataStore(window_size=3, window_age=None)
+        for capture in captures(5):
+            store.add(capture)
+        assert len(store) == 3
+        assert store.window()[0].timestamp == 2.0
+        assert store.total_captures == 5
+
+    def test_age_bound_evicts_stale(self):
+        store = DataStore(window_size=100, window_age=2.5)
+        for capture in captures(6):  # at t = 0..5
+            store.add(capture)
+        assert [c.timestamp for c in store.window()] == [3.0, 4.0, 5.0]
+
+    def test_no_age_bound(self):
+        store = DataStore(window_size=100, window_age=None)
+        for capture in captures(6):
+            store.add(capture)
+        assert len(store) == 6
+
+    def test_recent(self):
+        store = DataStore(window_size=100, window_age=None)
+        for capture in captures(10):
+            store.add(capture)
+        assert [c.timestamp for c in store.recent(2.0)] == [7.0, 8.0, 9.0]
+
+    def test_latest_timestamp(self):
+        store = DataStore()
+        assert store.latest_timestamp() is None
+        store.add(captures(1)[0])
+        assert store.latest_timestamp() == 0.0
+
+    def test_approximate_bytes_tracks_window(self):
+        store = DataStore(window_size=2, window_age=None)
+        for capture in captures(2):
+            store.add(capture)
+        two = store.approximate_bytes()
+        store.add(captures(1, start=10.0)[0])
+        assert store.approximate_bytes() == two  # still two captures held
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataStore(window_size=0)
+        with pytest.raises(ValueError):
+            DataStore(window_age=0.0)
+
+
+class TestDiskLog:
+    def test_flush_and_replay(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        store = DataStore(window_size=2, window_age=None, log_to=str(path))
+        for capture in captures(5):
+            store.add(capture)
+        assert store.flush_log() == path
+        replayed = []
+        count = DataStore.replay_log(path, replayed.append)
+        # The log keeps everything, not just the window.
+        assert count == 5
+        assert [c.timestamp for c in replayed] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_no_log_configured(self):
+        assert DataStore().flush_log() is None
+
+
+@settings(max_examples=30)
+@given(
+    window_size=st.integers(1, 20),
+    window_age=st.one_of(st.none(), st.floats(0.5, 10.0, allow_nan=False)),
+    count=st.integers(0, 40),
+)
+def test_window_invariants_property(window_size, window_age, count):
+    store = DataStore(window_size=window_size, window_age=window_age)
+    for capture in captures(count, spacing=0.7):
+        store.add(capture)
+    window = store.window()
+    assert len(window) <= window_size
+    timestamps = [c.timestamp for c in window]
+    assert timestamps == sorted(timestamps)
+    if window and window_age is not None:
+        assert timestamps[-1] - timestamps[0] <= window_age
+    assert store.total_captures == count

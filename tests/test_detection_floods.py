@@ -1,0 +1,195 @@
+"""Tests for the flood-family detection modules (ICMP flood, Smurf,
+SYN flood, HELLO flood)."""
+
+import pytest
+
+from repro.core.datastore import DataStore
+from repro.core.knowledge import KnowledgeBase
+from repro.core.modules.base import ModuleContext
+from repro.core.modules.detection.hello_flood import HelloFloodModule
+from repro.core.modules.detection.icmp_flood import IcmpFloodModule
+from repro.core.modules.detection.smurf import SmurfModule
+from repro.core.modules.detection.syn_flood import SynFloodModule
+from repro.eventbus.bus import EventBus
+from repro.net.packets.icmp import IcmpType
+from repro.net.packets.tcp import TcpFlags
+from repro.util.ids import NodeId
+from tests.conftest import ctp_beacon_capture, wifi_icmp_capture, wifi_tcp_capture
+
+A, B, V = NodeId("attacker"), NodeId("bystander"), NodeId("victim")
+VICTIM_IP = "10.23.5.5"
+
+
+def bind(module):
+    bus = EventBus()
+    kb = KnowledgeBase(NodeId("kalis-1"), bus)
+    alerts = []
+    bus.subscribe("alert", lambda e: alerts.append(e.payload))
+    module.bind(ModuleContext(kb=kb, datastore=DataStore(), bus=bus,
+                              node_id=NodeId("kalis-1")))
+    module.active = True
+    return kb, alerts
+
+
+class TestIcmpFloodModule:
+    def test_requires_single_hop_wifi(self):
+        module = IcmpFloodModule()
+        kb, _ = bind(module)
+        assert not module.required(kb)
+        kb.put("Multihop.wifi", False)
+        assert module.required(kb)
+        kb.put("Multihop.wifi", True)
+        assert not module.required(kb)
+
+    def test_reply_burst_triggers_alert(self):
+        module = IcmpFloodModule(params={"threshold": 10})
+        _, alerts = bind(module)
+        for i in range(12):
+            module.handle(wifi_icmp_capture(A, V, VICTIM_IP, i * 0.1))
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.attack == "icmp_flood"
+        assert alert.suspects == (A,)
+        assert alert.victim == V
+
+    def test_benign_reply_rate_no_alert(self):
+        module = IcmpFloodModule(params={"threshold": 10, "window": 10.0})
+        _, alerts = bind(module)
+        for i in range(10):  # one reply every 2 s: 5 per window
+            module.handle(wifi_icmp_capture(A, V, VICTIM_IP, i * 2.0))
+        assert alerts == []
+
+    def test_echo_requests_do_not_count(self):
+        module = IcmpFloodModule(params={"threshold": 5})
+        _, alerts = bind(module)
+        for i in range(10):
+            module.handle(
+                wifi_icmp_capture(A, V, VICTIM_IP, i * 0.1,
+                                  icmp_type=IcmpType.ECHO_REQUEST)
+            )
+        assert alerts == []
+
+    def test_cooldown_limits_alert_storm(self):
+        module = IcmpFloodModule(params={"threshold": 5, "cooldown": 100.0})
+        _, alerts = bind(module)
+        for i in range(50):
+            module.handle(wifi_icmp_capture(A, V, VICTIM_IP, i * 0.1))
+        assert len(alerts) == 1
+
+    def test_victim_never_accused(self):
+        module = IcmpFloodModule(params={"threshold": 5})
+        _, alerts = bind(module)
+        # Replies transmitted by the victim's own radio (reflections).
+        for i in range(8):
+            module.handle(wifi_icmp_capture(V, V, VICTIM_IP, i * 0.1))
+        assert alerts and V not in alerts[0].suspects
+
+    def test_state_cleared_on_deactivate(self):
+        module = IcmpFloodModule(params={"threshold": 10})
+        _, alerts = bind(module)
+        for i in range(8):
+            module.handle(wifi_icmp_capture(A, V, VICTIM_IP, i * 0.1))
+        module.on_deactivate()
+        for i in range(8):
+            module.handle(wifi_icmp_capture(A, V, VICTIM_IP, 1.0 + i * 0.01))
+        assert len(alerts) == 0  # 8 < threshold after reset
+
+
+class TestSmurfModule:
+    def test_requires_multihop_wifi(self):
+        module = SmurfModule()
+        kb, _ = bind(module)
+        kb.put("Multihop.wifi", True)
+        assert module.required(kb)
+        kb.put("Multihop.wifi", False)
+        assert not module.required(kb)
+
+    def test_identifies_orchestrator_from_forged_requests(self):
+        module = SmurfModule(params={"threshold": 6})
+        _, alerts = bind(module)
+        # The attacker broadcasts requests forged with the victim's IP.
+        module.handle(
+            wifi_icmp_capture(A, B, "10.23.255.255", 0.0,
+                              icmp_type=IcmpType.ECHO_REQUEST,
+                              src_ip=VICTIM_IP)
+        )
+        for i in range(8):
+            module.handle(
+                wifi_icmp_capture(B, V, VICTIM_IP, 0.5 + i * 0.1, src_ip="10.23.9.9")
+            )
+        assert alerts
+        assert alerts[0].attack == "smurf"
+        assert alerts[0].suspects == (A,)
+
+    def test_falls_back_to_two_hop_heuristic(self):
+        """Without observed forged requests, the naive 2-hop suspect set
+        on a single-hop graph is the victim itself — paper §VI-B1."""
+        module = SmurfModule(params={"threshold": 6})
+        _, alerts = bind(module)
+        for i in range(8):
+            module.handle(wifi_icmp_capture(A, V, VICTIM_IP, i * 0.1))
+        assert alerts
+        assert alerts[0].suspects == (V,)
+
+
+class TestSynFloodModule:
+    def test_requires_wifi_verdict_either_way(self):
+        module = SynFloodModule()
+        kb, _ = bind(module)
+        assert not module.required(kb)
+        kb.put("Multihop.wifi", False)
+        assert module.required(kb)
+        kb.put("Multihop.wifi", True)
+        assert module.required(kb)
+
+    def test_syn_burst_without_completions(self):
+        module = SynFloodModule(params={"threshold": 10})
+        _, alerts = bind(module)
+        for i in range(12):
+            module.handle(
+                wifi_tcp_capture(A, V, VICTIM_IP, i * 0.1,
+                                 src_ip=f"192.168.0.{i + 1}")
+            )
+        assert len(alerts) == 1
+        assert alerts[0].attack == "syn_flood"
+        assert A in alerts[0].suspects
+
+    def test_completing_handshakes_suppress_alert(self):
+        module = SynFloodModule(params={"threshold": 10, "ratio": 4.0})
+        _, alerts = bind(module)
+        for i in range(12):
+            module.handle(wifi_tcp_capture(B, V, VICTIM_IP, i * 0.2,
+                                           flags=TcpFlags.SYN))
+            module.handle(wifi_tcp_capture(B, V, VICTIM_IP, i * 0.2 + 0.05,
+                                           flags=TcpFlags.ACK))
+        assert alerts == []
+
+
+class TestHelloFloodModule:
+    def test_beacon_storm_detected(self):
+        module = HelloFloodModule(params={"rate": 1.0, "window": 10.0})
+        _, alerts = bind(module)
+        for i in range(15):
+            module.handle(ctp_beacon_capture(A, parent=A, etx=1,
+                                             timestamp=i * 0.2))
+        assert alerts
+        assert alerts[0].attack == "hello_flood"
+        assert alerts[0].suspects == (A,)
+
+    def test_natural_beacon_cadence_ignored(self):
+        module = HelloFloodModule(params={"rate": 1.0, "window": 10.0})
+        _, alerts = bind(module)
+        for i in range(10):  # one beacon per 5 s, the protocol norm
+            module.handle(ctp_beacon_capture(A, parent=A, etx=1,
+                                             timestamp=i * 5.0))
+        assert alerts == []
+
+    def test_data_frames_not_counted(self):
+        from tests.conftest import ctp_data_capture
+
+        module = HelloFloodModule(params={"rate": 1.0})
+        _, alerts = bind(module)
+        for i in range(20):
+            module.handle(ctp_data_capture(A, B, origin=A, seqno=i,
+                                           timestamp=i * 0.1))
+        assert alerts == []

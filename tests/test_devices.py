@@ -1,0 +1,231 @@
+"""Tests for commodity device traffic models and the WSN builder."""
+
+import pytest
+
+from repro.devices import (
+    ArloCamera,
+    AugustSmartLock,
+    CloudService,
+    DashButton,
+    LifxBulb,
+    NestThermostat,
+    Smartphone,
+    SmartLightingHub,
+    ZigbeeLightBulb,
+    build_wsn,
+)
+from repro.devices.mesh_wifi import MeshRelayStation
+from repro.net.packets.base import Medium
+from repro.proto.iphost import IpRouter, LanDirectory
+from repro.sim.engine import Simulator
+from repro.sim.node import SnifferNode
+from repro.sim.topology import line_positions
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture
+def home():
+    sim = Simulator(seed=51)
+    lan, wan = LanDirectory(), LanDirectory()
+    router = sim.add_node(IpRouter(NodeId("router"), (0.0, 0.0), lan, wan))
+    cloud = sim.add_node(
+        CloudService(NodeId("cloud"), (400.0, 0.0), wan, gateway=router.node_id)
+    )
+    return sim, lan, router, cloud
+
+
+class TestCloudDevices:
+    def test_thermostat_keepalives_complete(self, home):
+        sim, lan, router, cloud = home
+        nest = sim.add_node(
+            NestThermostat(NodeId("nest"), (5.0, 0.0), lan, cloud.ip,
+                           router.node_id, rng=SeededRng(1))
+        )
+        sim.run(120.0)
+        assert nest.checkins_sent >= 3
+        assert cloud.tcp.established_count == nest.checkins_sent
+        assert nest.tcp.connection_count() == 0  # all closed cleanly
+
+    def test_presence_event(self, home):
+        sim, lan, router, cloud = home
+        nest = sim.add_node(
+            NestThermostat(NodeId("nest"), (5.0, 0.0), lan, cloud.ip,
+                           router.node_id, rng=SeededRng(1))
+        )
+        sim.run(5.0)
+        before = cloud.tcp.established_count
+        nest.report_presence()
+        sim.run(2.0)
+        assert cloud.tcp.established_count == before + 1
+
+    def test_camera_motion_uploads(self, home):
+        sim, lan, router, cloud = home
+        arlo = sim.add_node(
+            ArloCamera(NodeId("arlo"), (5.0, 0.0), lan, cloud.ip,
+                       router.node_id, rng=SeededRng(2))
+        )
+        sim.run(5.0)
+        before = cloud.tcp.established_count
+        arlo.motion_event()
+        sim.run(2.0)
+        # At least the three clip uploads (a keepalive may interleave).
+        assert cloud.tcp.established_count >= before + 3
+        assert arlo.motion_events == 1
+
+    def test_bulb_lan_broadcasts(self, home):
+        sim, lan, router, cloud = home
+        bulb = sim.add_node(
+            LifxBulb(NodeId("lifx"), (5.0, 0.0), lan, cloud.ip,
+                     router.node_id, rng=SeededRng(3))
+        )
+        captures = []
+        sniffer = sim.add_node(SnifferNode(NodeId("obs"), (4.0, 1.0)))
+        sniffer.add_listener(captures.append)
+        sim.run(20.0)
+        from repro.net.packets.udp import UdpDatagram
+
+        broadcasts = [
+            c for c in captures
+            if (udp := c.packet.find_layer(UdpDatagram)) is not None
+            and udp.dport == 56700
+        ]
+        assert len(broadcasts) >= 3
+
+    def test_dash_button_silent_until_pressed(self, home):
+        sim, lan, router, cloud = home
+        dash = sim.add_node(
+            DashButton(NodeId("dash"), (5.0, 0.0), lan, cloud.ip,
+                       router.node_id, rng=SeededRng(4))
+        )
+        sim.run(30.0)
+        assert dash.sent_count == 0
+        dash.press()
+        sim.run(2.0)
+        assert dash.presses == 1
+        assert cloud.tcp.established_count == 1
+
+
+class TestBleDevices:
+    def test_lock_advertises(self):
+        sim = Simulator(seed=52)
+        lan = LanDirectory()
+        lock = sim.add_node(
+            AugustSmartLock(NodeId("lock"), (0.0, 0.0), lan, rng=SeededRng(5))
+        )
+        captures = []
+        sniffer = sim.add_node(
+            SnifferNode(NodeId("obs"), (2.0, 0.0), mediums=(Medium.BLUETOOTH,))
+        )
+        sniffer.add_listener(captures.append)
+        sim.run(10.0)
+        assert len(captures) >= 4
+        assert all(c.medium is Medium.BLUETOOTH for c in captures)
+
+    def test_phone_operates_lock(self):
+        sim = Simulator(seed=52)
+        lan = LanDirectory()
+        lock = sim.add_node(
+            AugustSmartLock(NodeId("lock"), (0.0, 0.0), lan, rng=SeededRng(5))
+        )
+        phone = sim.add_node(
+            Smartphone(NodeId("phone"), (1.0, 0.0), lan, NodeId("router"),
+                       rng=SeededRng(6))
+        )
+        sim.run(1.0)
+        phone.ble_request(lock)
+        sim.run(1.0)
+        assert lock.operations == 1
+
+
+class TestLightingSystem:
+    def test_hub_commands_reach_bulbs(self, home):
+        sim, lan, router, cloud = home
+        hub = sim.add_node(
+            SmartLightingHub(NodeId("hub"), (5.0, 5.0), lan, cloud.ip,
+                             router.node_id, rng=SeededRng(7))
+        )
+        bulbs = []
+        for index in range(2):
+            bulb = sim.add_node(
+                ZigbeeLightBulb(NodeId(f"bulb-{index}"), (6.0 + index, 5.0),
+                                hub.node_id)
+            )
+            hub.register_bulb(bulb.node_id)
+            bulbs.append(bulb)
+        sim.run(1.0)
+        hub.command_all()
+        sim.run(1.0)
+        for bulb in bulbs:
+            assert bulb.commands_received == 1
+            assert bulb.is_on
+
+    def test_bulbs_report_status(self, home):
+        sim, lan, router, cloud = home
+        hub = sim.add_node(
+            SmartLightingHub(NodeId("hub"), (5.0, 5.0), lan, cloud.ip,
+                             router.node_id, rng=SeededRng(7))
+        )
+        bulb = sim.add_node(
+            ZigbeeLightBulb(NodeId("bulb-0"), (6.0, 5.0), hub.node_id,
+                            status_interval=10.0)
+        )
+        hub.register_bulb(bulb.node_id)
+        sim.run(35.0)
+        assert hub.status_reports.get(bulb.node_id, 0) >= 2
+
+    def test_unknown_bulb_rejected(self, home):
+        sim, lan, router, cloud = home
+        hub = sim.add_node(
+            SmartLightingHub(NodeId("hub"), (5.0, 5.0), lan, cloud.ip,
+                             router.node_id, rng=SeededRng(7))
+        )
+        sim.run(0.1)
+        with pytest.raises(ValueError):
+            hub.command_bulb(NodeId("ghost"))
+
+
+class TestWsnBuilder:
+    def test_build_wsn_shapes(self):
+        sim = Simulator(seed=53)
+        base, motes = build_wsn(sim, line_positions(6, 25.0))
+        assert base.is_root
+        assert len(motes) == 5
+        assert base.node_id == NodeId("mote-base")
+
+    def test_base_station_index(self):
+        sim = Simulator(seed=53)
+        base, motes = build_wsn(sim, line_positions(3, 25.0), base_station_index=2)
+        assert base.position == (50.0, 0.0)
+
+    def test_validation(self):
+        sim = Simulator(seed=53)
+        with pytest.raises(ValueError):
+            build_wsn(sim, [])
+        with pytest.raises(ValueError):
+            build_wsn(sim, line_positions(3, 25.0), base_station_index=5)
+
+
+class TestMeshRelay:
+    def test_relay_frames_are_four_address(self):
+        sim = Simulator(seed=54)
+        station = sim.add_node(
+            MeshRelayStation(
+                NodeId("ext"), (0.0, 0.0),
+                relay_for=(NodeId("up"), NodeId("down")),
+                relay_interval=2.0, rng=SeededRng(8),
+            )
+        )
+        captures = []
+        sniffer = sim.add_node(
+            SnifferNode(NodeId("obs"), (3.0, 0.0), mediums=(Medium.WIFI,))
+        )
+        sniffer.add_listener(captures.append)
+        sim.run(10.0)
+        assert captures
+        from repro.net.packets.wifi import WifiFrame
+
+        for capture in captures:
+            frame = capture.packet.find_layer(WifiFrame)
+            assert frame.is_mesh_relayed
+            assert frame.mesh_src == NodeId("up")

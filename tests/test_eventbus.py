@@ -1,0 +1,120 @@
+"""Tests for the synchronous pub-sub bus."""
+
+import pytest
+
+from repro.eventbus.bus import EventBus
+
+
+@pytest.fixture
+def bus():
+    return EventBus()
+
+
+class TestSubscribe:
+    def test_exact_topic_delivery(self, bus):
+        received = []
+        bus.subscribe("topic.a", lambda e: received.append(e.payload))
+        bus.publish("topic.a", 1)
+        bus.publish("topic.b", 2)
+        assert received == [1]
+
+    def test_prefix_delivery(self, bus):
+        received = []
+        bus.subscribe_prefix("topic.", lambda e: received.append(e.topic))
+        bus.publish("topic.a")
+        bus.publish("topic.b")
+        bus.publish("other")
+        assert received == ["topic.a", "topic.b"]
+
+    def test_publish_returns_handler_count(self, bus):
+        bus.subscribe("t", lambda e: None)
+        bus.subscribe("t", lambda e: None)
+        bus.subscribe_prefix("t", lambda e: None)
+        assert bus.publish("t") == 3
+
+    def test_rejects_empty_topic(self, bus):
+        with pytest.raises(ValueError):
+            bus.subscribe("", lambda e: None)
+        with pytest.raises(ValueError):
+            bus.subscribe_prefix("", lambda e: None)
+
+    def test_delivery_order_is_subscription_order(self, bus):
+        order = []
+        bus.subscribe("t", lambda e: order.append("first"))
+        bus.subscribe("t", lambda e: order.append("second"))
+        bus.publish("t")
+        assert order == ["first", "second"]
+
+
+class TestUnsubscribe:
+    def test_unsubscribed_handler_not_called(self, bus):
+        received = []
+        sub = bus.subscribe("t", lambda e: received.append(1))
+        bus.unsubscribe(sub)
+        bus.publish("t")
+        assert received == []
+
+    def test_unsubscribe_during_dispatch_is_safe(self, bus):
+        received = []
+        subs = {}
+
+        def handler(event):
+            received.append(1)
+            bus.unsubscribe(subs["self"])
+
+        subs["self"] = bus.subscribe("t", handler)
+        bus.publish("t")
+        bus.publish("t")
+        assert received == [1]
+
+    def test_unsubscribing_peer_mid_dispatch(self, bus):
+        received = []
+        subs = {}
+
+        def first(event):
+            received.append("first")
+            bus.unsubscribe(subs["second"])
+
+        subs["first"] = bus.subscribe("t", first)
+        subs["second"] = bus.subscribe("t", lambda e: received.append("second"))
+        bus.publish("t")
+        assert received == ["first"]
+
+    def test_subscribe_during_dispatch_does_not_fire_immediately(self, bus):
+        received = []
+
+        def handler(event):
+            received.append("outer")
+            bus.subscribe("t", lambda e: received.append("inner"))
+
+        bus.subscribe("t", handler)
+        bus.publish("t")
+        assert received == ["outer"]
+        # A fresh publish finds both handlers (handler re-registers each time).
+        bus.publish("t")
+        assert "inner" in received
+
+
+class TestStats:
+    def test_counters(self, bus):
+        bus.subscribe("t", lambda e: None)
+        bus.publish("t")
+        bus.publish("t")
+        bus.publish("unheard")
+        assert bus.published_count == 3
+        assert bus.delivered_count == 2
+        assert bus.topic_counts() == {"t": 2, "unheard": 1}
+
+    def test_subscriber_count(self, bus):
+        bus.subscribe("t", lambda e: None)
+        bus.subscribe_prefix("t", lambda e: None)
+        assert bus.subscriber_count("t") == 2
+        assert bus.subscriber_count() == 2
+        assert bus.subscriber_count("other") == 0
+
+    def test_nested_publish_from_handler(self, bus):
+        received = []
+        bus.subscribe("inner", lambda e: received.append("inner"))
+        bus.subscribe("outer", lambda e: bus.publish("inner"))
+        bus.publish("outer")
+        assert received == ["inner"]

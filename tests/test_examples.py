@@ -1,0 +1,27 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as end-to-end acceptance tests of the public API;
+each asserts its own success criteria internally.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output  # every example narrates what it did
+
+
+def test_all_examples_exist():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES

@@ -1,0 +1,204 @@
+"""Integration tests for the experiment harnesses (E1-E10).
+
+These assert the paper's qualitative *shapes*, at reduced scale so the
+suite stays fast; the full-protocol numbers live in the benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    breadth,
+    icmp_flood_scenario,
+    reactivity_scenario,
+    replication_scenario,
+    table2,
+    wormhole_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def e1():
+    return icmp_flood_scenario.run(seed=7, symptom_instances=10)
+
+
+class TestE1IcmpFlood:
+    def test_kalis_perfect_accuracy(self, e1):
+        kalis = e1.runs["kalis"]
+        assert kalis.score.classification_accuracy == 1.0
+        assert kalis.score.detection_rate == 1.0
+
+    def test_kalis_runs_only_relevant_flood_module(self, e1):
+        active = e1.runs["kalis"].extra["active_modules"]
+        assert "IcmpFloodModule" in active
+        assert "SmurfModule" not in active
+
+    def test_traditional_misclassifies_half(self, e1):
+        trad = e1.runs["traditional"]
+        assert trad.score.classification_accuracy == pytest.approx(0.5, abs=0.1)
+        attacks = {alert.attack for alert in trad.alerts}
+        assert attacks == {"icmp_flood", "smurf"}
+
+    def test_snort_cannot_disambiguate(self, e1):
+        snort = e1.runs["snort"]
+        attacks = {alert.attack for alert in snort.alerts}
+        assert "icmp_flood" in attacks and "smurf" in attacks
+        assert snort.score.classification_accuracy < 1.0
+
+    def test_countermeasures_match_paper(self, e1):
+        """Kalis revokes only the attacker; the traditional IDS would
+        also revoke the victim, disconnecting the network (§VI-B1)."""
+        assert e1.runs["kalis"].countermeasure_effectiveness == 1.0
+        assert e1.runs["traditional"].countermeasure_effectiveness == 0.0
+        assert e1.extra["victim"] in e1.runs["traditional"].revoked
+        assert e1.extra["victim"] not in e1.runs["kalis"].revoked
+
+    def test_resource_ordering(self, e1):
+        kalis = e1.runs["kalis"].resources
+        trad = e1.runs["traditional"].resources
+        snort = e1.runs["snort"].resources
+        assert kalis.cpu_percent < trad.cpu_percent < snort.cpu_percent
+        assert kalis.ram_kb < trad.ram_kb < snort.ram_kb
+
+    def test_no_false_positives_anywhere(self, e1):
+        for run in e1.runs.values():
+            assert run.score.false_positive_alerts == 0
+
+
+class TestE2Replication:
+    @pytest.fixture(scope="class")
+    def e2(self):
+        return replication_scenario.run(seed=11, runs=4)
+
+    def test_kalis_beats_traditional(self, e2):
+        assert (
+            e2.runs["kalis"].score.detection_rate
+            > e2.runs["traditional"].score.detection_rate
+        )
+
+    def test_kalis_high_detection(self, e2):
+        assert e2.runs["kalis"].score.detection_rate >= 0.9
+
+    def test_snort_is_blind_to_zigbee(self, e2):
+        snort = e2.runs["snort"]
+        assert snort.score.detection_rate == 0.0
+        assert len(snort.alerts) == 0
+
+    def test_all_alerts_are_replication(self, e2):
+        for run_name in ("kalis", "traditional"):
+            for alert in e2.runs[run_name].alerts:
+                assert alert.attack == "replication"
+
+
+class TestE4Reactivity:
+    def test_cold_start_catches_everything(self):
+        result = reactivity_scenario.run(seed=13)
+        assert result.detection_rate == 1.0
+        assert result.total_instances > 0
+        # Discovery happens from the very first CTP packets.
+        assert result.discovery_latency < 5.0
+        assert result.module_activated_at is not None
+        assert result.first_alert_at is not None
+
+    def test_summary_renders(self):
+        result = reactivity_scenario.run(seed=13)
+        assert "detection rate 100%" in result.summary()
+
+
+class TestE5Wormhole:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return wormhole_scenario.run(seed=17)
+
+    def test_isolated_nodes_see_blackhole_only(self, outcomes):
+        isolated, _ = outcomes
+        assert "wormhole" not in isolated.attacks_seen
+        assert "blackhole" in isolated.attacks_seen
+        assert isolated.alerts_by_node["kalis-B"] == []
+
+    def test_collective_nodes_identify_wormhole(self, outcomes):
+        _, collective = outcomes
+        assert "wormhole" in collective.attacks_seen
+        wormhole_alerts = [
+            alert
+            for alerts in collective.alerts_by_node.values()
+            for alert in alerts
+            if alert.attack == "wormhole"
+        ]
+        suspects = {s.value for a in wormhole_alerts for s in a.suspects}
+        assert suspects == {"B1", "B2"}
+
+    def test_collective_accuracy_improves(self, outcomes):
+        isolated, collective = outcomes
+        assert (
+            collective.score.classification_accuracy
+            > isolated.score.classification_accuracy
+        )
+
+
+class TestE3Table2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return table2.run(seed=7, replication_runs=3)
+
+    def test_paper_shape(self, table):
+        rows = table.rows
+        # Accuracy: Kalis perfect, others not.
+        assert rows["kalis"].accuracy == 1.0
+        assert rows["traditional"].accuracy < 1.0
+        assert rows["snort"].accuracy < 1.0
+        # Detection: Kalis beats traditional.
+        assert rows["kalis"].detection_rate > rows["traditional"].detection_rate
+        # Resources: Kalis cheapest, Snort most expensive.
+        assert rows["kalis"].cpu_percent < rows["traditional"].cpu_percent
+        assert rows["snort"].cpu_percent > rows["traditional"].cpu_percent
+        assert rows["kalis"].ram_kb < rows["traditional"].ram_kb < rows["snort"].ram_kb
+
+    def test_render(self, table):
+        text = table.render()
+        assert "Detection Rate" in text
+        assert "paper (Table II)" in text
+
+
+class TestE6Breadth:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return breadth.run(seed=23, instances_per_scenario=6)
+
+    def test_all_eight_scenarios_present(self, fig8):
+        assert set(fig8.per_scenario) == set(breadth.SCENARIOS)
+
+    def test_kalis_never_worse_on_average(self, fig8):
+        assert fig8.average("kalis", "detection_rate") >= fig8.average(
+            "traditional", "detection_rate"
+        )
+        assert fig8.average("kalis", "classification_accuracy") > fig8.average(
+            "traditional", "classification_accuracy"
+        )
+
+    def test_kalis_detects_in_every_scenario(self, fig8):
+        for scenario, runs in fig8.per_scenario.items():
+            assert runs["kalis"].score.detection_rate > 0, scenario
+
+    def test_render(self, fig8):
+        text = fig8.render()
+        assert "AVERAGE" in text
+
+
+class TestAblations:
+    def test_module_scaling_shape(self):
+        points = ablations.module_scaling(seed=31, symptom_instances=4)
+        # Traditional cost grows with the library; Kalis stays flat at
+        # the knowledge-selected set.
+        assert points[-1].traditional_cpu > points[0].traditional_cpu * 1.5
+        assert points[-1].kalis_cpu <= points[0].kalis_cpu * 1.8
+        assert points[-1].traditional_active > points[-1].kalis_active
+        assert ablations.render_module_scaling(points)
+
+    def test_window_sweep_shape(self):
+        points = ablations.window_sweep(seed=37, symptom_instances=15)
+        by_window = {p.window_s: p.detection_rate for p in points}
+        # Too-short windows can never accumulate the threshold.
+        assert by_window[1.0] == 0.0
+        assert by_window[10.0] > 0.5
+        assert ablations.render_window_sweep(points)

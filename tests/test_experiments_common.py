@@ -1,0 +1,88 @@
+"""Tests for the shared experiment plumbing and extension scenarios."""
+
+import pytest
+
+from repro.core.alerts import Alert
+from repro.experiments import jamming_scenario, scalability_scenario
+from repro.experiments.common import (
+    apply_countermeasure_score,
+    run_kalis_on_trace,
+    suspects_of,
+)
+from repro.util.ids import NodeId
+
+K = NodeId("kalis-1")
+
+
+def alert_with(suspects):
+    return Alert(
+        attack="blackhole", timestamp=1.0, detected_by="m",
+        kalis_node=K, suspects=tuple(suspects),
+    )
+
+
+class TestSuspectsOf:
+    def test_deduplicates_preserving_order(self):
+        a, b = NodeId("a"), NodeId("b")
+        alerts = [alert_with([b, a]), alert_with([a]), alert_with([b])]
+        assert suspects_of(alerts) == [b, a]
+
+    def test_empty(self):
+        assert suspects_of([]) == []
+
+
+class TestApplyCountermeasure:
+    def test_fills_effectiveness(self):
+        from repro.experiments.common import EngineRun
+        from repro.metrics.detection import DetectionScore
+        from repro.metrics.resources import resource_report
+
+        run = EngineRun(
+            name="x",
+            alerts=[],
+            score=DetectionScore(),
+            resources=resource_report("kalis", 0, 1),
+            revoked=[NodeId("evil")],
+        )
+        apply_countermeasure_score(run, attackers=[NodeId("evil")])
+        assert run.countermeasure_effectiveness == 1.0
+
+
+class TestRunnersShareTheTrace:
+    def test_kalis_runner_consumes_all_captures(self):
+        from repro.experiments import icmp_flood_scenario
+
+        built = icmp_flood_scenario.build(seed=7, symptom_instances=4)
+        run, kalis = run_kalis_on_trace(built.trace, built.instances)
+        assert kalis.comm.total_captures == len(built.trace)
+        assert run.resources.duration_s == pytest.approx(built.trace.duration)
+
+
+class TestJammingScenario:
+    def test_result_shape(self):
+        result = jamming_scenario.run(seed=29, bursts=2)
+        assert result.bursts == 2
+        assert 0.0 <= result.detection_rate <= 1.0
+        assert result.captures_during_bursts <= result.captures_total
+        assert "jamming bursts" in result.summary()
+
+    def test_detects_both_bursts(self):
+        result = jamming_scenario.run(seed=29, bursts=2)
+        assert result.detection_rate == 1.0
+        assert result.false_positives == 0
+
+
+class TestScalabilityScenario:
+    def test_module_sets_are_local(self):
+        point = scalability_scenario.run_site(seed=41, block_pairs=1)
+        home = point.per_node_active["kalis-home-0"]
+        field = point.per_node_active["kalis-field-0"]
+        assert "IcmpFloodModule" in home
+        assert "IcmpFloodModule" not in field
+        assert "ForwardingMisbehaviorModule" in field
+        assert "ForwardingMisbehaviorModule" not in home
+
+    def test_render(self):
+        points = scalability_scenario.run(seed=41, sizes=(1,))
+        text = scalability_scenario.render(points)
+        assert "IDS nodes" in text

@@ -1,0 +1,125 @@
+"""Failure-injection tests: the system must stay honest when the world
+degrades — lossy radios, lossy peer links, partially deaf sniffers.
+"""
+
+import pytest
+
+from repro.attacks import SelectiveForwardingMote
+from repro.core.collective import CollectiveKnowledgeNetwork
+from repro.core.kalis import KalisNode
+from repro.core.knowledge import KnowledgeBase
+from repro.devices.wsn import TelosbMote
+from repro.net.packets.base import Medium
+from repro.sim.engine import Simulator
+from repro.sim.medium import RadioMedium
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+def wsn_with_attacker(seed, loss_probability=0.0, drop_probability=0.0):
+    """The standard chain, optionally with radio loss and an attacker."""
+    sim = Simulator(seed=seed)
+    if loss_probability:
+        sim.set_medium(
+            RadioMedium(
+                Medium.IEEE_802_15_4,
+                rng=SeededRng(seed, "lossy-medium"),
+                base_loss_probability=loss_probability,
+            )
+        )
+    sim.add_node(TelosbMote(NodeId("mote-base"), (0.0, 0.0), is_root=True))
+    sim.add_node(TelosbMote(NodeId("mote-1"), (25.0, 0.0)))
+    if drop_probability:
+        forwarder = SelectiveForwardingMote(
+            NodeId("forwarder"), (50.0, 0.0),
+            drop_probability=drop_probability, rng=SeededRng(seed, "attacker"),
+        )
+    else:
+        forwarder = TelosbMote(NodeId("forwarder"), (50.0, 0.0))
+    sim.add_node(forwarder)
+    sim.add_node(TelosbMote(NodeId("mote-3"), (75.0, 0.0)))
+    kalis = KalisNode(NodeId("kalis-1"))
+    kalis.deploy(sim, position=(50.0, 8.0))
+    sim.run(150.0)
+    return kalis, forwarder
+
+
+class TestLossyRadio:
+    def test_no_false_accusations_under_10pct_loss(self):
+        """Radio loss makes the watchdog miss retransmissions it should
+        have heard; the drop-ratio gate must absorb that."""
+        kalis, _ = wsn_with_attacker(seed=81, loss_probability=0.10)
+        accused = {
+            suspect for alert in kalis.alerts.alerts for suspect in alert.suspects
+        }
+        assert NodeId("forwarder") not in accused
+        assert NodeId("mote-1") not in accused
+
+    def test_attacker_still_caught_under_loss(self):
+        kalis, forwarder = wsn_with_attacker(
+            seed=82, loss_probability=0.10, drop_probability=0.8
+        )
+        assert forwarder.dropped_count > 0
+        accused = {
+            suspect for alert in kalis.alerts.alerts for suspect in alert.suspects
+        }
+        assert NodeId("forwarder") in accused
+
+    def test_topology_discovery_survives_loss(self):
+        kalis, _ = wsn_with_attacker(seed=83, loss_probability=0.15)
+        assert kalis.kb.get("Multihop.802154", bool) is True
+
+
+class TestLossyCollective:
+    def test_sync_is_best_effort_not_corrupting(self):
+        network = CollectiveKnowledgeNetwork(
+            sim=None, loss_probability=0.5, rng=SeededRng(84)
+        )
+        kb1 = KnowledgeBase(NodeId("kalis-1"))
+        kb2 = KnowledgeBase(NodeId("kalis-2"))
+        network.join(kb1)
+        network.join(kb2)
+        delivered = 0
+        for index in range(40):
+            kb1.put(f"Fact{index}", index, collective=True)
+        for index in range(40):
+            if kb2.get(f"Fact{index}", int, creator=NodeId("kalis-1")) is not None:
+                delivered += 1
+        # Some got through, some were lost; what arrived is exact.
+        assert 0 < delivered < 40
+        for index in range(40):
+            value = kb2.get(f"Fact{index}", int, creator=NodeId("kalis-1"))
+            assert value is None or value == index
+
+
+class TestDeafSniffer:
+    def test_sniffer_outside_wsn_learns_nothing_and_stays_quiet(self):
+        """A sniffer out of radio range sees no traffic: no knowledge,
+        no modules, no alerts — never garbage."""
+        sim = Simulator(seed=85)
+        sim.add_node(TelosbMote(NodeId("mote-base"), (0.0, 0.0), is_root=True))
+        sim.add_node(TelosbMote(NodeId("mote-1"), (25.0, 0.0)))
+        kalis = KalisNode(NodeId("kalis-1"))
+        kalis.deploy(sim, position=(5000.0, 5000.0))
+        sim.run(60.0)
+        assert kalis.comm.total_captures == 0
+        assert kalis.kb.get("Multihop.802154", bool) is None
+        assert len(kalis.alerts) == 0
+
+    def test_interference_recovery(self):
+        """After a jamming burst ends, collection resumes."""
+        sim = Simulator(seed=86)
+        base = sim.add_node(
+            TelosbMote(NodeId("mote-base"), (0.0, 0.0), is_root=True)
+        )
+        sim.add_node(TelosbMote(NodeId("mote-1"), (20.0, 0.0)))
+        sim.run(30.0)
+        before = len(base.collected)
+        sim.medium(Medium.IEEE_802_15_4).set_interference(0.99)
+        sim.run(30.0)
+        during = len(base.collected) - before
+        sim.medium(Medium.IEEE_802_15_4).set_interference(0.0)
+        sim.run(30.0)
+        after = len(base.collected) - before - during
+        assert during < after * 0.5
+        assert after >= before * 0.7

@@ -1,0 +1,141 @@
+"""Fuzzing the full IDS pipeline.
+
+An IDS parses adversarial input by definition: whatever arbitrary
+frames an attacker puts on the air must never crash the engine, corrupt
+the Knowledge Base, or wedge module activation.  These tests feed
+hypothesis-generated capture streams (random layer stacks, timestamps,
+RSSI values) through a complete KalisNode and a Snort engine and assert
+the machinery stays sane.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.snort import SnortEngine, custom_iot_rules
+from repro.core.kalis import KalisNode
+from repro.net.packets.base import Medium, RawPayload
+from repro.net.packets.ctp import CtpDataFrame, CtpRoutingFrame
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ieee802154 import FrameType, Ieee802154Frame
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.sixlowpan import SixLowpanPacket
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+from repro.net.packets.udp import UdpDatagram
+from repro.net.packets.wifi import WifiFrame, WifiFrameKind
+from repro.net.packets.zigbee import ZigbeeKind, ZigbeePacket
+from repro.sim.capture import Capture
+from repro.util.ids import NodeId
+
+node_ids = st.sampled_from([NodeId(name) for name in ("a", "b", "c", "d", "evil")])
+small_ips = st.sampled_from(["10.23.0.1", "10.23.0.2", "8.8.8.8", "172.16.0.9"])
+
+transport = st.one_of(
+    st.none(),
+    st.builds(RawPayload, length=st.integers(0, 200)),
+    st.builds(
+        TcpSegment,
+        sport=st.integers(0, 65535),
+        dport=st.integers(0, 65535),
+        flags=st.sampled_from(
+            [TcpFlags.NONE, TcpFlags.SYN, TcpFlags.ACK,
+             TcpFlags.SYN | TcpFlags.ACK, TcpFlags.FIN | TcpFlags.ACK,
+             TcpFlags.RST]
+        ),
+        seq=st.integers(0, 2**31),
+        data_length=st.integers(0, 500),
+    ),
+    st.builds(UdpDatagram, sport=st.integers(0, 65535), dport=st.integers(0, 65535)),
+    st.builds(
+        IcmpMessage,
+        icmp_type=st.sampled_from(list(IcmpType)),
+        identifier=st.integers(0, 65535),
+        sequence=st.integers(0, 65535),
+    ),
+)
+
+wpan_inner = st.one_of(
+    st.none(),
+    st.builds(
+        CtpDataFrame,
+        origin=node_ids,
+        seqno=st.integers(0, 100000),
+        thl=st.integers(0, 30),
+        etx=st.integers(0, 0xFFFF),
+    ),
+    st.builds(CtpRoutingFrame, parent=node_ids, etx=st.integers(0, 0xFFFF)),
+    st.builds(
+        ZigbeePacket,
+        src=node_ids,
+        dst=node_ids,
+        seq=st.integers(0, 100000),
+        radius=st.integers(0, 30),
+        zigbee_kind=st.sampled_from(list(ZigbeeKind)),
+    ),
+    st.builds(SixLowpanPacket, src=node_ids, dst=node_ids,
+              hop_limit=st.integers(0, 255)),
+)
+
+packets = st.one_of(
+    st.builds(
+        Ieee802154Frame,
+        pan_id=st.integers(0, 0xFFFF),
+        seq=st.integers(0, 100000),
+        src=node_ids,
+        dst=node_ids,
+        frame_type=st.sampled_from(list(FrameType)),
+        payload=wpan_inner,
+    ),
+    st.builds(
+        WifiFrame,
+        src=node_ids,
+        dst=node_ids,
+        wifi_kind=st.sampled_from(list(WifiFrameKind)),
+        mesh_src=st.one_of(st.none(), node_ids),
+        payload=st.one_of(
+            st.none(),
+            st.builds(
+                IpPacket,
+                src_ip=small_ips,
+                dst_ip=small_ips,
+                ttl=st.integers(0, 255),
+                payload=transport,
+            ),
+        ),
+    ),
+)
+
+captures = st.builds(
+    Capture,
+    packet=packets,
+    timestamp=st.floats(0.0, 1000.0, allow_nan=False),
+    medium=st.sampled_from(list(Medium)),
+    rssi=st.floats(-100.0, 0.0, allow_nan=False),
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(captures, max_size=60))
+def test_kalis_pipeline_survives_arbitrary_streams(stream):
+    kalis = KalisNode(NodeId("kalis-1"))
+    # Modules assume time flows forward, as any live sniffer guarantees.
+    for capture in sorted(stream, key=lambda c: c.timestamp):
+        kalis.feed(capture)
+    # The machinery stayed coherent.
+    assert kalis.comm.total_captures == len(stream)
+    status = kalis.status()
+    assert status["captures"] == len(stream)
+    assert all(isinstance(active, bool) for active in status["modules"].values())
+    for knowgget in kalis.kb.local_knowggets():
+        assert knowgget.key  # every stored knowgget re-encodes cleanly
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(captures, max_size=60))
+def test_snort_engine_survives_arbitrary_streams(stream):
+    engine = SnortEngine(custom_iot_rules())
+    for capture in sorted(stream, key=lambda c: c.timestamp):
+        engine.on_capture(capture)
+    assert engine.packets_processed + engine.packets_invisible == len(stream)

@@ -1,0 +1,139 @@
+"""Integration tests for the KalisNode facade."""
+
+import pytest
+
+from repro.core.kalis import (
+    DEFAULT_DETECTION_MODULES,
+    DEFAULT_SENSING_MODULES,
+    KalisNode,
+    available_module_names,
+)
+from repro.net.packets.base import Medium
+from repro.util.ids import NodeId
+from tests.conftest import ctp_data_capture, wifi_icmp_capture
+
+K = NodeId("kalis-1")
+A, B = NodeId("a"), NodeId("b")
+
+
+class TestConstruction:
+    def test_default_library_registered(self):
+        kalis = KalisNode(K)
+        registered = {m.NAME for m in kalis.manager.modules()}
+        assert set(DEFAULT_SENSING_MODULES) <= registered
+        assert set(DEFAULT_DETECTION_MODULES) <= registered
+
+    def test_sensing_active_detection_dormant_at_start(self):
+        kalis = KalisNode(K)
+        active = set(kalis.active_module_names())
+        assert active == set(DEFAULT_SENSING_MODULES)
+
+    def test_config_text_accepted(self):
+        kalis = KalisNode(
+            K,
+            config="""
+            modules = { IcmpFloodModule (threshold=5) }
+            knowggets = { Mobility = false }
+            """,
+        )
+        module = kalis.manager.module("IcmpFloodModule")
+        assert module.active  # named in config => activated by default
+        assert module.threshold == 5
+        assert kalis.kb.get("Mobility", bool) is False
+
+    def test_config_static_knowgget_with_entity(self):
+        kalis = KalisNode(
+            K, config="knowggets = { SignalStrength@SensorA = -67 }"
+        )
+        assert kalis.kb.get("SignalStrength", int, entity=NodeId("SensorA")) == -67
+
+    def test_restricted_module_library(self):
+        kalis = KalisNode(K, module_names=["TopologyDiscoveryModule"])
+        assert [m.NAME for m in kalis.manager.modules()] == [
+            "TopologyDiscoveryModule"
+        ]
+
+    def test_available_module_names(self):
+        names = available_module_names()
+        assert "IcmpFloodModule" in names
+
+
+class TestPipeline:
+    def test_feed_reaches_datastore_and_modules(self):
+        kalis = KalisNode(K)
+        kalis.feed(wifi_icmp_capture(A, B, "10.23.0.1", 0.0))
+        assert len(kalis.datastore) == 1
+        assert kalis.comm.total_captures == 1
+
+    def test_medium_filter(self):
+        kalis = KalisNode(K, mediums=[Medium.WIFI])
+        kalis.feed(ctp_data_capture(A, B, origin=A, seqno=1, timestamp=0.0))
+        assert kalis.comm.total_captures == 0
+        assert kalis.comm.dropped_unsupported == 1
+
+    def test_knowledge_driven_activation_end_to_end(self):
+        kalis = KalisNode(K)
+        # Multi-hop CTP evidence activates the watchdog family.
+        kalis.feed(ctp_data_capture(A, B, origin=NodeId("c"), seqno=1,
+                                    timestamp=0.0, thl=1))
+        active = kalis.active_module_names()
+        assert "ForwardingMisbehaviorModule" in active
+        assert "IcmpFloodModule" not in active
+
+    def test_describe_renders(self):
+        text = KalisNode(K).describe()
+        assert "KalisNode kalis-1" in text
+        assert "TopologyDiscoveryModule" in text
+        assert "dormant" in text and "ACTIVE" in text
+
+    def test_resource_accessors(self):
+        kalis = KalisNode(K)
+        assert kalis.cpu_work_units() == 0.0
+        before = kalis.approximate_ram_bytes()
+        for i in range(50):
+            kalis.feed(wifi_icmp_capture(A, B, "10.23.0.1", float(i)))
+        assert kalis.cpu_work_units() > 0
+        assert kalis.approximate_ram_bytes() > before
+
+
+class TestLiveDeployment:
+    def test_deploy_on_simulator(self):
+        from repro.devices.wsn import build_wsn
+        from repro.sim.engine import Simulator
+        from repro.sim.topology import line_positions
+
+        sim = Simulator(seed=21)
+        build_wsn(sim, line_positions(4, 25.0))
+        kalis = KalisNode(K)
+        sniffer = kalis.deploy(sim, position=(40.0, 8.0))
+        sim.run(40.0)
+        assert kalis.comm.total_captures > 0
+        assert kalis.kb.get("Multihop.802154", bool) is True
+        assert sniffer.node_id == K
+
+    def test_trace_replay_equals_live_feed(self):
+        """Replaying a recorded trace yields the same knowledge and
+        alerts as observing the traffic live — the Data Store replay
+        transparency property (§IV-B2)."""
+        from repro.devices.wsn import build_wsn
+        from repro.sim.engine import Simulator
+        from repro.sim.node import SnifferNode
+        from repro.sim.topology import line_positions
+        from repro.trace.recorder import TraceRecorder
+
+        sim = Simulator(seed=22)
+        build_wsn(sim, line_positions(4, 25.0))
+        live = KalisNode(NodeId("live"))
+        live.deploy(sim, position=(40.0, 8.0))
+        recorder_sniffer = SnifferNode(NodeId("recorder"), (40.0, 8.0))
+        sim.add_node(recorder_sniffer)
+        recorder = TraceRecorder().attach(recorder_sniffer)
+        sim.run(40.0)
+
+        offline = KalisNode(NodeId("offline"))
+        offline.replay_trace(recorder.trace)
+        # Same module activations and equivalent knowledge labels.
+        assert offline.active_module_names() == live.active_module_names()
+        live_labels = {k.label for k in live.kb.local_knowggets()}
+        offline_labels = {k.label for k in offline.kb.local_knowggets()}
+        assert live_labels == offline_labels

@@ -1,0 +1,228 @@
+"""Tests for knowggets and the Knowledge Base (paper §IV-B3 / §V)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.knowledge import (
+    KNOWLEDGE_TOPIC_PREFIX,
+    Knowgget,
+    KnowledgeBase,
+    decode_key,
+    encode_key,
+    encode_value,
+    parse_bool,
+)
+from repro.util.ids import NodeId
+
+T1, T2 = NodeId("T1"), NodeId("T2")
+SENSOR = NodeId("SensorA")
+
+
+class TestKeyEncoding:
+    def test_paper_figure5_examples(self):
+        """The exact keys from the paper's Figure 5b."""
+        assert encode_key(NodeId("K1"), "Multihop") == "K1$Multihop"
+        assert (
+            encode_key(NodeId("K1"), "SignalStrength", SENSOR)
+            == "K1$SignalStrength@SensorA"
+        )
+        assert (
+            encode_key(NodeId("K1"), "TrafficFrequency.TCPSYN")
+            == "K1$TrafficFrequency.TCPSYN"
+        )
+
+    def test_decode_inverts_encode(self):
+        creator, label, entity = decode_key("T1$TrafficFrequency.TCPSYN@SensorA")
+        assert creator == T1
+        assert label == "TrafficFrequency.TCPSYN"
+        assert entity == SENSOR
+
+    def test_decode_without_entity(self):
+        assert decode_key("T1$Multihop") == (T1, "Multihop", None)
+
+    def test_malformed_keys_rejected(self):
+        for bad in ("nolabel", "$label", "T1$", "T1$label@"):
+            with pytest.raises(ValueError):
+                decode_key(bad)
+
+    def test_label_may_not_contain_separators(self):
+        with pytest.raises(ValueError):
+            encode_key(T1, "a$b")
+        with pytest.raises(ValueError):
+            encode_key(T1, "a@b")
+        with pytest.raises(ValueError):
+            encode_key(T1, "")
+
+
+class TestValueParsing:
+    def test_bool_encoding(self):
+        assert encode_value(True) == "true"
+        assert encode_value(False) == "false"
+        assert parse_bool("true") is True
+        assert parse_bool(" FALSE ") is False
+
+    def test_bad_bool(self):
+        with pytest.raises(ValueError):
+            parse_bool("maybe")
+
+    def test_knowgget_typed_parsing(self):
+        knowgget = Knowgget(label="MonitoredNodes", value="8", creator=T1)
+        assert knowgget.parsed(int) == 8
+        assert knowgget.parsed(str) == "8"
+        assert knowgget.parsed(float) == 8.0
+
+    def test_unsupported_type(self):
+        knowgget = Knowgget(label="x", value="1", creator=T1)
+        with pytest.raises(TypeError):
+            knowgget.parsed(list)
+
+    def test_root_label(self):
+        knowgget = Knowgget(label="TrafficFrequency.TCPSYN", value="1", creator=T1)
+        assert knowgget.root_label == "TrafficFrequency"
+
+
+class TestKnowledgeBase:
+    def test_put_and_get(self):
+        kb = KnowledgeBase(T1)
+        kb.put("Multihop", True)
+        assert kb.get("Multihop", bool) is True
+
+    def test_get_default_when_absent(self):
+        kb = KnowledgeBase(T1)
+        assert kb.get("Missing", bool, default=False) is False
+        assert kb.get("Missing") is None
+
+    def test_entity_scoping(self):
+        kb = KnowledgeBase(T1)
+        kb.put("SignalStrength", -67, entity=SENSOR)
+        assert kb.get("SignalStrength", int, entity=SENSOR) == -67
+        assert kb.get("SignalStrength", int) is None
+
+    def test_snapshot_matches_paper_representation(self):
+        kb = KnowledgeBase(NodeId("K1"))
+        kb.put("Multihop", True)
+        kb.put("SignalStrength", -67, entity=SENSOR)
+        kb.put("TrafficFrequency.TCPSYN", 0.037)
+        snapshot = kb.snapshot()
+        assert snapshot["K1$Multihop"] == "true"
+        assert snapshot["K1$SignalStrength@SensorA"] == "-67"
+        assert snapshot["K1$TrafficFrequency.TCPSYN"] == "0.037"
+
+    def test_change_events_published(self):
+        kb = KnowledgeBase(T1)
+        events = []
+        kb.subscribe_all(lambda e: events.append(e.topic))
+        kb.put("Multihop", True)
+        assert events == [KNOWLEDGE_TOPIC_PREFIX + "T1$Multihop"]
+
+    def test_identical_value_is_no_op(self):
+        kb = KnowledgeBase(T1)
+        events = []
+        kb.subscribe_all(lambda e: events.append(e))
+        kb.put("Multihop", True)
+        kb.put("Multihop", True)
+        assert len(events) == 1
+        assert kb.change_count == 1
+
+    def test_exact_subscription(self):
+        kb = KnowledgeBase(T1)
+        hits = []
+        kb.subscribe("Mobility", lambda e: hits.append(e.payload.value))
+        kb.put("Mobility", False)
+        kb.put("Multihop", True)
+        assert hits == ["false"]
+
+    def test_remove(self):
+        kb = KnowledgeBase(T1)
+        kb.put("Multihop", True)
+        assert kb.remove("Multihop")
+        assert kb.get("Multihop", bool) is None
+        assert not kb.remove("Multihop")
+
+    def test_sublabels_of_multilevel_knowgget(self):
+        kb = KnowledgeBase(T1)
+        kb.put("TrafficFrequency.TCPSYN", 0.1)
+        kb.put("TrafficFrequency.TCPACK", 0.2)
+        kb.put("Other", 1)
+        children = kb.sublabels("TrafficFrequency")
+        assert set(children) == {"TCPSYN", "TCPACK"}
+
+    def test_about_entity(self):
+        kb = KnowledgeBase(T1)
+        kb.put("SignalStrength", -67, entity=SENSOR)
+        kb.put("TrafficOut.UDP", 0.5, entity=SENSOR)
+        kb.put("Multihop", True)
+        assert len(kb.about_entity(SENSOR)) == 2
+
+    def test_with_label_across_creators(self):
+        kb = KnowledgeBase(T1)
+        kb.put("ForwardingAnomaly", True, entity=NodeId("B1"))
+        remote = Knowgget(
+            label="ForwardingAnomaly", value="true", creator=T2,
+            entity=NodeId("B2"), collective=True,
+        )
+        kb.apply_remote(remote, sender=T2)
+        assert len(kb.with_label("ForwardingAnomaly")) == 2
+
+    def test_approximate_bytes_grows(self):
+        kb = KnowledgeBase(T1)
+        empty = kb.approximate_bytes()
+        kb.put("Multihop", True)
+        assert kb.approximate_bytes() > empty
+
+
+class TestCollectiveRules:
+    def test_remote_update_requires_creator_match(self):
+        """T1 can only update knowggets that T1 itself created (paper)."""
+        kb = KnowledgeBase(T1)
+        forged = Knowgget(label="Mobility", value="true", creator=NodeId("T3"))
+        assert not kb.apply_remote(forged, sender=T2)
+
+    def test_remote_cannot_overwrite_local(self):
+        kb = KnowledgeBase(T1)
+        kb.put("Mobility", False)
+        hostile = Knowgget(label="Mobility", value="true", creator=T1)
+        assert not kb.apply_remote(hostile, sender=T1)
+        assert kb.get("Mobility", bool) is False
+
+    def test_accepted_remote_stored_under_remote_creator(self):
+        kb = KnowledgeBase(T1)
+        remote = Knowgget(label="Mobility", value="true", creator=T2)
+        assert kb.apply_remote(remote, sender=T2)
+        assert kb.get("Mobility", bool, creator=T2) is True
+        assert kb.get("Mobility", bool) is None  # local view unchanged
+
+    def test_local_and_remote_partition(self):
+        kb = KnowledgeBase(T1)
+        kb.put("Multihop", True)
+        kb.apply_remote(
+            Knowgget(label="Multihop", value="false", creator=T2), sender=T2
+        )
+        assert len(kb.local_knowggets()) == 1
+        assert len(kb.remote_knowggets()) == 1
+
+    def test_collective_listener_fires_for_local_collective_only(self):
+        kb = KnowledgeBase(T1)
+        shared = []
+        kb.add_collective_listener(shared.append)
+        kb.put("Private", 1)
+        kb.put("Shared", 2, collective=True)
+        kb.apply_remote(
+            Knowgget(label="Shared", value="3", creator=T2, collective=True),
+            sender=T2,
+        )
+        assert [k.label for k in shared] == ["Shared"]
+
+
+labels = st.from_regex(r"[A-Za-z][A-Za-z0-9_.]{0,15}", fullmatch=True).filter(
+    lambda l: "$" not in l and "@" not in l and not l.startswith(".")
+)
+creators = st.from_regex(r"[A-Za-z0-9][A-Za-z0-9\-]{0,8}", fullmatch=True).map(NodeId)
+entities = st.one_of(st.none(), creators)
+
+
+@given(creator=creators, label=labels, entity=entities)
+def test_key_encoding_roundtrip_property(creator, label, entity):
+    key = encode_key(creator, label, entity)
+    assert decode_key(key) == (creator, label, entity)

@@ -1,0 +1,190 @@
+"""Tests for detection scoring and the resource model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.base import SymptomInstance, SymptomLog
+from repro.core.alerts import Alert
+from repro.metrics.detection import (
+    DetectionScore,
+    attack_family,
+    score_alerts,
+    score_countermeasure,
+)
+from repro.metrics.resources import (
+    cpu_percent,
+    ram_kb,
+    resource_report,
+)
+from repro.util.ids import NodeId
+
+K = NodeId("kalis-1")
+ATTACKER, VICTIM, BYSTANDER = NodeId("evil"), NodeId("victim"), NodeId("by")
+
+
+def alert(attack, timestamp):
+    return Alert(attack=attack, timestamp=timestamp, detected_by="m", kalis_node=K)
+
+
+def instance(attack, start, end=None, index=0):
+    return SymptomInstance(
+        attack=attack, attacker=ATTACKER, instance=index,
+        start=start, end=end if end is not None else start,
+    )
+
+
+class TestSymptomLog:
+    def test_records_instances_in_order(self):
+        log = SymptomLog("icmp_flood", ATTACKER)
+        log.record(1.0, 2.0)
+        log.record(5.0)
+        assert len(log) == 2
+        assert log.instances[0].instance == 0
+        assert log.instances[1].start == log.instances[1].end == 5.0
+
+    def test_overlaps(self):
+        inst = instance("x", 5.0, 10.0)
+        assert inst.overlaps(9.0, 12.0)
+        assert inst.overlaps(0.0, 5.0)
+        assert not inst.overlaps(11.0, 12.0)
+
+
+class TestAttackFamily:
+    def test_flood_smurf_share_family(self):
+        assert attack_family("icmp_flood") == attack_family("smurf")
+
+    def test_relay_family(self):
+        assert (
+            attack_family("selective_forwarding")
+            == attack_family("blackhole")
+            == attack_family("wormhole")
+        )
+
+    def test_unknown_attack_maps_to_itself(self):
+        assert attack_family("quantum_jam") == "quantum_jam"
+
+
+class TestScoreAlerts:
+    def test_exact_match_detected_and_correct(self):
+        score = score_alerts([alert("icmp_flood", 5.0)], [instance("icmp_flood", 4.0)])
+        assert score.detection_rate == 1.0
+        assert score.classification_accuracy == 1.0
+        assert score.false_positive_alerts == 0
+
+    def test_family_match_detects_but_misclassifies(self):
+        """A smurf alert on an ICMP flood: detected, wrongly classified."""
+        score = score_alerts([alert("smurf", 5.0)], [instance("icmp_flood", 4.0)])
+        assert score.detection_rate == 1.0
+        assert score.classification_accuracy == 0.0
+
+    def test_unrelated_alert_is_false_positive(self):
+        score = score_alerts([alert("sybil", 5.0)], [instance("icmp_flood", 4.0)])
+        assert score.detection_rate == 0.0
+        assert score.false_positive_alerts == 1
+
+    def test_alert_outside_window_misses(self):
+        score = score_alerts(
+            [alert("icmp_flood", 100.0)],
+            [instance("icmp_flood", 4.0)],
+            detection_slack=20.0,
+        )
+        assert score.detection_rate == 0.0
+
+    def test_one_alert_covers_overlapping_instances(self):
+        instances = [instance("icmp_flood", float(i), index=i) for i in range(3)]
+        score = score_alerts([alert("icmp_flood", 2.5)], instances)
+        assert score.detected_instances == 3
+
+    def test_per_attack_breakdown(self):
+        instances = [
+            instance("icmp_flood", 1.0, index=0),
+            instance("syn_flood", 50.0, index=1),
+        ]
+        score = score_alerts([alert("icmp_flood", 2.0)], instances)
+        assert score.per_attack_detected == {
+            "icmp_flood": (1, 1),
+            "syn_flood": (0, 1),
+        }
+
+    def test_merge(self):
+        first = score_alerts([alert("icmp_flood", 2.0)], [instance("icmp_flood", 1.0)])
+        second = score_alerts([], [instance("syn_flood", 1.0)])
+        merged = first.merged_with(second)
+        assert merged.total_instances == 2
+        assert merged.detected_instances == 1
+        assert merged.detection_rate == 0.5
+
+    def test_empty_inputs(self):
+        score = score_alerts([], [])
+        assert score.detection_rate == 0.0
+        assert score.classification_accuracy == 0.0
+
+    def test_summary_renders(self):
+        score = score_alerts([alert("icmp_flood", 2.0)], [instance("icmp_flood", 1.0)])
+        assert "100%" in score.summary()
+
+
+class TestCountermeasure:
+    def test_revoking_only_the_attacker_is_perfect(self):
+        assert score_countermeasure([ATTACKER], [ATTACKER], [VICTIM]) == 1.0
+
+    def test_revoking_the_victim_is_catastrophic(self):
+        """The §VI-B1 traditional-IDS failure: victim revoked."""
+        assert score_countermeasure([ATTACKER, VICTIM], [ATTACKER], [VICTIM]) == 0.0
+
+    def test_innocent_bystander_penalised(self):
+        value = score_countermeasure(
+            [ATTACKER, BYSTANDER], [ATTACKER], [VICTIM]
+        )
+        assert value == 0.0
+
+    def test_no_action_on_no_attack_is_fine(self):
+        assert score_countermeasure([], [], []) == 1.0
+        assert score_countermeasure([BYSTANDER], [], []) == 0.0
+
+    def test_partial_credit_multiple_attackers(self):
+        attackers = [NodeId("e1"), NodeId("e2")]
+        assert score_countermeasure([NodeId("e1")], attackers) == 0.5
+
+
+class TestResourceModel:
+    def test_cpu_percent_linear_in_work(self):
+        assert cpu_percent(2000.0, 10.0) == pytest.approx(
+            2 * cpu_percent(1000.0, 10.0)
+        )
+
+    def test_cpu_percent_zero_duration(self):
+        assert cpu_percent(100.0, 0.0) == 0.0
+
+    def test_ram_orderings(self):
+        """The Table II ordering must hold structurally: a Snort-scale
+        ruleset dwarfs any module census, and more active modules cost
+        more."""
+        kalis = ram_kb("kalis", active_modules=6)
+        trad = ram_kb("traditional", active_modules=15)
+        snort = ram_kb("snort", rule_count=3500)
+        assert kalis < trad < snort
+
+    def test_report_summary(self):
+        report = resource_report("kalis", work_units=100.0, duration_s=10.0,
+                                 active_modules=3)
+        assert "kalis" in report.summary()
+        assert report.cpu_percent > 0
+
+
+@settings(max_examples=40)
+@given(
+    alert_times=st.lists(st.floats(0, 100, allow_nan=False), max_size=10),
+    instance_times=st.lists(st.floats(0, 100, allow_nan=False), max_size=10),
+)
+def test_score_bounds_property(alert_times, instance_times):
+    alerts = [alert("icmp_flood", t) for t in alert_times]
+    instances = [
+        instance("icmp_flood", t, index=i) for i, t in enumerate(instance_times)
+    ]
+    score = score_alerts(alerts, instances)
+    assert 0.0 <= score.detection_rate <= 1.0
+    assert 0.0 <= score.classification_accuracy <= 1.0
+    assert score.detected_instances <= score.total_instances
+    assert score.matched_alerts + score.false_positive_alerts == len(alerts)

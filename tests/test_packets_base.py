@@ -1,0 +1,111 @@
+"""Tests for the packet base types: layering, sizes, traffic kinds."""
+
+import pytest
+
+from repro.net.packets.base import Medium, Packet, PacketKind, RawPayload
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ieee802154 import Ieee802154Frame
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+from repro.net.packets.wifi import WifiFrame
+from repro.util.ids import NodeId
+
+
+def stacked_frame():
+    """wifi / ip / tcp — a three-layer stack."""
+    return WifiFrame(
+        src=NodeId("a"),
+        dst=NodeId("b"),
+        payload=IpPacket(
+            src_ip="10.23.0.1",
+            dst_ip="10.23.0.2",
+            payload=TcpSegment(sport=1234, dport=443, flags=TcpFlags.SYN),
+        ),
+    )
+
+
+class TestLayering:
+    def test_layers_outermost_first(self):
+        layers = list(stacked_frame().layers())
+        assert [type(l).__name__ for l in layers] == [
+            "WifiFrame",
+            "IpPacket",
+            "TcpSegment",
+        ]
+
+    def test_find_layer(self):
+        frame = stacked_frame()
+        assert frame.find_layer(TcpSegment).dport == 443
+        assert frame.find_layer(IcmpMessage) is None
+
+    def test_has_layer(self):
+        assert stacked_frame().has_layer(IpPacket)
+        assert not stacked_frame().has_layer(IcmpMessage)
+
+    def test_innermost(self):
+        assert isinstance(stacked_frame().innermost(), TcpSegment)
+
+    def test_payload_property_without_payload_field(self):
+        assert TcpSegment(sport=1, dport=2).payload is None
+
+    def test_payload_property_with_none_default(self):
+        assert WifiFrame(src=NodeId("a"), dst=NodeId("b")).payload is None
+
+
+class TestSizes:
+    def test_size_sums_layers(self):
+        frame = stacked_frame()
+        expected = (
+            WifiFrame.HEADER_BYTES + IpPacket.HEADER_BYTES + TcpSegment.HEADER_BYTES
+        )
+        assert frame.size_bytes == expected
+
+    def test_data_length_adds_to_size(self):
+        plain = TcpSegment(sport=1, dport=2)
+        with_data = TcpSegment(sport=1, dport=2, data_length=100)
+        assert with_data.size_bytes == plain.size_bytes + 100
+
+    def test_ipv6_header_is_larger(self):
+        v4 = IpPacket(src_ip="a", dst_ip="b", version=4)
+        v6 = IpPacket(src_ip="a", dst_ip="b", version=6)
+        assert v6.size_bytes == v4.size_bytes + 20
+
+    def test_raw_payload_size(self):
+        assert RawPayload(length=77).size_bytes == 77
+
+    def test_raw_payload_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RawPayload(length=-1)
+
+
+class TestTrafficKind:
+    def test_innermost_kind_wins(self):
+        assert stacked_frame().traffic_kind() is PacketKind.TCP_SYN
+
+    def test_icmp_kinds(self):
+        request = IcmpMessage(icmp_type=IcmpType.ECHO_REQUEST)
+        reply = IcmpMessage(icmp_type=IcmpType.ECHO_REPLY)
+        assert request.kind() is PacketKind.ICMP_REQUEST
+        assert reply.kind() is PacketKind.ICMP_REPLY
+
+    def test_bare_mac_frame_kind(self):
+        frame = Ieee802154Frame(pan_id=1, seq=1, src=NodeId("a"), dst=NodeId("b"))
+        assert frame.traffic_kind() is PacketKind.MAC_802154
+
+    def test_opaque_payload_falls_back_to_outer_kind(self):
+        frame = Ieee802154Frame(
+            pan_id=1, seq=1, src=NodeId("a"), dst=NodeId("b"),
+            payload=RawPayload(length=10),
+        )
+        assert frame.traffic_kind() is PacketKind.MAC_802154
+
+
+class TestSummary:
+    def test_summary_mentions_all_layers(self):
+        text = stacked_frame().summary()
+        assert "wififrame" in text
+        assert "ippacket" in text
+        assert "tcpsegment" in text
+
+    def test_mediums_render(self):
+        assert str(Medium.IEEE_802_15_4) == "802.15.4"

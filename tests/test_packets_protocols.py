@@ -1,0 +1,193 @@
+"""Per-protocol packet model tests: validation and forwarding semantics."""
+
+import pytest
+
+from repro.net.packets.base import PacketKind
+from repro.net.packets.bluetooth import BlePacket, BleRole
+from repro.net.packets.ctp import CtpDataFrame, CtpRoutingFrame
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ieee802154 import FrameType, Ieee802154Frame
+from repro.net.packets.ip import IpPacket
+from repro.net.packets.rpl import INFINITE_RANK, ROOT_RANK, RplDao, RplDio, RplDis
+from repro.net.packets.sixlowpan import SixLowpanPacket
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+from repro.net.packets.udp import UdpDatagram
+from repro.net.packets.wifi import WifiFrame, WifiFrameKind
+from repro.net.packets.zigbee import ZigbeeKind, ZigbeePacket
+from repro.util.ids import NodeId
+
+A, B = NodeId("a"), NodeId("b")
+
+
+class TestIeee802154:
+    def test_pan_id_bounds(self):
+        with pytest.raises(ValueError):
+            Ieee802154Frame(pan_id=0x10000, seq=0, src=A, dst=B)
+        with pytest.raises(ValueError):
+            Ieee802154Frame(pan_id=-1, seq=0, src=A, dst=B)
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            Ieee802154Frame(pan_id=1, seq=-1, src=A, dst=B)
+
+    def test_default_frame_type(self):
+        frame = Ieee802154Frame(pan_id=1, seq=0, src=A, dst=B)
+        assert frame.frame_type is FrameType.DATA
+
+
+class TestZigbee:
+    def test_forwarded_decrements_radius(self):
+        packet = ZigbeePacket(src=A, dst=B, seq=1, radius=5)
+        assert packet.forwarded().radius == 4
+        assert packet.forwarded().src == A  # originator unchanged
+
+    def test_forwarding_exhausted_radius_fails(self):
+        packet = ZigbeePacket(src=A, dst=B, seq=1, radius=0)
+        with pytest.raises(ValueError):
+            packet.forwarded()
+
+    def test_kind_classification(self):
+        data = ZigbeePacket(src=A, dst=B, seq=1)
+        routing = ZigbeePacket(
+            src=A, dst=B, seq=1, zigbee_kind=ZigbeeKind.ROUTE_REQUEST
+        )
+        assert data.kind() is PacketKind.ZIGBEE_DATA
+        assert routing.kind() is PacketKind.ZIGBEE_ROUTING
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            ZigbeePacket(src=A, dst=B, seq=-1)
+        with pytest.raises(ValueError):
+            ZigbeePacket(src=A, dst=B, seq=0, radius=-1)
+
+
+class TestCtp:
+    def test_forwarded_increments_thl(self):
+        data = CtpDataFrame(origin=A, seqno=7, thl=2, etx=3)
+        forwarded = data.forwarded(new_etx=2)
+        assert forwarded.thl == 3
+        assert forwarded.seqno == 7
+        assert forwarded.origin == A
+        assert forwarded.etx == 2
+
+    def test_kinds(self):
+        assert CtpDataFrame(origin=A, seqno=0).kind() is PacketKind.CTP_DATA
+        assert CtpRoutingFrame(parent=A, etx=1).kind() is PacketKind.CTP_ROUTING
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CtpDataFrame(origin=A, seqno=-1)
+        with pytest.raises(ValueError):
+            CtpRoutingFrame(parent=A, etx=-1)
+
+
+class TestSixLowpan:
+    def test_forwarded_decrements_hop_limit(self):
+        packet = SixLowpanPacket(src=A, dst=B, hop_limit=10)
+        assert packet.forwarded().hop_limit == 9
+
+    def test_exhausted_hop_limit(self):
+        with pytest.raises(ValueError):
+            SixLowpanPacket(src=A, dst=B, hop_limit=0).forwarded()
+
+    def test_hop_limit_bounds(self):
+        with pytest.raises(ValueError):
+            SixLowpanPacket(src=A, dst=B, hop_limit=256)
+
+
+class TestRpl:
+    def test_rank_constants(self):
+        assert ROOT_RANK < INFINITE_RANK
+
+    def test_dio_validation(self):
+        with pytest.raises(ValueError):
+            RplDio(dodag_id="d", rank=-1)
+
+    def test_all_control_kinds(self):
+        assert RplDio(dodag_id="d", rank=256).kind() is PacketKind.RPL_CONTROL
+        assert RplDao(target=A, parent=B).kind() is PacketKind.RPL_CONTROL
+        assert RplDis().kind() is PacketKind.RPL_CONTROL
+
+
+class TestIp:
+    def test_forwarded_decrements_ttl(self):
+        packet = IpPacket(src_ip="1.1.1.1", dst_ip="2.2.2.2", ttl=10)
+        assert packet.forwarded().ttl == 9
+
+    def test_exhausted_ttl(self):
+        with pytest.raises(ValueError):
+            IpPacket(src_ip="a", dst_ip="b", ttl=0).forwarded()
+
+    def test_version_validation(self):
+        with pytest.raises(ValueError):
+            IpPacket(src_ip="a", dst_ip="b", version=5)
+
+    def test_empty_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            IpPacket(src_ip="", dst_ip="b")
+
+
+class TestTcp:
+    def test_flag_predicates(self):
+        syn = TcpSegment(sport=1, dport=2, flags=TcpFlags.SYN)
+        syn_ack = TcpSegment(sport=1, dport=2, flags=TcpFlags.SYN | TcpFlags.ACK)
+        ack = TcpSegment(sport=1, dport=2, flags=TcpFlags.ACK)
+        assert syn.is_syn and not syn.is_syn_ack and not syn.is_pure_ack
+        assert syn_ack.is_syn_ack and not syn_ack.is_syn
+        assert ack.is_pure_ack and not ack.is_syn
+
+    def test_kinds(self):
+        assert (
+            TcpSegment(sport=1, dport=2, flags=TcpFlags.SYN).kind()
+            is PacketKind.TCP_SYN
+        )
+        assert (
+            TcpSegment(sport=1, dport=2, flags=TcpFlags.ACK).kind()
+            is PacketKind.TCP_ACK
+        )
+        assert (
+            TcpSegment(sport=1, dport=2, flags=TcpFlags.FIN | TcpFlags.ACK).kind()
+            is PacketKind.TCP_OTHER
+        )
+
+    def test_port_validation(self):
+        with pytest.raises(ValueError):
+            TcpSegment(sport=-1, dport=2)
+        with pytest.raises(ValueError):
+            TcpSegment(sport=1, dport=70000)
+
+
+class TestUdpAndBle:
+    def test_udp_kind(self):
+        assert UdpDatagram(sport=1, dport=2).kind() is PacketKind.UDP
+
+    def test_udp_port_validation(self):
+        with pytest.raises(ValueError):
+            UdpDatagram(sport=65536, dport=2)
+
+    def test_ble_channel_validation(self):
+        with pytest.raises(ValueError):
+            BlePacket(src=A, dst=B, channel=40)
+
+    def test_ble_kind(self):
+        assert BlePacket(src=A, dst=B).kind() is PacketKind.BLE
+
+    def test_ble_roles(self):
+        packet = BlePacket(src=A, dst=B, role=BleRole.DATA, data_length=12)
+        assert packet.size_bytes == BlePacket.HEADER_BYTES + 12
+
+
+class TestWifi:
+    def test_management_kind(self):
+        beacon = WifiFrame(src=A, dst=B, wifi_kind=WifiFrameKind.BEACON)
+        assert beacon.kind() is PacketKind.WIFI_MGMT
+
+    def test_mesh_relay_flag(self):
+        plain = WifiFrame(src=A, dst=B)
+        relayed = WifiFrame(src=A, dst=B, mesh_src=NodeId("m"), mesh_dst=B)
+        assert not plain.is_mesh_relayed
+        assert relayed.is_mesh_relayed
+
+    def test_icmp_validation(self):
+        with pytest.raises(ValueError):
+            IcmpMessage(icmp_type=IcmpType.ECHO_REPLY, identifier=-1)

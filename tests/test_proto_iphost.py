@@ -1,0 +1,156 @@
+"""Tests for IP hosts, routing, ping behaviour and the LAN directory."""
+
+import pytest
+
+from repro.net.addressing import ip_for_node
+from repro.net.packets.base import Medium
+from repro.net.packets.icmp import IcmpMessage, IcmpType
+from repro.net.packets.ip import IpPacket
+from repro.proto.iphost import BROADCAST_IP, IpHost, IpRouter, LanDirectory
+from repro.sim.engine import Simulator
+from repro.util.ids import NodeId
+
+
+class TestLanDirectory:
+    def test_register_and_resolve(self):
+        directory = LanDirectory()
+        ip = directory.register(NodeId("host-1"))
+        assert ip == ip_for_node(NodeId("host-1"))
+        assert directory.resolve(ip) == NodeId("host-1")
+        assert directory.knows(ip)
+
+    def test_unknown_ip(self):
+        assert LanDirectory().resolve("1.2.3.4") is None
+
+
+@pytest.fixture
+def lan_world():
+    sim = Simulator(seed=6)
+    lan = LanDirectory()
+    alice = sim.add_node(IpHost(NodeId("alice"), (0.0, 0.0), lan))
+    bob = sim.add_node(IpHost(NodeId("bob"), (5.0, 0.0), lan))
+    carol = sim.add_node(IpHost(NodeId("carol"), (0.0, 5.0), lan))
+    sim.run_until(0.01)
+    return sim, alice, bob, carol
+
+
+class TestPing:
+    def test_echo_request_gets_reply(self, lan_world):
+        sim, alice, bob, _ = lan_world
+        alice.ping(bob.ip)
+        sim.run(1.0)
+        assert bob.pings_received == 1
+        assert bob.ping_replies_sent == 1
+
+    def test_broadcast_ping_all_reply(self, lan_world):
+        sim, alice, bob, carol = lan_world
+        alice.ping(BROADCAST_IP)
+        sim.run(1.0)
+        assert bob.ping_replies_sent == 1
+        assert carol.ping_replies_sent == 1
+
+    def test_ping_disabled_host_stays_silent(self):
+        sim = Simulator(seed=6)
+        lan = LanDirectory()
+        alice = sim.add_node(IpHost(NodeId("alice"), (0.0, 0.0), lan))
+        mute = sim.add_node(
+            IpHost(NodeId("mute"), (5.0, 0.0), lan, respond_to_ping=False)
+        )
+        sim.run_until(0.01)
+        alice.ping(mute.ip)
+        sim.run(1.0)
+        assert mute.pings_received == 1
+        assert mute.ping_replies_sent == 0
+
+    def test_spoofed_own_address_not_answered(self, lan_world):
+        """A host never answers an Echo Request claiming its own source
+        (the reflection guard)."""
+        sim, alice, bob, _ = lan_world
+        forged = IpPacket(
+            src_ip=bob.ip,  # bob's own address as source
+            dst_ip=bob.ip,
+            payload=IcmpMessage(icmp_type=IcmpType.ECHO_REQUEST),
+        )
+        alice.send_ip(forged, link_dst=bob.node_id)
+        sim.run(1.0)
+        assert bob.ping_replies_sent == 0
+
+    def test_no_route_off_lan_without_gateway(self, lan_world):
+        sim, alice, _, _ = lan_world
+        assert alice.send_ip(
+            IpPacket(src_ip=alice.ip, dst_ip="99.99.99.99",
+                     payload=IcmpMessage(icmp_type=IcmpType.ECHO_REQUEST))
+        ) == 0
+
+
+class TestRouter:
+    @pytest.fixture
+    def routed_world(self):
+        sim = Simulator(seed=7)
+        lan, wan = LanDirectory(), LanDirectory()
+        router = sim.add_node(IpRouter(NodeId("router"), (0.0, 0.0), lan, wan))
+        inside = sim.add_node(
+            IpHost(NodeId("inside"), (5.0, 0.0), lan, gateway=router.node_id)
+        )
+        outside = sim.add_node(
+            IpHost(
+                NodeId("outside"), (300.0, 0.0), wan,
+                medium=Medium.WIRED, gateway=router.node_id,
+            )
+        )
+        sim.run_until(0.01)
+        return sim, router, inside, outside
+
+    def test_lan_to_wan_forwarding(self, routed_world):
+        sim, router, inside, outside = routed_world
+        inside.ping(outside.ip)
+        sim.run(1.0)
+        assert outside.pings_received == 1
+        assert router.forwarded_lan_to_wan == 1
+
+    def test_wan_reply_returns_through_router(self, routed_world):
+        sim, router, inside, outside = routed_world
+        inside.ping(outside.ip)
+        sim.run(1.0)
+        assert router.forwarded_wan_to_lan == 1
+
+    def test_ttl_decrements_across_router(self, routed_world):
+        sim, router, inside, outside = routed_world
+        seen = []
+        original_handle = outside.handle_ip
+
+        def spy(ip_packet, timestamp):
+            seen.append(ip_packet.ttl)
+            original_handle(ip_packet, timestamp)
+
+        outside.handle_ip = spy
+        inside.ping(outside.ip)
+        sim.run(1.0)
+        assert seen == [63]
+
+    def test_inbound_policy_hook(self, routed_world):
+        sim, router, inside, outside = routed_world
+        router.admit_inbound = lambda packet: False
+        outside.ping(inside.ip)
+        sim.run(1.0)
+        assert inside.pings_received == 0
+        assert router.blocked_inbound == 1
+
+    def test_unknown_wan_destination_dropped(self, routed_world):
+        sim, router, inside, _ = routed_world
+        inside.send_ip(
+            IpPacket(src_ip=inside.ip, dst_ip="8.8.8.8",
+                     payload=IcmpMessage(icmp_type=IcmpType.ECHO_REQUEST))
+        )
+        sim.run(1.0)
+        assert router.forwarded_lan_to_wan == 0
+
+
+class TestTcpOverLan:
+    def test_open_tcp_full_cycle(self, lan_world):
+        sim, alice, bob, _ = lan_world
+        bob.tcp.listen(8080)
+        alice.open_tcp(bob.ip, 8080, data_bytes=50)
+        sim.run(2.0)
+        assert bob.tcp.established_count == 1
+        assert alice.tcp.connection_count() == 0  # closed after data

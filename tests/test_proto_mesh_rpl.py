@@ -1,0 +1,129 @@
+"""Tests for ZigBee mesh forwarding and RPL DODAG formation."""
+
+import pytest
+
+from repro.proto.mesh import ZigbeeMeshNode, compute_mesh_routes
+from repro.proto.rpl import RplNode
+from repro.net.packets.rpl import INFINITE_RANK, RANK_INCREASE, ROOT_RANK
+from repro.sim.engine import Simulator
+from repro.sim.topology import line_positions
+from repro.util.ids import NodeId, make_node_id
+
+
+def build_mesh_chain(sim, count=4, spacing=25.0):
+    placements = {
+        make_node_id("z", i): p for i, p in enumerate(line_positions(count, spacing))
+    }
+    tables = compute_mesh_routes(placements, radio_range=30.0)
+    nodes = []
+    for node_id, position in sorted(placements.items()):
+        node = ZigbeeMeshNode(node_id, position)
+        node.set_routes(tables[node_id])
+        sim.add_node(node)
+        nodes.append(node)
+    return nodes
+
+
+class TestMeshRoutes:
+    def test_next_hops_follow_shortest_paths(self):
+        placements = {
+            make_node_id("z", i): p for i, p in enumerate(line_positions(4, 25.0))
+        }
+        tables = compute_mesh_routes(placements, radio_range=30.0)
+        z0, z1, z3 = make_node_id("z", 0), make_node_id("z", 1), make_node_id("z", 3)
+        assert tables[z0][z3] == z1
+        assert tables[z0][z1] == z1
+
+    def test_disconnected_destinations_missing(self):
+        placements = {
+            NodeId("a"): (0.0, 0.0),
+            NodeId("b"): (500.0, 0.0),
+        }
+        tables = compute_mesh_routes(placements, radio_range=30.0)
+        assert NodeId("b") not in tables[NodeId("a")]
+
+
+class TestMeshForwarding:
+    def test_end_to_end_delivery_over_multiple_hops(self):
+        sim = Simulator(seed=8)
+        nodes = build_mesh_chain(sim)
+        sim.run_until(0.01)
+        assert nodes[0].send_app(nodes[-1].node_id, data_length=10)
+        sim.run(2.0)
+        assert len(nodes[-1].delivered) == 1
+        origin, _seq, _t = nodes[-1].delivered[0]
+        assert origin == nodes[0].node_id
+
+    def test_intermediate_nodes_forward(self):
+        sim = Simulator(seed=8)
+        nodes = build_mesh_chain(sim)
+        sim.run_until(0.01)
+        nodes[0].send_app(nodes[-1].node_id)
+        sim.run(2.0)
+        assert nodes[1].forwarded_count == 1
+        assert nodes[2].forwarded_count == 1
+
+    def test_unroutable_destination_returns_false(self):
+        sim = Simulator(seed=8)
+        node = ZigbeeMeshNode(NodeId("solo"), (0.0, 0.0))
+        sim.add_node(node)
+        sim.run_until(0.01)
+        assert not node.send_app(NodeId("nowhere"))
+
+    def test_link_status_chatter_emitted(self):
+        sim = Simulator(seed=8)
+        node_a = ZigbeeMeshNode(NodeId("a"), (0.0, 0.0), link_status_interval=5.0)
+        node_b = ZigbeeMeshNode(NodeId("b"), (10.0, 0.0))
+        sim.add_node(node_a)
+        sim.add_node(node_b)
+        sim.run(20.0)
+        assert node_a.sent_count >= 3
+
+
+class TestRpl:
+    @staticmethod
+    def _dodag(sim, count=4, spacing=25.0):
+        positions = line_positions(count, spacing)
+        nodes = [
+            RplNode(
+                make_node_id("r", i), positions[i],
+                is_root=(i == 0), dio_interval=5.0,
+                data_interval=None if i == 0 else 4.0,
+            )
+            for i in range(count)
+        ]
+        for node in nodes:
+            sim.add_node(node)
+        return nodes
+
+    def test_ranks_form_gradient(self):
+        sim = Simulator(seed=9)
+        nodes = self._dodag(sim)
+        sim.run(60.0)
+        ranks = [n.rank for n in nodes]
+        assert ranks[0] == ROOT_RANK
+        for nearer, farther in zip(ranks, ranks[1:]):
+            assert farther == nearer + RANK_INCREASE
+
+    def test_parents_point_toward_root(self):
+        sim = Simulator(seed=9)
+        nodes = self._dodag(sim)
+        sim.run(60.0)
+        assert nodes[1].parent == nodes[0].node_id
+        assert nodes[2].parent == nodes[1].node_id
+
+    def test_data_collected_at_root(self):
+        sim = Simulator(seed=9)
+        nodes = self._dodag(sim)
+        sim.run(60.0)
+        origins = {origin for origin, _ in nodes[0].collected}
+        assert nodes[1].node_id in origins
+        assert nodes[-1].node_id in origins  # multi-hop delivery
+
+    def test_unjoined_node_stays_infinite(self):
+        sim = Simulator(seed=9)
+        lonely = RplNode(NodeId("lonely"), (0.0, 0.0))
+        sim.add_node(lonely)
+        sim.run(30.0)
+        assert lonely.rank == INFINITE_RANK
+        assert lonely.parent is None

@@ -1,0 +1,96 @@
+"""Tests for the minimal TCP state machine."""
+
+import pytest
+
+from repro.net.packets.tcp import TcpFlags, TcpSegment
+from repro.proto.tcpstack import TcpConnectionState, TcpStack
+
+
+def handshake(client: TcpStack, server: TcpStack, data_bytes=0, **open_kwargs):
+    """Drive a full client->server exchange; returns all segments seen."""
+    segments = []
+    syn = client.open("10.0.0.2", 443, data_bytes=data_bytes, **open_kwargs)
+    segments.append(("c", syn))
+    reply = server.on_segment("10.0.0.1", syn)
+    pending = [("s", reply)]
+    direction = {"c": ("10.0.0.1", server), "s": ("10.0.0.2", client)}
+    while pending:
+        origin, segment = pending.pop(0)
+        if segment is None:
+            continue
+        segments.append((origin, segment))
+        peer_ip, receiver = direction[origin]
+        response = receiver.on_segment(peer_ip, segment)
+        if response is not None:
+            pending.append(("c" if origin == "s" else "s", response))
+    return segments
+
+
+class TestHandshake:
+    def test_full_lifecycle_with_data(self):
+        client, server = TcpStack(), TcpStack()
+        server.listen(443)
+        segments = handshake(client, server, data_bytes=100)
+        flags = [s.flags for _, s in segments]
+        assert TcpFlags.SYN in flags
+        assert (TcpFlags.SYN | TcpFlags.ACK) in flags
+        assert any(f & TcpFlags.PSH for f in flags)
+        assert any(f & TcpFlags.FIN for f in flags)
+        # Both sides established once, and both ended closed.
+        assert client.established_count == 1
+        assert server.established_count == 1
+        assert client.connection_count() == 0
+        assert server.connection_count() == 0
+
+    def test_connection_without_data_stays_open(self):
+        client, server = TcpStack(), TcpStack()
+        server.listen(443)
+        handshake(client, server, data_bytes=0)
+        assert client.established_count == 1
+        assert client.connection_count() == 1  # long-lived keepalive conn
+
+    def test_closed_port_gets_rst(self):
+        client, server = TcpStack(), TcpStack()
+        syn = client.open("10.0.0.2", 8080)
+        reply = server.on_segment("10.0.0.1", syn)
+        assert reply.flags == TcpFlags.RST
+
+    def test_half_open_counting(self):
+        client, server = TcpStack(), TcpStack()
+        server.listen(443)
+        for _ in range(5):
+            syn = client.open("10.0.0.2", 443)
+            server.on_segment("10.0.0.1", syn)  # SYN-ACK never answered
+        assert server.half_open_count() == 5
+        assert server.established_count == 0
+
+    def test_unknown_segment_ignored(self):
+        server = TcpStack()
+        stray = TcpSegment(sport=1234, dport=443, flags=TcpFlags.ACK)
+        assert server.on_segment("10.0.0.9", stray) is None
+
+    def test_ephemeral_ports_advance_and_wrap(self):
+        client = TcpStack()
+        first = client.allocate_port()
+        second = client.allocate_port()
+        assert second == first + 1
+        client._next_ephemeral = 65535
+        assert client.allocate_port() == 65535
+        assert client.allocate_port() == 49152
+
+    def test_sequence_numbers_distinct_per_connection(self):
+        client = TcpStack()
+        syn1 = client.open("10.0.0.2", 443)
+        syn2 = client.open("10.0.0.2", 443)
+        assert syn1.seq != syn2.seq
+        assert syn1.sport != syn2.sport
+
+    def test_data_is_acknowledged(self):
+        client, server = TcpStack(), TcpStack()
+        server.listen(443)
+        segments = handshake(client, server, data_bytes=64)
+        acks = [
+            s for origin, s in segments
+            if origin == "s" and s.flags == TcpFlags.ACK
+        ]
+        assert acks, "the server must acknowledge client data"

@@ -1,0 +1,196 @@
+"""Tests for the discrete-event engine: scheduling, transmission,
+determinism."""
+
+import pytest
+
+from repro.net.packets.base import Medium
+from repro.net.packets.ieee802154 import Ieee802154Frame
+from repro.sim.engine import Simulator
+from repro.sim.node import SimNode, SnifferNode
+from repro.util.ids import NodeId
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(2.0, lambda: order.append("late"))
+        sim.schedule_at(1.0, lambda: order.append("early"))
+        sim.run_until(3.0)
+        assert order == ["early", "late"]
+
+    def test_fifo_among_equal_times(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("first"))
+        sim.schedule_at(1.0, lambda: order.append("second"))
+        sim.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.5, lambda: seen.append(sim.clock.now))
+        sim.run_until(5.0)
+        assert seen == [1.5]
+        assert sim.clock.now == 5.0
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_schedule_in(self):
+        sim = Simulator()
+        sim.run_until(2.0)
+        seen = []
+        sim.schedule_in(1.0, lambda: seen.append(sim.clock.now))
+        sim.run(2.0)
+        assert seen == [3.0]
+
+    def test_schedule_every_until(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.clock.now), until=3.5)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_schedule_every_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_every(0.0, lambda: None)
+
+    def test_events_scheduled_by_events_run(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule_in(0.5, lambda: order.append("inner"))
+
+        sim.schedule_at(1.0, outer)
+        sim.run_until(2.0)
+        assert order == ["outer", "inner"]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: sim.run_until(2.0))
+        with pytest.raises(RuntimeError):
+            sim.run_until(3.0)
+
+
+class TestNodeRegistry:
+    def test_duplicate_id_rejected(self):
+        sim = Simulator()
+        sim.add_node(SimNode(NodeId("x")))
+        with pytest.raises(ValueError):
+            sim.add_node(SimNode(NodeId("x")))
+
+    def test_remove_node_detaches(self):
+        sim = Simulator()
+        node = sim.add_node(SimNode(NodeId("x")))
+        sim.remove_node(NodeId("x"))
+        assert not node.attached
+        assert not sim.has_node(NodeId("x"))
+
+    def test_nodes_sorted_by_id(self):
+        sim = Simulator()
+        sim.add_node(SimNode(NodeId("b")))
+        sim.add_node(SimNode(NodeId("a")))
+        assert [n.node_id.value for n in sim.nodes()] == ["a", "b"]
+
+    def test_start_called_on_add(self):
+        started = []
+
+        class Starter(SimNode):
+            def start(self):
+                started.append(self.node_id)
+
+        sim = Simulator()
+        sim.add_node(Starter(NodeId("x")))
+        sim.run_until(0.1)
+        assert started == [NodeId("x")]
+
+
+class TestTransmission:
+    @staticmethod
+    def _frame(src, dst):
+        return Ieee802154Frame(pan_id=1, seq=0, src=src, dst=dst)
+
+    def test_in_range_delivery(self):
+        sim = Simulator(seed=1)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        receiver = sim.add_node(
+            SimNode(NodeId("r"), (10, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        sim.run_until(0.01)
+        sender.send(Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id))
+        sim.run(1.0)
+        assert receiver.received_count == 1
+
+    def test_out_of_range_no_delivery(self):
+        sim = Simulator(seed=1)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        receiver = sim.add_node(
+            SimNode(NodeId("r"), (500, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        sim.run_until(0.01)
+        sender.send(Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id))
+        sim.run(1.0)
+        assert receiver.received_count == 0
+
+    def test_wrong_medium_no_delivery(self):
+        sim = Simulator(seed=1)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        receiver = sim.add_node(SimNode(NodeId("r"), (5, 0), mediums=(Medium.WIFI,)))
+        sim.run_until(0.01)
+        sender.send(Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id))
+        sim.run(1.0)
+        assert receiver.received_count == 0
+
+    def test_sender_does_not_hear_itself(self):
+        sim = Simulator(seed=1)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        sim.run_until(0.01)
+        sender.send(Medium.IEEE_802_15_4, self._frame(sender.node_id, sender.node_id))
+        sim.run(1.0)
+        assert sender.received_count == 0
+
+    def test_send_requires_medium(self):
+        sim = Simulator(seed=1)
+        node = sim.add_node(SimNode(NodeId("s"), (0, 0), mediums=(Medium.WIFI,)))
+        sim.run_until(0.01)
+        with pytest.raises(ValueError):
+            node.send(Medium.IEEE_802_15_4, self._frame(node.node_id, node.node_id))
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run_once(seed):
+        from repro.devices.wsn import build_wsn
+        from repro.sim.topology import line_positions
+        from repro.trace.recorder import TraceRecorder
+
+        sim = Simulator(seed=seed)
+        build_wsn(sim, line_positions(4, 25.0))
+        sniffer = sim.add_node(SnifferNode(NodeId("obs"), (30, 5)))
+        recorder = TraceRecorder().attach(sniffer)
+        sim.run(30.0)
+        return [
+            (r.capture.timestamp, r.capture.rssi, r.capture.packet.summary())
+            for r in recorder.trace
+        ]
+
+    def test_same_seed_identical_history(self):
+        assert self._run_once(42) == self._run_once(42)
+
+    def test_different_seed_different_history(self):
+        assert self._run_once(1) != self._run_once(2)

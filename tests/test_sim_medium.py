@@ -1,0 +1,79 @@
+"""Tests for the radio propagation model."""
+
+import math
+
+import pytest
+
+from repro.net.packets.base import Medium
+from repro.sim.medium import DEFAULT_PARAMS, PathLossParams, RadioMedium
+from repro.util.rng import SeededRng
+
+
+class TestPathLossParams:
+    def test_mean_rssi_decreases_with_distance(self):
+        params = DEFAULT_PARAMS[Medium.IEEE_802_15_4]
+        assert params.mean_rssi(10.0) > params.mean_rssi(20.0) > params.mean_rssi(40.0)
+
+    def test_mean_rssi_formula(self):
+        params = PathLossParams(
+            tx_power_dbm=0.0, pl_d0_db=40.0, exponent=3.0, d0_m=1.0
+        )
+        expected = -40.0 - 30.0 * math.log10(10.0)
+        assert params.mean_rssi(10.0) == pytest.approx(expected)
+
+    def test_max_range_crosses_sensitivity(self):
+        params = DEFAULT_PARAMS[Medium.IEEE_802_15_4]
+        edge = params.max_range_m()
+        assert params.mean_rssi(edge) == pytest.approx(params.sensitivity_dbm, abs=0.01)
+        assert params.mean_rssi(edge * 1.1) < params.sensitivity_dbm
+
+    def test_tiny_distances_clamped(self):
+        params = DEFAULT_PARAMS[Medium.WIFI]
+        assert params.mean_rssi(0.0) == params.mean_rssi(0.05)
+
+    def test_wifi_outranges_802154(self):
+        wifi = DEFAULT_PARAMS[Medium.WIFI].max_range_m()
+        wpan = DEFAULT_PARAMS[Medium.IEEE_802_15_4].max_range_m()
+        assert wifi > wpan
+
+
+class TestRadioMedium:
+    def test_shadowing_varies_samples(self):
+        medium = RadioMedium(Medium.WIFI, rng=SeededRng(1))
+        samples = {medium.rssi_at(20.0) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_zero_sigma_is_deterministic(self):
+        params = PathLossParams(shadowing_sigma_db=0.0)
+        medium = RadioMedium(Medium.WIFI, params=params, rng=SeededRng(1))
+        assert medium.rssi_at(20.0) == medium.rssi_at(20.0)
+
+    def test_receivable_threshold(self):
+        medium = RadioMedium(Medium.IEEE_802_15_4, rng=SeededRng(1))
+        assert medium.receivable(-89.9)
+        assert not medium.receivable(-90.1)
+
+    def test_no_loss_by_default(self):
+        medium = RadioMedium(Medium.WIFI, rng=SeededRng(1))
+        assert not any(medium.frame_lost() for _ in range(100))
+
+    def test_base_loss_probability(self):
+        medium = RadioMedium(
+            Medium.WIFI, rng=SeededRng(1), base_loss_probability=0.5
+        )
+        losses = sum(medium.frame_lost() for _ in range(500))
+        assert 150 < losses < 350
+
+    def test_interference_injection(self):
+        medium = RadioMedium(Medium.WIFI, rng=SeededRng(1))
+        medium.set_interference(1.0)
+        # Total loss is clamped just below certainty.
+        losses = sum(medium.frame_lost() for _ in range(100))
+        assert losses >= 95
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            RadioMedium(Medium.WIFI, base_loss_probability=1.0)
+        medium = RadioMedium(Medium.WIFI)
+        with pytest.raises(ValueError):
+            medium.set_interference(1.5)

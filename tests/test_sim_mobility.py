@@ -1,0 +1,138 @@
+"""Tests for mobility models."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.mobility import (
+    RandomWaypointMobility,
+    StaticMobility,
+    TogglingMobility,
+)
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+def _world(count=3):
+    sim = Simulator(seed=9)
+    nodes = [
+        sim.add_node(SimNode(NodeId(f"n-{i}"), (float(i * 5), 0.0)))
+        for i in range(count)
+    ]
+    sim.run_until(0.01)
+    return sim, nodes
+
+
+class TestStatic:
+    def test_nodes_never_move(self):
+        sim, nodes = _world()
+        before = [n.position for n in nodes]
+        StaticMobility([n.node_id for n in nodes]).install(sim)
+        sim.run(20.0)
+        assert [n.position for n in nodes] == before
+
+    def test_not_mobile(self):
+        assert not StaticMobility([NodeId("x")]).is_mobile_now
+
+
+class TestRandomWaypoint:
+    def test_nodes_move(self):
+        sim, nodes = _world()
+        model = RandomWaypointMobility(
+            [n.node_id for n in nodes], area=(0, 0, 50, 50), speed=2.0,
+            rng=SeededRng(1),
+        )
+        model.install(sim)
+        before = [n.position for n in nodes]
+        sim.run(10.0)
+        moved = sum(1 for n, b in zip(nodes, before) if n.position != b)
+        assert moved == len(nodes)
+
+    def test_speed_bounds_step_length(self):
+        sim, nodes = _world(1)
+        model = RandomWaypointMobility(
+            [nodes[0].node_id], area=(0, 0, 100, 100), speed=3.0,
+            update_interval=1.0, rng=SeededRng(2),
+        )
+        model.install(sim)
+        previous = nodes[0].position
+        for _ in range(10):
+            sim.run(1.0)
+            current = nodes[0].position
+            step = math.hypot(current[0] - previous[0], current[1] - previous[1])
+            assert step <= 3.0 + 1e-9
+            previous = current
+
+    def test_positions_stay_in_area(self):
+        sim, nodes = _world(2)
+        area = (0.0, 0.0, 30.0, 30.0)
+        model = RandomWaypointMobility(
+            [n.node_id for n in nodes], area=area, speed=5.0, rng=SeededRng(3)
+        )
+        model.install(sim)
+        sim.run(60.0)
+        for node in nodes:
+            x, y = node.position
+            # Starting positions may lie outside; eventually bounded.
+            assert -0.1 <= x <= 30.1
+            assert -0.1 <= y <= 30.1
+
+    def test_removed_node_is_skipped(self):
+        sim, nodes = _world(2)
+        model = RandomWaypointMobility(
+            [n.node_id for n in nodes], area=(0, 0, 10, 10), speed=1.0,
+            rng=SeededRng(4),
+        )
+        model.install(sim)
+        sim.remove_node(nodes[0].node_id)
+        sim.run(5.0)  # must not raise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility([NodeId("x")], area=(0, 0, 0, 10))
+        with pytest.raises(ValueError):
+            RandomWaypointMobility([NodeId("x")], area=(0, 0, 10, 10), speed=0.0)
+
+
+class TestToggling:
+    def test_alternates_phases(self):
+        sim, nodes = _world(2)
+        model = TogglingMobility(
+            [n.node_id for n in nodes], area=(0, 0, 40, 40), speed=3.0,
+            phase_range=(5.0, 8.0), rng=SeededRng(5),
+        )
+        model.install(sim)
+        sim.run(60.0)
+        states = [state for _, state in model.phase_history]
+        assert True in states and False in states
+        # Phases strictly alternate.
+        for earlier, later in zip(states, states[1:]):
+            assert earlier != later
+
+    def test_mobile_at_reconstructs_history(self):
+        sim, nodes = _world(2)
+        model = TogglingMobility(
+            [n.node_id for n in nodes], area=(0, 0, 40, 40),
+            phase_range=(5.0, 8.0), rng=SeededRng(6), start_mobile=True,
+        )
+        model.install(sim)
+        sim.run(40.0)
+        for change_time, state in model.phase_history:
+            assert model.mobile_at(change_time + 0.01) == state
+
+    def test_static_phase_keeps_positions(self):
+        sim, nodes = _world(2)
+        model = TogglingMobility(
+            [n.node_id for n in nodes], area=(0, 0, 40, 40),
+            phase_range=(1000.0, 1001.0), rng=SeededRng(7), start_mobile=False,
+        )
+        model.install(sim)
+        before = [n.position for n in nodes]
+        sim.run(30.0)
+        assert [n.position for n in nodes] == before
+
+    def test_invalid_phase_range(self):
+        with pytest.raises(ValueError):
+            TogglingMobility([NodeId("x")], area=(0, 0, 1, 1), phase_range=(5, 2))

@@ -1,0 +1,140 @@
+"""Tests for node reception semantics and the sniffer."""
+
+import pytest
+
+from repro.net.addressing import BROADCAST
+from repro.net.packets.base import Medium
+from repro.net.packets.ieee802154 import Ieee802154Frame
+from repro.sim.engine import Simulator
+from repro.sim.node import SimNode, SnifferNode, frame_destination
+from repro.util.ids import NodeId
+
+
+def frame(src: NodeId, dst: NodeId) -> Ieee802154Frame:
+    return Ieee802154Frame(pan_id=1, seq=0, src=src, dst=dst)
+
+
+class Recorder(SimNode):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.receives = []
+        self.overhears = []
+
+    def on_receive(self, packet, medium, rssi, timestamp):
+        self.receives.append(packet)
+
+    def on_overhear(self, packet, medium, rssi, timestamp):
+        self.overhears.append(packet)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=3)
+    sender = sim.add_node(
+        SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+    )
+    addressed = sim.add_node(
+        Recorder(NodeId("addr"), (10, 0), mediums=(Medium.IEEE_802_15_4,))
+    )
+    bystander = sim.add_node(
+        Recorder(NodeId("stand"), (0, 10), mediums=(Medium.IEEE_802_15_4,))
+    )
+    promiscuous = sim.add_node(
+        Recorder(
+            NodeId("sniff"), (5, 5), mediums=(Medium.IEEE_802_15_4,),
+            promiscuous=True,
+        )
+    )
+    sim.run_until(0.01)
+    return sim, sender, addressed, bystander, promiscuous
+
+
+class TestAddressing:
+    def test_unicast_reaches_only_addressee(self, world):
+        sim, sender, addressed, bystander, _ = world
+        sender.send(Medium.IEEE_802_15_4, frame(sender.node_id, addressed.node_id))
+        sim.run(1.0)
+        assert len(addressed.receives) == 1
+        assert len(bystander.receives) == 0
+
+    def test_broadcast_reaches_everyone(self, world):
+        sim, sender, addressed, bystander, _ = world
+        sender.send(Medium.IEEE_802_15_4, frame(sender.node_id, BROADCAST))
+        sim.run(1.0)
+        assert len(addressed.receives) == 1
+        assert len(bystander.receives) == 1
+
+    def test_promiscuous_overhears_unicast_to_others(self, world):
+        sim, sender, addressed, _, promiscuous = world
+        sender.send(Medium.IEEE_802_15_4, frame(sender.node_id, addressed.node_id))
+        sim.run(1.0)
+        assert len(promiscuous.overhears) == 1
+        assert len(promiscuous.receives) == 0
+
+    def test_detached_node_receives_nothing(self, world):
+        sim, sender, addressed, _, _ = world
+        sender.send(Medium.IEEE_802_15_4, frame(sender.node_id, addressed.node_id))
+        sim.remove_node(addressed.node_id)
+        sim.run(1.0)  # delivery was already scheduled but node detached
+        assert len(addressed.receives) == 0
+
+    def test_frame_destination_helper(self):
+        assert frame_destination(frame(NodeId("a"), NodeId("b"))) == NodeId("b")
+
+        from repro.net.packets.base import RawPayload
+
+        assert frame_destination(RawPayload(length=1)) is None
+
+    def test_node_requires_a_medium(self):
+        with pytest.raises(ValueError):
+            SimNode(NodeId("x"), mediums=())
+
+
+class TestSniffer:
+    def test_captures_include_rssi_and_observer(self):
+        sim = Simulator(seed=4)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        sniffer = sim.add_node(SnifferNode(NodeId("k"), (8, 0)))
+        captures = []
+        sniffer.add_listener(captures.append)
+        sim.run_until(0.01)
+        sender.send(Medium.IEEE_802_15_4, frame(sender.node_id, BROADCAST))
+        sim.run(1.0)
+        assert len(captures) == 1
+        capture = captures[0]
+        assert capture.observer == NodeId("k")
+        assert capture.medium is Medium.IEEE_802_15_4
+        assert capture.rssi < 0
+        assert capture.timestamp > 0
+        assert sniffer.captures == 1
+
+    def test_multiple_listeners_all_called(self):
+        sim = Simulator(seed=4)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        sniffer = sim.add_node(SnifferNode(NodeId("k"), (8, 0)))
+        first, second = [], []
+        sniffer.add_listener(first.append)
+        sniffer.add_listener(second.append)
+        sim.run_until(0.01)
+        sender.send(Medium.IEEE_802_15_4, frame(sender.node_id, BROADCAST))
+        sim.run(1.0)
+        assert len(first) == len(second) == 1
+
+    def test_capture_summary_renders(self):
+        sim = Simulator(seed=4)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        sniffer = sim.add_node(SnifferNode(NodeId("k"), (8, 0)))
+        captures = []
+        sniffer.add_listener(captures.append)
+        sim.run_until(0.01)
+        sender.send(Medium.IEEE_802_15_4, frame(sender.node_id, BROADCAST))
+        sim.run(1.0)
+        text = captures[0].summary()
+        assert "802.15.4" in text
+        assert "dBm" in text

@@ -1,0 +1,122 @@
+"""Tests for topology generators, with hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.topology import (
+    connectivity_graph,
+    grid_positions,
+    hop_distance,
+    is_connected,
+    is_single_hop,
+    line_positions,
+    random_positions,
+    star_positions,
+)
+from repro.util.ids import NodeId, make_node_id
+from repro.util.rng import SeededRng
+
+
+def as_placement(positions):
+    return {make_node_id("n", i): p for i, p in enumerate(positions)}
+
+
+class TestGenerators:
+    def test_star_is_single_hop_within_range(self):
+        placement = as_placement(star_positions(6, radius=10.0))
+        assert is_single_hop(placement, radio_range=25.0)
+
+    def test_line_is_multi_hop(self):
+        placement = as_placement(line_positions(5, spacing=30.0))
+        assert not is_single_hop(placement, radio_range=40.0)
+        assert is_connected(placement, radio_range=40.0)
+
+    def test_line_hop_distance(self):
+        placement = as_placement(line_positions(5, spacing=30.0))
+        assert hop_distance(
+            placement, 40.0, make_node_id("n", 0), make_node_id("n", 4)
+        ) == 4
+
+    def test_disconnected_hop_distance_is_none(self):
+        placement = as_placement(line_positions(3, spacing=100.0))
+        assert hop_distance(
+            placement, 40.0, make_node_id("n", 0), make_node_id("n", 2)
+        ) is None
+
+    def test_grid_shape(self):
+        positions = grid_positions(2, 3, spacing=5.0)
+        assert len(positions) == 6
+        assert positions[0] == (0.0, 0.0)
+        assert positions[-1] == (10.0, 5.0)
+
+    def test_generators_validate_counts(self):
+        with pytest.raises(ValueError):
+            star_positions(0, 1.0)
+        with pytest.raises(ValueError):
+            line_positions(0, 1.0)
+        with pytest.raises(ValueError):
+            grid_positions(0, 3, 1.0)
+
+    def test_random_positions_respect_area_and_separation(self):
+        positions = random_positions(
+            10, (0, 0, 50, 50), rng=SeededRng(1), min_separation=3.0
+        )
+        assert len(positions) == 10
+        for x, y in positions:
+            assert 0 <= x <= 50 and 0 <= y <= 50
+        for i, a in enumerate(positions):
+            for b in positions[i + 1 :]:
+                assert math.hypot(a[0] - b[0], a[1] - b[1]) >= 3.0
+
+    def test_random_positions_impossible_separation_raises(self):
+        with pytest.raises(RuntimeError):
+            random_positions(50, (0, 0, 1, 1), rng=SeededRng(1), min_separation=5.0)
+
+    def test_empty_placement_is_connected(self):
+        assert is_connected({}, 10.0)
+
+
+class TestConnectivityGraph:
+    def test_edges_match_distances(self):
+        placement = {
+            NodeId("a"): (0.0, 0.0),
+            NodeId("b"): (5.0, 0.0),
+            NodeId("c"): (100.0, 0.0),
+        }
+        graph = connectivity_graph(placement, radio_range=10.0)
+        assert graph.has_edge(NodeId("a"), NodeId("b"))
+        assert not graph.has_edge(NodeId("a"), NodeId("c"))
+
+
+@settings(max_examples=40)
+@given(
+    count=st.integers(2, 10),
+    radius=st.floats(1.0, 50.0, allow_nan=False),
+)
+def test_star_nodes_equidistant_from_origin(count, radius):
+    for x, y in star_positions(count, radius):
+        assert math.hypot(x, y) == pytest.approx(radius, rel=1e-6)
+
+
+@settings(max_examples=40)
+@given(
+    count=st.integers(2, 8),
+    spacing=st.floats(1.0, 50.0, allow_nan=False),
+)
+def test_line_single_hop_iff_range_covers_full_span(count, spacing):
+    placement = as_placement(line_positions(count, spacing))
+    full_span = spacing * (count - 1)
+    assert is_single_hop(placement, radio_range=full_span + 0.01)
+    if count > 2:
+        assert not is_single_hop(placement, radio_range=full_span - 0.01)
+
+
+@settings(max_examples=40)
+@given(count=st.integers(2, 8), spacing=st.floats(1.0, 30.0, allow_nan=False))
+def test_line_connected_iff_range_covers_spacing(count, spacing):
+    placement = as_placement(line_positions(count, spacing))
+    assert is_connected(placement, radio_range=spacing + 0.01)
+    assert not is_connected(placement, radio_range=spacing - 0.01)

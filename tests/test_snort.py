@@ -1,0 +1,199 @@
+"""Tests for the Snort baseline: rule model, parser, engine, ruleset."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.snort.engine import SnortEngine, _flags_match, _port_matches
+from repro.baselines.snort.parser import RuleParseError, parse_rule, parse_rules
+from repro.baselines.snort.rule import SnortRule, Threshold
+from repro.baselines.snort.ruleset import community_ruleset, custom_iot_rules
+from repro.net.packets.base import Medium
+from repro.net.packets.tcp import TcpFlags
+from repro.util.ids import NodeId
+from tests.conftest import ctp_data_capture, wifi_icmp_capture, wifi_tcp_capture
+
+A, V = NodeId("attacker"), NodeId("victim")
+
+FLOOD_RULE = (
+    'alert icmp any any -> $HOME_NET any (msg:"ICMP flood"; itype:0; '
+    "threshold:type both, track by_dst, count 5, seconds 10; "
+    "metadata:attack icmp_flood; classtype:attempted-dos; sid:1; rev:2;)"
+)
+
+
+class TestParser:
+    def test_parse_header_and_options(self):
+        rule = parse_rule(FLOOD_RULE)
+        assert rule.action == "alert"
+        assert rule.proto == "icmp"
+        assert rule.dst == "$HOME_NET"
+        assert rule.itype == 0
+        assert rule.sid == 1
+        assert rule.rev == 2
+        assert rule.classtype == "attempted-dos"
+        assert rule.metadata == {"attack": "icmp_flood"}
+        assert rule.threshold == Threshold(
+            kind="both", track="by_dst", count=5, seconds=10.0
+        )
+
+    def test_attack_label_prefers_metadata(self):
+        rule = parse_rule(FLOOD_RULE)
+        assert rule.attack_label == "icmp_flood"
+
+    def test_attack_label_falls_back_to_classtype(self):
+        rule = parse_rule(
+            'alert tcp any any -> any 80 (msg:"x"; classtype:web-attack; sid:2; rev:1;)'
+        )
+        assert rule.attack_label == "web-attack"
+
+    def test_content_with_semicolons_inside_quotes(self):
+        rule = parse_rule(
+            'alert tcp any any -> any 80 (msg:"a;b"; content:"x;y"; sid:3; rev:1;)'
+        )
+        assert rule.msg == "a;b"
+        assert rule.contents == ("x;y",)
+
+    def test_flags_option(self):
+        rule = parse_rule('alert tcp any any -> any any (flags:S; sid:4; rev:1;)')
+        assert rule.flags == "S"
+
+    def test_ruleset_with_comments_and_blanks(self):
+        text = f"# comment\n\n{FLOOD_RULE}\n"
+        assert len(parse_rules(text)) == 1
+
+    def test_line_continuation(self):
+        text = 'alert tcp any any -> any 80 \\\n(msg:"x"; sid:5; rev:1;)'
+        assert parse_rules(text)[0].sid == 5
+
+    def test_errors(self):
+        with pytest.raises(RuleParseError, match="header"):
+            parse_rule("alert tcp any any (sid:1;)")
+        with pytest.raises(RuleParseError, match="unknown rule option"):
+            parse_rule("alert tcp any any -> any any (bogus:1; sid:1;)")
+        with pytest.raises(RuleParseError, match="threshold"):
+            parse_rule(
+                "alert tcp any any -> any any (threshold:type both; sid:1;)"
+            )
+        with pytest.raises(RuleParseError, match="line 2"):
+            parse_rules("# fine\nalert broken\n")
+
+    def test_inert_options_accepted(self):
+        rule = parse_rule(
+            'alert tcp any any -> any 80 (msg:"x"; flow:to_server; nocase; '
+            "reference:cve,2021-1; sid:6; rev:1;)"
+        )
+        assert rule.sid == 6
+
+    def test_render_roundtrip(self):
+        rule = parse_rule(FLOOD_RULE)
+        assert parse_rule(rule.render()) == rule
+
+
+class TestMatchers:
+    def test_port_specs(self):
+        assert _port_matches("any", None)
+        assert _port_matches("80", 80)
+        assert not _port_matches("80", 81)
+        assert _port_matches("100:200", 150)
+        assert not _port_matches("100:200", 250)
+        assert _port_matches(":100", 50)
+        assert _port_matches("100:", 50000)
+        assert _port_matches("!80", 81)
+        assert not _port_matches("80", None)
+
+    def test_flags_matching(self):
+        assert _flags_match("S", TcpFlags.SYN)
+        assert not _flags_match("S", TcpFlags.SYN | TcpFlags.ACK)
+        assert _flags_match("SA", TcpFlags.SYN | TcpFlags.ACK)
+        assert _flags_match("S+", TcpFlags.SYN | TcpFlags.ACK)
+        assert not _flags_match("S+", TcpFlags.ACK)
+
+
+class TestEngine:
+    def test_threshold_fires_once_per_window(self):
+        engine = SnortEngine(parse_rules(FLOOD_RULE))
+        for i in range(20):
+            engine.on_capture(
+                wifi_icmp_capture(A, V, "10.23.5.5", i * 0.1,
+                                  src_ip=f"172.16.0.{i + 1}")
+            )
+        assert len(engine.alerts) == 1
+        assert engine.alerts.alerts[0].attack == "icmp_flood"
+        assert engine.alerts.alerts[0].suspects == (A,)
+
+    def test_below_threshold_silent(self):
+        engine = SnortEngine(parse_rules(FLOOD_RULE))
+        for i in range(4):
+            engine.on_capture(wifi_icmp_capture(A, V, "10.23.5.5", i * 0.1))
+        assert len(engine.alerts) == 0
+
+    def test_zigbee_is_invisible(self):
+        """Snort has no 802.15.4 radio — the §VI-B2 structural blindness."""
+        engine = SnortEngine(community_ruleset(target_size=50))
+        for i in range(50):
+            engine.on_capture(ctp_data_capture(A, V, origin=A, seqno=i,
+                                               timestamp=i * 0.1))
+        assert engine.packets_processed == 0
+        assert engine.packets_invisible == 50
+        assert engine.work_units == 0.0
+
+    def test_external_net_variable(self):
+        rule = parse_rule(
+            'alert icmp $EXTERNAL_NET any -> $HOME_NET any '
+            '(msg:"x"; itype:0; metadata:attack t; sid:9; rev:1;)'
+        )
+        engine = SnortEngine([rule], home_net_prefix="10.23.")
+        # Internal source: $EXTERNAL_NET does not match.
+        engine.on_capture(
+            wifi_icmp_capture(A, V, "10.23.5.5", 0.0, src_ip="10.23.1.1")
+        )
+        assert len(engine.alerts) == 0
+        engine.on_capture(
+            wifi_icmp_capture(A, V, "10.23.5.5", 1.0, src_ip="8.8.8.8")
+        )
+        assert len(engine.alerts) == 1
+
+    def test_content_rules_never_match_encrypted_payloads(self):
+        rule = parse_rule(
+            'alert tcp any any -> any 443 (msg:"x"; content:"evil"; '
+            "metadata:attack t; sid:10; rev:1;)"
+        )
+        engine = SnortEngine([rule])
+        engine.on_capture(wifi_tcp_capture(A, V, "10.23.5.5", 0.0, dport=443))
+        assert len(engine.alerts) == 0
+        assert engine.work_units > 0  # ...but the evaluation cost was paid
+
+    def test_work_scales_with_ruleset_size(self):
+        small = SnortEngine(community_ruleset(target_size=100))
+        large = SnortEngine(community_ruleset(target_size=1000))
+        capture = wifi_tcp_capture(A, V, "10.23.5.5", 0.0, dport=443)
+        small.on_capture(capture)
+        large.on_capture(capture)
+        assert large.work_units > small.work_units * 5
+
+
+class TestRuleset:
+    def test_custom_rules_parse(self):
+        rules = custom_iot_rules()
+        assert len(rules) >= 6
+        sids = [rule.sid for rule in rules]
+        assert len(sids) == len(set(sids))
+
+    def test_community_size_and_uniqueness(self):
+        rules = community_ruleset(target_size=500)
+        assert len(rules) == 500
+        sids = [rule.sid for rule in rules]
+        assert len(sids) == len(set(sids))
+
+    def test_flood_and_smurf_rules_both_fire_on_reply_burst(self):
+        """The classification ambiguity the paper measures (§VI-B1)."""
+        engine = SnortEngine(custom_iot_rules())
+        for i in range(20):
+            engine.on_capture(
+                wifi_icmp_capture(A, V, "10.23.5.5", i * 0.1,
+                                  src_ip=f"172.16.0.{i + 1}")
+            )
+        attacks = engine.alerts.attacks_seen()
+        assert "icmp_flood" in attacks
+        assert "smurf" in attacks

@@ -1,0 +1,99 @@
+"""Property-based tests for Snort threshold semantics and the parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.snort.engine import SnortEngine
+from repro.baselines.snort.parser import parse_rule
+from repro.baselines.snort.rule import SnortRule, Threshold
+from repro.util.ids import NodeId
+from tests.conftest import wifi_icmp_capture
+
+A, V = NodeId("attacker"), NodeId("victim")
+
+
+def flood_rule(kind: str, count: int, seconds: float) -> SnortRule:
+    return parse_rule(
+        f'alert icmp any any -> $HOME_NET any (msg:"t"; itype:0; '
+        f"threshold:type {kind}, track by_dst, count {count}, "
+        f"seconds {seconds:g}; metadata:attack t; sid:77; rev:1;)"
+    )
+
+
+def fire_replies(engine: SnortEngine, count: int, spacing: float) -> int:
+    for index in range(count):
+        engine.on_capture(
+            wifi_icmp_capture(A, V, "10.23.5.5", index * spacing)
+        )
+    return len(engine.alerts)
+
+
+class TestThresholdSemantics:
+    @settings(max_examples=30)
+    @given(
+        count=st.integers(2, 10),
+        packets=st.integers(0, 40),
+    )
+    def test_type_both_fires_at_most_once_per_window(self, count, packets):
+        engine = SnortEngine([flood_rule("both", count, seconds=100.0)])
+        alerts = fire_replies(engine, packets, spacing=0.1)
+        # Everything lands in one window: either no alert (below count)
+        # or exactly one.
+        assert alerts == (1 if packets >= count else 0)
+
+    @settings(max_examples=30)
+    @given(count=st.integers(2, 8), packets=st.integers(0, 30))
+    def test_type_threshold_fires_every_count(self, count, packets):
+        engine = SnortEngine([flood_rule("threshold", count, seconds=1000.0)])
+        alerts = fire_replies(engine, packets, spacing=0.1)
+        # Classic 'threshold': every event at or past the count fires.
+        assert alerts == max(0, packets - count + 1)
+
+    @settings(max_examples=30)
+    @given(count=st.integers(1, 6), packets=st.integers(0, 30))
+    def test_type_limit_fires_first_count_only(self, count, packets):
+        engine = SnortEngine([flood_rule("limit", count, seconds=1000.0)])
+        alerts = fire_replies(engine, packets, spacing=0.1)
+        assert alerts == min(packets, count)
+
+    def test_window_expiry_rearms_both(self):
+        engine = SnortEngine([flood_rule("both", 5, seconds=10.0)])
+        fire_replies(engine, 6, spacing=0.1)  # one alert in window one
+        assert len(engine.alerts) == 1
+        for index in range(6):  # a second burst, a window later
+            engine.on_capture(
+                wifi_icmp_capture(A, V, "10.23.5.5", 50.0 + index * 0.1)
+            )
+        assert len(engine.alerts) == 2
+
+
+class TestThresholdValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Threshold(kind="sometimes", track="by_dst", count=1, seconds=1.0)
+
+    def test_bad_track(self):
+        with pytest.raises(ValueError):
+            Threshold(kind="both", track="by_vibe", count=1, seconds=1.0)
+
+    def test_bad_count_and_seconds(self):
+        with pytest.raises(ValueError):
+            Threshold(kind="both", track="by_dst", count=0, seconds=1.0)
+        with pytest.raises(ValueError):
+            Threshold(kind="both", track="by_dst", count=1, seconds=0.0)
+
+
+@settings(max_examples=50)
+@given(
+    proto=st.sampled_from(["tcp", "udp", "icmp", "ip"]),
+    port=st.one_of(st.just("any"), st.integers(0, 65535).map(str)),
+    sid=st.integers(1, 10_000_000),
+    msg=st.from_regex(r"[A-Za-z0-9 _\-]{1,30}", fullmatch=True),
+)
+def test_parser_render_roundtrip_property(proto, port, sid, msg):
+    rule = parse_rule(
+        f'alert {proto} any any -> $HOME_NET {port} '
+        f'(msg:"{msg}"; sid:{sid}; rev:1;)'
+    )
+    assert parse_rule(rule.render()) == rule

@@ -1,0 +1,75 @@
+"""Tests for the status snapshot and the Data Store disk-log path
+through the KalisNode facade."""
+
+import json
+
+import pytest
+
+from repro.core.kalis import KalisNode
+from repro.util.ids import NodeId
+from tests.conftest import ctp_data_capture, wifi_icmp_capture
+
+A, B = NodeId("a"), NodeId("b")
+
+
+class TestStatus:
+    def test_status_is_json_safe_and_complete(self):
+        kalis = KalisNode(NodeId("kalis-1"))
+        for i in range(25):
+            kalis.feed(wifi_icmp_capture(A, B, "10.23.0.9", float(i)))
+        kalis.feed(ctp_data_capture(A, B, origin=A, seqno=1, timestamp=30.0))
+        status = json.loads(json.dumps(kalis.status()))
+        assert status["node"] == "kalis-1"
+        assert status["captures"] == 26
+        assert status["captures_by_medium"] == {"802.15.4": 1, "wifi": 25}
+        assert status["knowledge_driven"] is True
+        assert status["modules"]["TopologyDiscoveryModule"] is True
+        assert status["knowggets"] > 0
+        assert status["work_units"] > 0
+        assert status["approx_ram_bytes"] > 0
+
+    def test_status_reflects_alerts(self):
+        kalis = KalisNode(NodeId("kalis-1"))
+        # Enough replies to settle the single-hop verdict (20 captures)
+        # and then accumulate the flood threshold in the detector.
+        for i in range(60):
+            kalis.feed(wifi_icmp_capture(A, B, "10.23.0.9", i * 0.3))
+        status = kalis.status()
+        assert "icmp_flood" in status["attacks_seen"]
+        assert status["alerts"] >= 1
+
+
+class TestDiskLogThroughFacade:
+    def test_kalis_node_logs_and_replays(self, tmp_path):
+        path = tmp_path / "kalis-traffic.jsonl"
+        kalis = KalisNode(NodeId("kalis-1"), log_to=str(path))
+        for i in range(10):
+            kalis.feed(wifi_icmp_capture(A, B, "10.23.0.9", float(i)))
+        assert kalis.datastore.flush_log() == path
+
+        from repro.core.datastore import DataStore
+
+        replayed = []
+        count = DataStore.replay_log(path, replayed.append)
+        assert count == 10
+        assert [c.timestamp for c in replayed] == [float(i) for i in range(10)]
+
+
+class TestCliRemainingPaths:
+    def test_experiment_e2_small(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "e2", "--runs", "2"]) == 0
+        assert "replication" in capsys.readouterr().out
+
+    def test_experiment_breadth_small(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "breadth", "--instances", "5"]) == 0
+        assert "AVERAGE" in capsys.readouterr().out
+
+    def test_experiment_ablation_window(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "ablation-window"]) == 0
+        assert "window" in capsys.readouterr().out

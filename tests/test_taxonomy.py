@@ -1,0 +1,171 @@
+"""Tests for the Table I and Figure 3 taxonomies — including the
+machine-check that Figure 3 matches the detection-module library."""
+
+import pytest
+
+from repro.core.modules.base import Requirement
+from repro.core.modules.registry import module_class
+from repro.taxonomy.by_feature import (
+    ATTACKS,
+    FEATURES,
+    Applicability,
+    applicability,
+    attacks_impossible_given,
+    feature_matrix,
+    render_matrix,
+)
+from repro.taxonomy.by_target import (
+    AttackPattern,
+    EntityClass,
+    attack_pattern,
+    render_target_table,
+    target_table,
+)
+
+
+class TestTableOne:
+    def test_paper_cells(self):
+        """Spot-check the exact cells printed in Table I."""
+        assert (
+            attack_pattern(EntityClass.INTERNET, EntityClass.INTERNET_SERVICE)
+            is AttackPattern.DENIAL_OF_SERVICE
+        )
+        assert (
+            attack_pattern(EntityClass.INTERNET, EntityClass.HUB)
+            is AttackPattern.REMOTE_DENIAL_OF_THING
+        )
+        assert (
+            attack_pattern(EntityClass.HUB, EntityClass.SUB)
+            is AttackPattern.DENIAL_OF_THING
+        )
+        assert (
+            attack_pattern(EntityClass.ROUTER, EntityClass.HUB)
+            is AttackPattern.CONTROL_DENIAL_OF_THING
+        )
+        assert (
+            attack_pattern(EntityClass.HUB, EntityClass.ROUTER)
+            is AttackPattern.DENIAL_OF_ROUTING
+        )
+
+    def test_infeasible_pairs(self):
+        """Subs lack the hardware to attack routers/Internet services."""
+        assert attack_pattern(EntityClass.SUB, EntityClass.ROUTER) is None
+        assert attack_pattern(EntityClass.SUB, EntityClass.INTERNET_SERVICE) is None
+        assert attack_pattern(EntityClass.INTERNET, EntityClass.SUB) is None
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(KeyError):
+            attack_pattern(EntityClass.INTERNET_SERVICE, EntityClass.SUB)
+
+    def test_table_is_complete_4x4(self):
+        assert len(target_table()) == 16
+
+    def test_render(self):
+        text = render_target_table()
+        assert "Denial of Thing" in text
+        assert "SOURCE" in text
+
+
+class TestFigureThree:
+    def test_matrix_is_complete(self):
+        matrix = feature_matrix()
+        assert len(matrix) == len(ATTACKS) * len(FEATURES)
+
+    def test_paper_relationships(self):
+        # "a selective forwarding attack cannot be carried out in a
+        # single-hop network" (§III)
+        assert applicability("selective_forwarding", "single_hop") is Applicability.IMPOSSIBLE
+        # "the Smurf attack is not possible in single-hop networks" (§III-A1)
+        assert applicability("smurf", "single_hop") is Applicability.IMPOSSIBLE
+        # replication detection "is specific to a network with certain
+        # characteristics, e.g. mobility" (§VI-B2): circles on both.
+        assert applicability("replication", "static") is Applicability.TECHNIQUE_DEPENDS
+        assert applicability("replication", "mobile") is Applicability.TECHNIQUE_DEPENDS
+        # crypto "make[s] the latter immune to attacks such as data
+        # alteration" (§III-B2)
+        assert applicability("data_alteration", "integrity_protected") is Applicability.IMPOSSIBLE
+
+    def test_attacks_impossible_given_single_hop(self):
+        impossible = attacks_impossible_given("single_hop")
+        assert "smurf" in impossible
+        assert "selective_forwarding" in impossible
+        assert "icmp_flood" not in impossible
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            applicability("icmp_flood", "underwater")
+
+    def test_render(self):
+        text = render_matrix()
+        assert "legend" in text
+        for attack in ATTACKS:
+            assert attack in text
+
+
+from repro.taxonomy.modules_map import (
+    MODULES_FOR_ATTACK,
+    enabling_knowledge_base as _enabling_kb,
+    feature_knowledge as _feature_knowledge,
+)
+
+
+class TestTaxonomyMatchesModuleLibrary:
+    """Machine-check: the Figure 3 matrix and the module library agree."""
+
+    @pytest.mark.parametrize("attack", sorted(MODULES_FOR_ATTACK))
+    def test_every_attack_has_a_module(self, attack):
+        for name in MODULES_FOR_ATTACK[attack]:
+            assert attack in module_class(name).DETECTS
+
+    @pytest.mark.parametrize(
+        "attack,feature",
+        [
+            (attack, feature)
+            for attack in ATTACKS
+            for feature in FEATURES
+            if applicability(attack, feature) is Applicability.IMPOSSIBLE
+        ],
+    )
+    def test_impossible_cells_block_module_activation(self, attack, feature):
+        """Setting the knowledge that makes the attack impossible must
+        deactivate every module detecting it — the whole point of
+        knowledge-driven activation."""
+        kb = _enabling_kb(attack)
+        label, value = _feature_knowledge(attack, feature)
+        kb.put(label, value)
+        for name in MODULES_FOR_ATTACK[attack]:
+            module = module_class(name)()
+            assert not module.required(kb), (
+                f"{name} stayed required although {attack} is impossible "
+                f"under {feature} ({label}={value})"
+            )
+
+    @pytest.mark.parametrize("attack", sorted(MODULES_FOR_ATTACK))
+    def test_enabling_knowledge_activates_some_module(self, attack):
+        kb = _enabling_kb(attack)
+        assert any(
+            module_class(name)().required(kb)
+            for name in MODULES_FOR_ATTACK[attack]
+        )
+
+    def test_smurf_and_flood_are_mutually_exclusive(self):
+        """The working-example pair: their requirements can never both
+        hold, so Kalis never runs both (the traditional IDS always does)."""
+        flood = module_class("IcmpFloodModule").REQUIREMENTS
+        smurf = module_class("SmurfModule").REQUIREMENTS
+        flood_req = {(r.label, r.equals) for r in flood}
+        smurf_req = {(r.label, r.equals) for r in smurf}
+        assert ("Multihop.wifi", False) in flood_req
+        assert ("Multihop.wifi", True) in smurf_req
+
+    def test_replication_modules_are_mutually_exclusive(self):
+        static = module_class("ReplicationStaticModule").REQUIREMENTS
+        mobile = module_class("ReplicationMobileModule").REQUIREMENTS
+        assert ("Mobility", False) in {(r.label, r.equals) for r in static}
+        assert ("Mobility", True) in {(r.label, r.equals) for r in mobile}
+
+    def test_technique_depends_cells_have_multiple_modules(self):
+        """A circle in Figure 3 means technique choice depends on the
+        feature — which requires at least two modules or a feature-
+        conditioned requirement."""
+        assert len(MODULES_FOR_ATTACK["replication"]) == 2

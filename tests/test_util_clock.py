@@ -1,0 +1,45 @@
+"""Tests for the clock abstractions."""
+
+import pytest
+
+from repro.util.clock import Clock, ManualClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1.0)
+
+
+class TestManualClock:
+    def test_advance_to(self):
+        clock = ManualClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_by(self):
+        clock = ManualClock(start=1.0)
+        clock.advance_by(2.0)
+        assert clock.now == 3.0
+
+    def test_never_goes_backwards(self):
+        clock = ManualClock()
+        clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.0)
+
+    def test_advance_to_same_time_is_fine(self):
+        clock = ManualClock()
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance_by(-0.1)

@@ -1,0 +1,75 @@
+"""Tests for node identifiers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ids import NodeId, make_node_id, node_id_sequence, stable_hash
+
+
+class TestNodeId:
+    def test_valid_id(self):
+        node = NodeId("mote-1")
+        assert node.value == "mote-1"
+        assert str(node) == "mote-1"
+
+    def test_allows_dots_colons_underscores(self):
+        for value in ("a.b", "a:b", "a_b", "a-b", "A9"):
+            assert NodeId(value).value == value
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NodeId("")
+
+    def test_rejects_reserved_knowgget_separators(self):
+        with pytest.raises(ValueError):
+            NodeId("a$b")
+        with pytest.raises(ValueError):
+            NodeId("a@b")
+
+    def test_rejects_leading_punctuation(self):
+        with pytest.raises(ValueError):
+            NodeId("-leading")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeError):
+            NodeId(17)
+
+    def test_equality_and_hash(self):
+        assert NodeId("x") == NodeId("x")
+        assert NodeId("x") != NodeId("y")
+        assert len({NodeId("x"), NodeId("x"), NodeId("y")}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert NodeId("a") < NodeId("b")
+        assert sorted([NodeId("c"), NodeId("a")])[0] == NodeId("a")
+
+    def test_with_suffix(self):
+        assert NodeId("mote").with_suffix("clone") == NodeId("mote-clone")
+
+
+class TestHelpers:
+    def test_make_node_id(self):
+        assert make_node_id("mote", 3) == NodeId("mote-3")
+
+    def test_make_node_id_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_node_id("mote", -1)
+
+    def test_sequence(self):
+        gen = node_id_sequence("n", start=5)
+        assert next(gen) == NodeId("n-5")
+        assert next(gen) == NodeId("n-6")
+
+    def test_stable_hash_is_deterministic(self):
+        assert stable_hash(NodeId("mote-1")) == stable_hash(NodeId("mote-1"))
+
+    def test_stable_hash_differs_between_ids(self):
+        assert stable_hash(NodeId("mote-1")) != stable_hash(NodeId("mote-2"))
+
+
+@given(st.from_regex(r"[A-Za-z0-9][A-Za-z0-9_.:\-]{0,20}", fullmatch=True))
+def test_any_valid_identifier_roundtrips(value):
+    node = NodeId(value)
+    assert node.value == value
+    assert NodeId(str(node)) == node

@@ -1,0 +1,100 @@
+"""Tests for seeded randomness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import SeededRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_result_is_63_bit(self):
+        assert 0 <= derive_seed(7, "x") < 2**63
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        first = [SeededRng(5).uniform() for _ in range(5)]
+        second = [SeededRng(5).uniform() for _ in range(5)]
+        assert first == second
+
+    def test_substreams_are_independent(self):
+        root = SeededRng(5)
+        a = root.substream("a").uniform()
+        b = root.substream("b").uniform()
+        assert a != b
+
+    def test_substream_insensitive_to_sibling_consumption(self):
+        root1 = SeededRng(5)
+        root1.uniform()  # consume from the root
+        root2 = SeededRng(5)
+        assert root1.substream("x").uniform() == root2.substream("x").uniform()
+
+    def test_integer_bounds_inclusive(self):
+        rng = SeededRng(1)
+        values = {rng.integer(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_integer_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).integer(5, 4)
+
+    def test_chance_extremes(self):
+        rng = SeededRng(1)
+        assert not any(rng.chance(0.0) for _ in range(50))
+        assert all(rng.chance(1.0) for _ in range(50))
+
+    def test_chance_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).chance(1.5)
+
+    def test_choice_and_sample(self):
+        rng = SeededRng(2)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        sampled = rng.sample(items, 3)
+        assert len(sampled) == len(set(sampled)) == 3
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).choice([])
+
+    def test_sample_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).sample([1, 2], 3)
+
+    def test_shuffled_is_permutation(self):
+        rng = SeededRng(3)
+        items = list(range(20))
+        assert sorted(rng.shuffled(items)) == items
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).exponential(0.0)
+
+    def test_jitter_bounds(self):
+        rng = SeededRng(4)
+        for _ in range(100):
+            value = rng.jitter(10.0, 0.2)
+            assert 8.0 <= value <= 12.0
+
+    def test_jitter_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).jitter(1.0, -0.1)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=10))
+def test_derive_seed_always_in_range(seed, label):
+    assert 0 <= derive_seed(seed, label) < 2**63

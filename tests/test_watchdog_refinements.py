@@ -1,0 +1,164 @@
+"""Tests for the watchdog's second-order defences: late root claims,
+jamming-aware evidence handling, and origin-range gating."""
+
+import pytest
+
+from repro.core.datastore import DataStore
+from repro.core.knowledge import KnowledgeBase
+from repro.core.modules.base import ModuleContext
+from repro.core.modules.detection.data_alteration import DataAlterationModule
+from repro.core.modules.detection.forwarding import (
+    ForwardingMisbehaviorModule,
+    _binomial_tail,
+)
+from repro.eventbus.bus import EventBus
+from repro.util.ids import NodeId
+from tests.conftest import ctp_beacon_capture, ctp_data_capture
+
+SRC, FWD, ROOT, LIAR = (
+    NodeId("src"), NodeId("fwd"), NodeId("root"), NodeId("liar"),
+)
+
+
+def bind(module):
+    bus = EventBus()
+    kb = KnowledgeBase(NodeId("kalis-1"), bus)
+    alerts = []
+    bus.subscribe("alert", lambda e: alerts.append(e.payload))
+    module.bind(ModuleContext(kb=kb, datastore=DataStore(), bus=bus,
+                              node_id=NodeId("kalis-1")))
+    module.active = True
+    return kb, alerts
+
+
+class TestLateRootClaim:
+    def test_late_etx0_claimant_gets_no_exemption(self):
+        """A node that starts claiming ETX 0 into an established tree
+        is a sinkhole; the watchdog must keep judging its forwarding."""
+        module = ForwardingMisbehaviorModule(
+            params={"detectionThresh": 3, "rootWindow": 15.0}
+        )
+        _, alerts = bind(module)
+        # The honest root is learned inside the window.
+        module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0, timestamp=0.5))
+        module.handle(ctp_beacon_capture(FWD, parent=ROOT, etx=1, timestamp=1.0))
+        module.handle(ctp_beacon_capture(FWD, parent=ROOT, etx=1, timestamp=2.0))
+        # Past the window, the liar begins its root claim...
+        for i in range(3):
+            module.handle(ctp_beacon_capture(LIAR, parent=LIAR, etx=0,
+                                             timestamp=20.0 + i))
+        # ...and then swallows traffic addressed to it.
+        for i in range(5):
+            timestamp = 25.0 + i * 2.0
+            module.handle(ctp_data_capture(SRC, LIAR, origin=SRC, seqno=i,
+                                           timestamp=timestamp))
+            module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0,
+                                             timestamp=timestamp + 1.5))
+        assert any(
+            alert.attack == "blackhole" and alert.suspects == (LIAR,)
+            for alert in alerts
+        )
+
+    def test_early_root_claimant_stays_exempt(self):
+        module = ForwardingMisbehaviorModule(params={"detectionThresh": 2})
+        _, alerts = bind(module)
+        module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0, timestamp=0.5))
+        module.handle(ctp_beacon_capture(FWD, parent=ROOT, etx=1, timestamp=1.0))
+        for i in range(6):
+            timestamp = 20.0 + i * 2.0
+            module.handle(ctp_data_capture(FWD, ROOT, origin=SRC, seqno=i,
+                                           timestamp=timestamp, thl=1))
+            module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0,
+                                             timestamp=timestamp + 1.5))
+        assert alerts == []
+
+
+class TestChannelDegradedGating:
+    def test_watchdog_suspends_while_degraded(self):
+        module = ForwardingMisbehaviorModule(params={"detectionThresh": 2})
+        kb, alerts = bind(module)
+        module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0, timestamp=0.5))
+        module.handle(ctp_beacon_capture(FWD, parent=ROOT, etx=1, timestamp=1.0))
+        module.handle(ctp_beacon_capture(FWD, parent=ROOT, etx=1, timestamp=1.5))
+        kb.put("ChannelDegraded", True)
+        # Under jamming, ingress is heard but retransmissions vanish.
+        for i in range(6):
+            timestamp = 5.0 + i * 2.0
+            module.handle(ctp_data_capture(SRC, FWD, origin=SRC, seqno=i,
+                                           timestamp=timestamp))
+            module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0,
+                                             timestamp=timestamp + 1.5))
+        assert alerts == []
+
+    def test_watchdog_resumes_after_recovery(self):
+        module = ForwardingMisbehaviorModule(params={"detectionThresh": 3})
+        kb, alerts = bind(module)
+        module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0, timestamp=0.5))
+        module.handle(ctp_beacon_capture(FWD, parent=ROOT, etx=1, timestamp=1.0))
+        module.handle(ctp_beacon_capture(FWD, parent=ROOT, etx=1, timestamp=1.5))
+        kb.put("ChannelDegraded", True)
+        module.handle(ctp_data_capture(SRC, FWD, origin=SRC, seqno=0,
+                                       timestamp=5.0))
+        kb.put("ChannelDegraded", False)
+        for i in range(1, 7):
+            timestamp = 30.0 + i * 2.0
+            module.handle(ctp_data_capture(SRC, FWD, origin=SRC, seqno=i,
+                                           timestamp=timestamp))
+            module.handle(ctp_beacon_capture(ROOT, parent=ROOT, etx=0,
+                                             timestamp=timestamp + 1.5))
+        assert any(alert.suspects == (FWD,) for alert in alerts)
+
+    def test_alteration_module_suspends_while_degraded(self):
+        module = DataAlterationModule(params={"detectionThresh": 2})
+        kb, alerts = bind(module)
+        kb.put("ChannelDegraded", True)
+        for i in range(6):
+            timestamp = i * 2.0
+            module.handle(ctp_data_capture(FWD, ROOT, origin=SRC,
+                                           seqno=i + 7777,
+                                           timestamp=timestamp, thl=1))
+        assert alerts == []
+
+
+class TestOriginRangeGating:
+    def test_unheard_origin_means_no_judgement(self):
+        """Relays of a flow whose origin the sniffer never hears cannot
+        be called fabrications — the ingress leg may be out of range."""
+        module = DataAlterationModule(params={"detectionThresh": 2})
+        _, alerts = bind(module)
+        for i in range(6):
+            # FWD relays frames from an origin we never once heard.
+            module.handle(ctp_data_capture(FWD, ROOT, origin=SRC, seqno=i,
+                                           timestamp=i * 2.0, thl=1))
+        assert alerts == []
+
+    def test_weakly_heard_origin_means_no_judgement(self):
+        module = DataAlterationModule(
+            params={"detectionThresh": 2, "monitorRssi": -82.0}
+        )
+        _, alerts = bind(module)
+        for i in range(6):
+            timestamp = i * 2.0
+            # The origin transmits, but at the edge of sensitivity.
+            module.handle(ctp_data_capture(SRC, FWD, origin=SRC, seqno=i,
+                                           timestamp=timestamp, rssi=-89.0))
+            module.handle(ctp_data_capture(FWD, ROOT, origin=SRC,
+                                           seqno=i + 7777,
+                                           timestamp=timestamp + 0.2,
+                                           thl=1, rssi=-60.0))
+        assert alerts == []
+
+
+class TestBinomialTail:
+    def test_degenerate_cases(self):
+        assert _binomial_tail(10, 0, 0.5) == 1.0
+        assert _binomial_tail(10, 11, 0.5) == 0.0
+        assert _binomial_tail(0, 0, 0.5) == 1.0
+
+    def test_known_value(self):
+        # P[X >= 2 | n=2, p=0.5] = 0.25
+        assert _binomial_tail(2, 2, 0.5) == pytest.approx(0.25)
+
+    def test_monotone_in_k(self):
+        tails = [_binomial_tail(20, k, 0.3) for k in range(21)]
+        assert tails == sorted(tails, reverse=True)
