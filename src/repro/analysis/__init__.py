@@ -1,0 +1,41 @@
+"""kalis-lint: an AST-based invariant checker for the Kalis reproduction.
+
+The reproduction's correctness rests on invariants Python cannot
+enforce at runtime — detection modules activate only via declaratively
+listed knowgget labels, modules are instantiated by name through the
+registry, the event substrate must stay deterministic, and packet
+schemas must round-trip through the trace codec.  This package checks
+them statically, over the parsed AST and import graph of ``src/repro``.
+
+Public surface:
+
+- :func:`repro.analysis.engine.run_rules` /
+  :class:`repro.analysis.project.Project` — programmatic analysis;
+- :func:`repro.analysis.rules.labels.derive_label_flow` — the KL003
+  producer/consumer label map (machine-checked against the paper's
+  Figure 3 taxonomy in tests);
+- :mod:`repro.analysis.cli` — the ``kalis-lint`` command.
+
+Rules: KL001 determinism, KL002 module contracts, KL003 knowledge-label
+flow, KL004 packet schemas, KL005 event-bus topics, KL006 unused
+imports — plus KL000 (syntax failure) and KL099 (stale baseline entry).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import Rule, available_rules, register_rule, run_rules
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.project import Project, SourceFile
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Project",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "available_rules",
+    "register_rule",
+    "run_rules",
+    "sort_findings",
+]

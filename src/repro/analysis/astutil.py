@@ -1,0 +1,162 @@
+"""Small AST helpers shared by kalis-lint rules.
+
+Rules deal with the same handful of shapes over and over: dotted
+attribute chains (``self.ctx.kb.put``), string arguments that may be
+literals, names bound to module-level constants, concatenations or
+f-strings, and class-body attribute assignments.  These helpers keep the
+rules themselves short and declarative.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, List, Optional, Tuple
+
+#: A statically-understood string expression: ``("exact", value)`` for a
+#: fully-known string, ``("prefix", head)`` when only a leading constant
+#: part is known (f-string or concatenation), ``("dynamic", None)`` when
+#: nothing useful is known.
+StrPattern = Tuple[str, Optional[str]]
+
+Resolver = Callable[[str], Optional[str]]
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    """The value of a plain string literal, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def attribute_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-trivial bases."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def call_chain(call: ast.Call) -> Optional[List[str]]:
+    """The dotted chain of a call's function, e.g. ``self.bus.publish``."""
+    return attribute_chain(call.func)
+
+
+def decorator_names(node: ast.ClassDef) -> List[str]:
+    """Last-segment names of a class's decorators (``register_module``)."""
+    names: List[str] = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        chain = attribute_chain(target)
+        if chain:
+            names.append(chain[-1])
+    return names
+
+
+def base_names(node: ast.ClassDef) -> List[str]:
+    """Last-segment names of a class's bases."""
+    names: List[str] = []
+    for base in node.bases:
+        chain = attribute_chain(base)
+        if chain:
+            names.append(chain[-1])
+    return names
+
+
+def class_body_assign(node: ast.ClassDef, name: str) -> Optional[ast.expr]:
+    """The value expression assigned to ``name`` in the class body."""
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == name:
+                return statement.value
+    return None
+
+
+def string_pattern(node: ast.AST, resolve: Optional[Resolver] = None) -> StrPattern:
+    """Statically classify a string-valued expression.
+
+    Handles literals, names resolvable to module-level string constants
+    (via ``resolve``), ``CONST + tail`` concatenations, and f-strings
+    with a constant head (``f"Multihop.{medium}"`` -> prefix
+    ``"Multihop."``).
+    """
+    literal = const_str(node)
+    if literal is not None:
+        return ("exact", literal)
+    if isinstance(node, ast.Name) and resolve is not None:
+        resolved = resolve(node.id)
+        if resolved is not None:
+            return ("exact", resolved)
+        return ("dynamic", None)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        head_kind, head = string_pattern(node.left, resolve)
+        if head_kind == "exact" and head is not None:
+            tail_kind, tail = string_pattern(node.right, resolve)
+            if tail_kind == "exact" and tail is not None:
+                return ("exact", head + tail)
+            return ("prefix", head)
+        return ("dynamic", None)
+    if isinstance(node, ast.JoinedStr):
+        head_parts: List[str] = []
+        for value in node.values:
+            part = const_str(value)
+            if part is not None:
+                head_parts.append(part)
+            else:
+                break
+        if len(head_parts) == len(node.values):
+            return ("exact", "".join(head_parts))
+        if head_parts:
+            return ("prefix", "".join(head_parts))
+        return ("dynamic", None)
+    return ("dynamic", None)
+
+
+def pattern_covers(producer: StrPattern, label: str) -> bool:
+    """Does a produced pattern cover a concrete consumed string?"""
+    kind, value = producer
+    if value is None:
+        return False
+    if kind == "exact":
+        return value == label
+    return label.startswith(value)
+
+
+def patterns_overlap(a: StrPattern, b: StrPattern) -> bool:
+    """Could the two patterns ever denote the same string?"""
+    kind_a, value_a = a
+    kind_b, value_b = b
+    if value_a is None or value_b is None:
+        return False
+    if kind_a == "exact" and kind_b == "exact":
+        return value_a == value_b
+    if kind_a == "exact":
+        return value_a.startswith(value_b)
+    if kind_b == "exact":
+        return value_b.startswith(value_a)
+    return value_a.startswith(value_b) or value_b.startswith(value_a)
+
+
+def keyword_arg(call: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of a keyword argument, or None when absent."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def call_arg(call: ast.Call, position: int, name: str) -> Optional[ast.expr]:
+    """Positional-or-keyword argument lookup."""
+    if len(call.args) > position:
+        return call.args[position]
+    return keyword_arg(call, name)

@@ -1,0 +1,215 @@
+"""The kalis-lint command line.
+
+``kalis-lint`` (console script) and ``python -m repro.analysis`` run the
+invariant checker over a source tree::
+
+    kalis-lint src/repro                 # lint, honoring the baseline
+    kalis-lint --list-rules              # what is checked
+    kalis-lint --select KL001,KL003 …    # a subset of rules
+    kalis-lint --write-baseline …        # snapshot current findings
+    kalis-lint --format json …           # machine-readable output
+
+Exit codes: 0 clean, 1 findings (including stale baseline entries),
+2 usage or baseline-file errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import (
+    STALE_BASELINE_RULE_ID,
+    available_rules,
+    run_rules,
+)
+from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.project import Project
+
+#: Default baseline file name, looked up in the project root.
+BASELINE_FILENAME = "kalis-lint.baseline"
+#: Reason stamped on entries created by ``--write-baseline``.
+TODO_REASON = "TODO: justify this finding or fix it"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the kalis-lint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="kalis-lint",
+        description=(
+            "AST-based invariant checker for the Kalis reproduction:"
+            " determinism, module contracts, knowledge-label flow, packet"
+            " schemas, and event-bus topics."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root for relative paths (default: auto-detected via"
+        " pyproject.toml/.git)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0;"
+        " existing justifications are preserved",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run kalis-lint; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_class in available_rules():
+            print(f"{rule_class.ID}  {rule_class.TITLE}")
+        return 0
+
+    paths = [Path(p) for p in options.paths]
+    if not paths:
+        default = Path("src/repro")
+        if not default.exists():
+            parser.error("no paths given and ./src/repro does not exist")
+        paths = [default]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    project = Project.load(paths, root=options.root)
+
+    select = None
+    if options.select:
+        select = [r.strip() for r in options.select.split(",") if r.strip()]
+    try:
+        findings = run_rules(project, select=select)
+    except KeyError as error:
+        # str(KeyError) wraps the message in quotes; unwrap it.
+        parser.error(error.args[0] if error.args else str(error))
+
+    baseline_path = options.baseline or (project.root / BASELINE_FILENAME)
+    if options.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as error:
+            print(f"kalis-lint: {error}", file=sys.stderr)
+            return 2
+
+    if options.write_baseline:
+        return _write_baseline(baseline_path, baseline, findings)
+
+    suppressed = 0
+    reported: List[Finding] = []
+    for finding in findings:
+        if baseline.suppresses(finding):
+            suppressed += 1
+        else:
+            reported.append(finding)
+
+    scanned = {source.relpath for source in project.files}
+    scanned.update(failure.relpath for failure in project.failures)
+    for entry in baseline.stale_entries(scanned):
+        reported.append(
+            Finding(
+                rule=STALE_BASELINE_RULE_ID,
+                severity=Severity.WARNING,
+                path=entry.path,
+                line=0,
+                message=(
+                    f"stale baseline entry: {entry.rule} no longer reports"
+                    f" {entry.key!r} here ({entry.reason}); remove the entry"
+                ),
+                key=entry.key,
+            )
+        )
+    reported = sort_findings(reported)
+
+    if options.output_format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in reported],
+                    "suppressed": suppressed,
+                    "files": len(project.files),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in reported:
+            print(finding.render())
+        summary = (
+            f"kalis-lint: {len(reported)} finding(s)"
+            if reported
+            else "kalis-lint: clean"
+        )
+        details = [f"{len(project.files)} files"]
+        if suppressed:
+            details.append(f"{suppressed} baselined")
+        print(f"{summary} ({', '.join(details)})")
+
+    return 1 if reported else 0
+
+
+def _write_baseline(
+    baseline_path: Path, existing: Baseline, findings: List[Finding]
+) -> int:
+    """Snapshot current findings, keeping justifications already written."""
+    previous = {entry.identity: entry for entry in existing.entries()}
+    entries = []
+    for finding in findings:
+        identity = (finding.rule, finding.path, finding.key)
+        kept = previous.get(identity)
+        reason = kept.reason if kept is not None else TODO_REASON
+        entries.append(Baseline.entry_for(finding, reason))
+    baseline_path.write_text(
+        Baseline.render_file(entries), encoding="utf-8"
+    )
+    print(
+        f"kalis-lint: wrote {len(entries)} entr"
+        f"{'y' if len(entries) == 1 else 'ies'} to {baseline_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

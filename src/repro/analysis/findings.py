@@ -1,0 +1,82 @@
+"""The findings model shared by every kalis-lint rule.
+
+A finding is one concrete invariant violation, addressed by
+``file:line`` so editors and CI annotations can jump to it, and carrying
+a *stable key* — an identifier that survives unrelated edits (a knowgget
+label, a topic, a class name) — so baseline suppression entries do not
+rot every time a line number shifts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    Both levels fail the build unless baselined; the distinction exists
+    so reports and baselines communicate intent (an ``ERROR`` is a
+    broken invariant, a ``WARNING`` is a smell that deserves either a
+    fix or a one-line justification).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    :param rule: rule identifier, e.g. ``"KL001"``.
+    :param severity: see :class:`Severity`.
+    :param path: file path, POSIX-style, relative to the project root.
+    :param line: 1-based line number (0 for whole-file findings).
+    :param message: human-readable description of the violation.
+    :param key: stable identifier used for baseline matching; must not
+        contain whitespace.  Defaults to ``message`` collapsed.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    key: str = ""
+    column: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            object.__setattr__(self, "key", self.message.split()[0])
+        if any(ch.isspace() for ch in self.key):
+            object.__setattr__(self, "key", self.key.replace(" ", "_"))
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        """The one-line report form: ``path:line: RULE [sev] message``."""
+        return f"{self.location}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+def sort_findings(findings) -> list:
+    """Deterministic report order: path, then line, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.key))

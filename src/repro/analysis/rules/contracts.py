@@ -1,0 +1,220 @@
+"""KL002 — module contract: every Kalis module is registerable and honest.
+
+The Module Manager instantiates modules *by name* from configuration
+files (the paper's Java-Reflection seam, :mod:`repro.core.modules.registry`),
+so a module class that forgets its ``NAME`` or its ``@register_module``
+decorator is silently unreachable — no test fails, it is simply never
+instantiable from a config.  This rule makes those contracts static:
+
+- every concrete :class:`KalisModule` subclass defines ``NAME`` as a
+  string literal in its own body, and no two modules share a ``NAME``;
+- every concrete subclass is decorated with ``@register_module``;
+- detection modules declare a non-empty ``DETECTS`` tuple (the taxonomy
+  cross-check keys on it);
+- a subclass defining ``__init__`` forwards to ``super().__init__`` so
+  the ``params`` dict reaches :meth:`KalisModule.param`;
+- every config parameter the module consumes via ``self.param("key", …)``
+  is documented (as ``\\`\\`key\\`\\``` ) in the class docstring — the
+  docstring is the module's operator-facing contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.astutil import (
+    base_names,
+    call_chain,
+    class_body_assign,
+    const_str,
+    decorator_names,
+)
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+#: Module defining the abstract bases (exempt from the contract).
+BASE_MODULE = "repro.core.modules.base"
+_ROOT_CLASSES = ("KalisModule", "SensingModule", "DetectionModule")
+
+
+@dataclass
+class _ModuleClass:
+    source: SourceFile
+    node: ast.ClassDef
+    detection: bool
+
+
+@register_rule
+class ModuleContractRule(Rule):
+    """KL002: NAME/registration/DETECTS/param contracts on module classes."""
+
+    ID = "KL002"
+    TITLE = "KalisModule subclasses: NAME, registration, param contract"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        module_classes = _collect_module_classes(project)
+        findings: List[Finding] = []
+        names_seen: Dict[str, Tuple[str, int, str]] = {}
+        for entry in module_classes:
+            findings.extend(self._check_class(entry, names_seen))
+        return findings
+
+    def _check_class(
+        self, entry: _ModuleClass, names_seen: Dict[str, Tuple[str, int, str]]
+    ) -> Iterable[Finding]:
+        node = entry.node
+        relpath = entry.source.relpath
+        class_key = node.name
+
+        name_value = class_body_assign(node, "NAME")
+        name_literal = const_str(name_value) if name_value is not None else None
+        if name_literal is None:
+            yield self.finding(
+                Severity.ERROR,
+                relpath,
+                node.lineno,
+                f"module class {node.name} does not define NAME as a string"
+                " literal in its body; the registry and config files need it",
+                key=f"{class_key}.NAME",
+            )
+        else:
+            previous = names_seen.get(name_literal)
+            if previous is not None:
+                prev_path, prev_line, prev_class = previous
+                yield self.finding(
+                    Severity.ERROR,
+                    relpath,
+                    node.lineno,
+                    f"NAME {name_literal!r} of {node.name} is already used by"
+                    f" {prev_class} ({prev_path}:{prev_line}); registration"
+                    " would raise at import time",
+                    key=f"duplicate.{name_literal}",
+                )
+            else:
+                names_seen[name_literal] = (relpath, node.lineno, node.name)
+
+        if "register_module" not in decorator_names(node):
+            yield self.finding(
+                Severity.ERROR,
+                relpath,
+                node.lineno,
+                f"module class {node.name} is not decorated with"
+                " @register_module; it can never be instantiated by name",
+                key=class_key,
+            )
+
+        if entry.detection:
+            detects = class_body_assign(node, "DETECTS")
+            has_detects = isinstance(detects, (ast.Tuple, ast.List)) and bool(
+                detects.elts
+            )
+            if not has_detects:
+                yield self.finding(
+                    Severity.ERROR,
+                    relpath,
+                    node.lineno,
+                    f"detection module {node.name} does not declare a"
+                    " non-empty DETECTS tuple; the taxonomy cross-check"
+                    " cannot attribute it to an attack",
+                    key=f"{class_key}.DETECTS",
+                )
+
+        init = _find_method(node, "__init__")
+        if init is not None and not _calls_super_init(init):
+            yield self.finding(
+                Severity.ERROR,
+                relpath,
+                init.lineno,
+                f"{node.name}.__init__ never calls super().__init__; config"
+                " params would be dropped before self.param() can read them",
+                key=f"{class_key}.__init__",
+            )
+
+        docstring = ast.get_docstring(node) or ""
+        for key, lineno in sorted(_consumed_params(node).items()):
+            if f"``{key}``" not in docstring and key not in docstring:
+                yield self.finding(
+                    Severity.WARNING,
+                    relpath,
+                    lineno,
+                    f"{node.name} consumes config param {key!r} but its class"
+                    " docstring does not document it; the docstring is the"
+                    " operator-facing parameter contract",
+                    key=f"{class_key}.params.{key}",
+                )
+
+
+def _collect_module_classes(project: Project) -> List[_ModuleClass]:
+    """All concrete KalisModule subclasses, resolved transitively."""
+    classes: Dict[str, Tuple[SourceFile, ast.ClassDef, List[str]]] = {}
+    for source in project.files:
+        if source.module == BASE_MODULE:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = (source, node, base_names(node))
+
+    module_like: Set[str] = set(_ROOT_CLASSES)
+    detection_like: Set[str] = {"DetectionModule"}
+    changed = True
+    while changed:
+        changed = False
+        for name, (_, _, bases) in classes.items():
+            if name not in module_like and module_like.intersection(bases):
+                module_like.add(name)
+                changed = True
+            if name not in detection_like and detection_like.intersection(bases):
+                detection_like.add(name)
+                changed = True
+
+    result = [
+        _ModuleClass(source=source, node=node, detection=name in detection_like)
+        for name, (source, node, _) in sorted(classes.items())
+        if name in module_like
+    ]
+    return result
+
+
+def _find_method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _calls_super_init(init: ast.FunctionDef) -> bool:
+    for node in ast.walk(init):
+        if isinstance(node, ast.Call):
+            chain = call_chain(node)
+            if chain is not None:
+                continue  # super().__init__ is a call on a call, not a chain
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__init__"
+                and isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+            ):
+                return True
+    return False
+
+
+def _consumed_params(node: ast.ClassDef) -> Dict[str, int]:
+    """``self.param("key", default)`` keys used anywhere in the class."""
+    consumed: Dict[str, int] = {}
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        chain = call_chain(child)
+        if chain is None or len(chain) != 2 or chain != ["self", "param"]:
+            continue
+        if not child.args:
+            continue
+        key = const_str(child.args[0])
+        if key is not None and key not in consumed:
+            consumed[key] = child.lineno
+    return consumed

@@ -1,0 +1,167 @@
+"""KL001 — determinism: no ambient time or randomness in the substrate.
+
+The discrete-event simulation, the Kalis core, the protocol stacks and
+the attack injectors must be reproducible bit-for-bit from a seed
+(ROADMAP: reproducible experiments are the credibility baseline for any
+IDS evaluation).  Inside those packages, wall-clock reads and the global
+``random`` module are therefore banned:
+
+- simulated time comes from :class:`repro.util.clock.Clock`;
+- randomness comes from :class:`repro.util.rng.SeededRng`.
+
+``repro.util`` itself is exempt — it is where the sanctioned wrappers
+live.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator
+
+from repro.analysis.astutil import attribute_chain
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+#: Packages in which ambient time/randomness is banned.
+GUARDED_PACKAGES = ("repro.sim", "repro.core", "repro.proto", "repro.attacks")
+#: Packages exempt even if nested under a guarded one.
+EXEMPT_PACKAGES = ("repro.util",)
+
+_BANNED_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+    }
+)
+_BANNED_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+_FIX_HINT = (
+    "route time through repro.util.clock.Clock and randomness through"
+    " repro.util.rng.SeededRng"
+)
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """KL001: ban ambient time/randomness in the deterministic substrate."""
+
+    ID = "KL001"
+    TITLE = "no ambient time or randomness in sim/core/proto/attacks"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            if not self._guarded(source):
+                continue
+            yield from self._check_file(source)
+
+    @staticmethod
+    def _guarded(source: SourceFile) -> bool:
+        if any(source.in_package(pkg) for pkg in EXEMPT_PACKAGES):
+            return False
+        return any(source.in_package(pkg) for pkg in GUARDED_PACKAGES)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        # Names bound to the stdlib modules/classes we care about.
+        time_modules: Dict[str, str] = {}
+        datetime_modules: Dict[str, str] = {}
+        datetime_classes: Dict[str, str] = {}
+        numpy_modules: Dict[str, str] = {}
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    if alias.name == "time":
+                        time_modules[local] = alias.name
+                    elif alias.name == "datetime":
+                        datetime_modules[local] = alias.name
+                    elif alias.name in ("numpy", "numpy.random"):
+                        numpy_modules[local] = alias.name
+                    elif alias.name == "random" or alias.name.startswith("random."):
+                        yield self._banned_import(source, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self._banned_import(source, node, "random")
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _BANNED_TIME_ATTRS:
+                            yield self._banned_import(
+                                source, node, f"time.{alias.name}"
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_classes[alias.asname or alias.name] = (
+                                alias.name
+                            )
+                elif node.module == "numpy" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "random":
+                            numpy_modules[alias.asname or alias.name] = (
+                                "numpy.random"
+                            )
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if not chain or len(chain) < 2:
+                continue
+            head, attr = chain[0], chain[-1]
+            if (
+                head in time_modules
+                and len(chain) == 2
+                and attr in _BANNED_TIME_ATTRS
+            ):
+                yield self._violation(source, node, f"time.{attr}")
+            elif head in datetime_classes and (
+                len(chain) == 2 and attr in _BANNED_DATETIME_ATTRS
+            ):
+                yield self._violation(
+                    source, node, f"datetime.{datetime_classes[head]}.{attr}"
+                )
+            elif (
+                head in datetime_modules
+                and len(chain) == 3
+                and chain[1] in ("datetime", "date")
+                and attr in _BANNED_DATETIME_ATTRS
+            ):
+                yield self._violation(
+                    source, node, f"datetime.{chain[1]}.{attr}"
+                )
+            elif head in numpy_modules and (
+                (numpy_modules[head] == "numpy" and len(chain) >= 3 and chain[1] == "random")
+                or (numpy_modules[head] == "numpy.random" and len(chain) >= 2)
+            ):
+                yield self._violation(source, node, "numpy.random")
+
+    def _banned_import(
+        self, source: SourceFile, node: ast.stmt, what: str
+    ) -> Finding:
+        return self.finding(
+            Severity.ERROR,
+            source.relpath,
+            node.lineno,
+            f"import of ambient '{what}' in a deterministic"
+            f" package ({source.module}); {_FIX_HINT}",
+            key=f"import.{what}",
+            column=node.col_offset,
+        )
+
+    def _violation(
+        self, source: SourceFile, node: ast.AST, what: str
+    ) -> Finding:
+        return self.finding(
+            Severity.ERROR,
+            source.relpath,
+            getattr(node, "lineno", 0),
+            f"call to {what}() in a deterministic package"
+            f" ({source.module}); {_FIX_HINT}",
+            key=what,
+            column=getattr(node, "col_offset", None),
+        )

@@ -1,0 +1,99 @@
+"""KL006 — unused module-level imports.
+
+A pyflakes-style F401 check that runs even where third-party linters are
+unavailable (constrained CI images).  Deliberately conservative:
+
+- only module-level ``import`` / ``from … import`` bindings are checked;
+- a name counts as used if it appears as an identifier anywhere in the
+  file, or as a word inside any string constant (``__all__`` lists,
+  doctests, forward-reference annotations);
+- ``__init__.py`` files are exempt (their imports are the re-export
+  surface);
+- a line containing ``noqa`` is never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+
+@register_rule
+class UnusedImportRule(Rule):
+    """KL006: flag module-level imports nothing in the file references."""
+
+    ID = "KL006"
+    TITLE = "module-level imports that nothing references"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            if source.path.name == "__init__.py":
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterable[Finding]:
+        bindings: Dict[str, Tuple[int, str]] = {}
+        for statement in source.tree.body:
+            if isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    bindings[local] = (statement.lineno, alias.name)
+            elif isinstance(statement, ast.ImportFrom):
+                if statement.module == "__future__":
+                    continue
+                for alias in statement.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    origin = f"{statement.module or '.'}.{alias.name}"
+                    bindings[local] = (statement.lineno, origin)
+        if not bindings:
+            return
+
+        used = _used_identifiers(source.tree)
+        strings = _string_blob(source.tree)
+        lines = source.text.splitlines()
+        for local, (lineno, origin) in sorted(bindings.items()):
+            if local in used:
+                continue
+            if re.search(rf"\b{re.escape(local)}\b", strings):
+                continue
+            line_text = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+            if "noqa" in line_text:
+                continue
+            yield self.finding(
+                Severity.WARNING,
+                source.relpath,
+                lineno,
+                f"imported name {local!r} ({origin}) is never used in"
+                f" {source.module}",
+                key=local,
+            )
+
+
+def _used_identifiers(tree: ast.Module) -> Set[str]:
+    """Every identifier referenced outside import statements."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            used.add(node.attr)
+    return used
+
+
+def _string_blob(tree: ast.Module) -> str:
+    """All string constants joined (docstrings, __all__, annotations)."""
+    parts = [
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    ]
+    return "\n".join(parts)

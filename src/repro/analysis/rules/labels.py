@@ -1,0 +1,243 @@
+"""KL003 — knowledge-label flow: every consumed knowgget is producible.
+
+Detection modules activate *only* when their declarative
+:class:`~repro.core.modules.base.Requirement` labels appear in the
+Knowledge Base (paper §IV-B4).  A requirement label that no sensing or
+collective producer ever writes means the module is dormant forever —
+the exact failure the reactivity experiment (§VI-C) would silently mask,
+because "no alerts" and "module never activated" look identical.
+
+The rule derives, statically:
+
+- **producers** — ``kb.put(...)`` / ``kb.put_static(...)`` call sites
+  with a constant label, or an f-string label with a constant head
+  (``f"Multihop.{medium}"`` produces the prefix ``Multihop.``);
+- **consumers** — ``Requirement(label=...)`` declarations plus
+  ``kb.get`` / ``kb.get_knowgget`` / ``kb.with_label`` / ``kb.subscribe``
+  / ``kb.sublabels`` reads with constant labels (names resolving to
+  module-level string or tuple-of-strings constants count too).
+
+Findings:
+
+- ERROR: a label is consumed but no producer pattern covers it;
+- WARNING: a label is produced but never consumed *and* never referenced
+  as a string constant anywhere else in the tree (a knowgget nobody will
+  ever look at).
+
+The derived maps are exported via :func:`derive_label_flow` so tests can
+machine-check them against :mod:`repro.taxonomy.modules_map` (Figure 3).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.astutil import call_arg, call_chain, string_pattern
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+#: Receiver spellings that denote a KnowledgeBase.
+_KB_RECEIVERS = frozenset({"kb", "_kb"})
+_PRODUCER_METHODS = frozenset({"put", "put_static"})
+_CONSUMER_METHODS = frozenset(
+    {"get", "get_knowgget", "with_label", "subscribe", "sublabels"}
+)
+#: Packages never scanned (the analyzer itself; taxonomy helpers build
+#: knowledge bases reflectively from the very maps under test).
+_EXCLUDED_PACKAGES = ("repro.analysis", "repro.taxonomy")
+
+
+@dataclass(frozen=True)
+class LabelSite:
+    """One producer or consumer occurrence of a knowgget label."""
+
+    path: str
+    line: int
+    module: str
+    via: str  # "put", "put_static", "requirement", "get", ...
+    owner: Optional[str] = None  # enclosing class, when inside one
+
+
+@dataclass
+class LabelFlow:
+    """The statically-derived knowgget label flow over a project."""
+
+    #: exact label -> producer sites.
+    producers_exact: Dict[str, List[LabelSite]] = field(default_factory=dict)
+    #: label prefix (f-string head) -> producer sites.
+    producers_prefix: Dict[str, List[LabelSite]] = field(default_factory=dict)
+    #: exact label -> consumer sites (requirements and kb reads).
+    consumers: Dict[str, List[LabelSite]] = field(default_factory=dict)
+    #: class name -> its Requirement labels.
+    requirement_labels: Dict[str, Set[str]] = field(default_factory=dict)
+    #: every string constant in the tree, for orphan softening.
+    string_constants: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def producible(self, label: str) -> bool:
+        """Is the label covered by some producer (exact or prefix)?"""
+        if label in self.producers_exact:
+            return True
+        return any(
+            label.startswith(prefix) and label != prefix
+            for prefix in self.producers_prefix
+        )
+
+    def consumed(self, label: str) -> bool:
+        return label in self.consumers
+
+    def referenced_elsewhere(self, label: str, producer_paths: Set[str]) -> bool:
+        """Does the label occur as a string constant outside its producers?"""
+        return bool(self.string_constants.get(label, set()) - producer_paths)
+
+
+def derive_label_flow(project: Project) -> LabelFlow:
+    """Build the producer/consumer label maps for a parsed project."""
+    flow = LabelFlow()
+    for source in project.files:
+        if any(source.in_package(pkg) for pkg in _EXCLUDED_PACKAGES):
+            continue
+        _scan_file(project, source, flow)
+    return flow
+
+
+def _scan_file(project: Project, source: SourceFile, flow: LabelFlow) -> None:
+    def resolve(name: str) -> Optional[str]:
+        return project.resolve_str(source.module, name)
+
+    for owner, node in _walk_with_class(source.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            flow.string_constants.setdefault(node.value, set()).add(
+                source.relpath
+            )
+        if not isinstance(node, ast.Call):
+            continue
+        chain = call_chain(node)
+        if chain is None:
+            continue
+        method = chain[-1]
+        if method == "Requirement" or (
+            len(chain) >= 2 and chain[-2:] == ["base", "Requirement"]
+        ):
+            label_node = call_arg(node, 0, "label")
+            if label_node is None:
+                continue
+            kind, value = string_pattern(label_node, resolve)
+            if kind == "exact" and value is not None:
+                _record(
+                    flow.consumers,
+                    value,
+                    LabelSite(
+                        source.relpath, node.lineno, source.module,
+                        "requirement", owner,
+                    ),
+                )
+                if owner is not None:
+                    flow.requirement_labels.setdefault(owner, set()).add(value)
+            continue
+        if len(chain) < 2 or chain[-2] not in _KB_RECEIVERS:
+            continue
+        site_via = method
+        label_node = call_arg(node, 0, "label")
+        if label_node is None:
+            continue
+        if method in _PRODUCER_METHODS:
+            kind, value = string_pattern(label_node, resolve)
+            site = LabelSite(
+                source.relpath, node.lineno, source.module, site_via, owner
+            )
+            if kind == "exact" and value is not None:
+                _record(flow.producers_exact, value, site)
+            elif kind == "prefix" and value is not None:
+                _record(flow.producers_prefix, value, site)
+        elif method in _CONSUMER_METHODS:
+            site = LabelSite(
+                source.relpath, node.lineno, source.module, site_via, owner
+            )
+            for label in _consumed_labels(project, source, label_node):
+                _record(flow.consumers, label, site)
+
+
+def _consumed_labels(
+    project: Project, source: SourceFile, label_node: ast.expr
+) -> List[str]:
+    """Constant labels a consumer argument denotes (str or str-tuple)."""
+    kind, value = string_pattern(
+        label_node, lambda name: project.resolve_str(source.module, name)
+    )
+    if kind == "exact" and value is not None:
+        return [value]
+    if isinstance(label_node, ast.Name):
+        as_tuple = project.resolve_str_tuple(source.module, label_node.id)
+        if as_tuple is not None:
+            return list(as_tuple)
+    return []
+
+
+def _walk_with_class(tree: ast.Module):
+    """Yield ``(enclosing class name or None, node)`` pairs."""
+
+    def visit(node: ast.AST, owner: Optional[str]):
+        for child in ast.iter_child_nodes(node):
+            child_owner = (
+                child.name if isinstance(child, ast.ClassDef) else owner
+            )
+            yield child_owner, child
+            yield from visit(child, child_owner)
+
+    yield from visit(tree, None)
+
+
+def _record(
+    mapping: Dict[str, List[LabelSite]], label: str, site: LabelSite
+) -> None:
+    mapping.setdefault(label, []).append(site)
+
+
+@register_rule
+class LabelFlowRule(Rule):
+    """KL003: consumed knowgget labels must be producible, and vice versa."""
+
+    ID = "KL003"
+    TITLE = "knowgget labels: every consumer has a producer (and vice versa)"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        flow = derive_label_flow(project)
+
+        for label, sites in sorted(flow.consumers.items()):
+            if flow.producible(label):
+                continue
+            site = sites[0]
+            role = (
+                "a Requirement of"
+                if site.via == "requirement"
+                else "read by"
+            )
+            where = f" {site.owner}" if site.owner else f" {site.module}"
+            yield self.finding(
+                Severity.ERROR,
+                site.path,
+                site.line,
+                f"knowgget label {label!r} is {role}{where} but no sensing or"
+                " collective producer ever writes it — the consumer is"
+                " dormant forever",
+                key=label,
+            )
+
+        for label, sites in sorted(flow.producers_exact.items()):
+            if flow.consumed(label):
+                continue
+            producer_paths = {site.path for site in sites}
+            if flow.referenced_elsewhere(label, producer_paths):
+                continue
+            site = sites[0]
+            yield self.finding(
+                Severity.WARNING,
+                site.path,
+                site.line,
+                f"knowgget label {label!r} is produced here but never"
+                " consumed by any Requirement or Knowledge Base read",
+                key=label,
+            )

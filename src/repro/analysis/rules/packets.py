@@ -1,0 +1,182 @@
+"""KL004 — packet schema: frozen, sized, codec-round-trippable.
+
+Packets are the data plane of the whole reproduction: captures flow
+through the data store, traces persist them to disk, and the resource
+model sums their sizes.  Three schema invariants keep that sound:
+
+- every :class:`~repro.net.packets.base.Packet` dataclass is declared
+  ``@dataclass(frozen=True)`` — captures are shared across modules and a
+  mutable layer would let one module corrupt another's history;
+- every packet layer reports a size: it defines ``HEADER_BYTES`` in its
+  own body, overrides ``_extra_bytes``, or inherits one from a concrete
+  packet ancestor (the root default of 0 on ``Packet`` does not count);
+- every module defining packet dataclasses is wired into the codec's
+  registration sweep (:mod:`repro.net.packets.codec` imports it), so the
+  trace subsystem can round-trip the type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.astutil import (
+    attribute_chain,
+    base_names,
+    class_body_assign,
+)
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+#: Package holding the packet models.
+PACKETS_PACKAGE = "repro.net.packets"
+#: The codec module whose imports define round-trip registration.
+CODEC_MODULE = "repro.net.packets.codec"
+#: The root class; itself exempt from the concrete-layer checks.
+ROOT_CLASS = "Packet"
+
+
+@register_rule
+class PacketSchemaRule(Rule):
+    """KL004: packet dataclasses are frozen, sized, and codec-registered."""
+
+    ID = "KL004"
+    TITLE = "Packet dataclasses: frozen, sized, registered with the codec"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        classes = _collect_packet_classes(project)
+        if not classes:
+            return
+        codec_imports = project.imports_of(CODEC_MODULE)
+        for name, (source, node) in sorted(classes.items()):
+            if name == ROOT_CLASS:
+                continue
+            yield from self._check_class(
+                project, classes, source, node, codec_imports
+            )
+
+    def _check_class(
+        self,
+        project: Project,
+        classes: Dict[str, Tuple[SourceFile, ast.ClassDef]],
+        source: SourceFile,
+        node: ast.ClassDef,
+        codec_imports: Set[str],
+    ) -> Iterable[Finding]:
+        frozen = _dataclass_frozen(node)
+        if frozen is None:
+            yield self.finding(
+                Severity.ERROR,
+                source.relpath,
+                node.lineno,
+                f"packet class {node.name} is not declared as a dataclass;"
+                " the codec introspects dataclass fields",
+                key=f"{node.name}.dataclass",
+            )
+        elif frozen is False:
+            yield self.finding(
+                Severity.ERROR,
+                source.relpath,
+                node.lineno,
+                f"packet dataclass {node.name} is not frozen; captures are"
+                " shared across modules and must be immutable",
+                key=f"{node.name}.frozen",
+            )
+
+        if not _reports_size(node, classes):
+            yield self.finding(
+                Severity.ERROR,
+                source.relpath,
+                node.lineno,
+                f"packet class {node.name} neither defines HEADER_BYTES nor"
+                " overrides _extra_bytes (nor inherits either from a"
+                " concrete packet); its on-the-wire size is silently 0",
+                key=f"{node.name}.size",
+            )
+
+        if source.module != CODEC_MODULE and source.module not in codec_imports:
+            yield self.finding(
+                Severity.ERROR,
+                source.relpath,
+                node.lineno,
+                f"packet class {node.name} lives in {source.module}, which"
+                f" {CODEC_MODULE} never imports — encode_packet() would"
+                " reject it and traces could not round-trip",
+                key=f"{node.name}.codec",
+            )
+
+
+def _collect_packet_classes(
+    project: Project,
+) -> Dict[str, Tuple[SourceFile, ast.ClassDef]]:
+    """All Packet subclasses (transitive) inside the packets package."""
+    classes: Dict[str, Tuple[SourceFile, ast.ClassDef, List[str]]] = {}
+    for source in project.files:
+        if not source.in_package(PACKETS_PACKAGE):
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = (source, node, base_names(node))
+
+    packet_like: Set[str] = {ROOT_CLASS}
+    changed = True
+    while changed:
+        changed = False
+        for name, (_, _, bases) in classes.items():
+            if name not in packet_like and packet_like.intersection(bases):
+                packet_like.add(name)
+                changed = True
+    return {
+        name: (source, node)
+        for name, (source, node, _) in classes.items()
+        if name in packet_like and name in classes
+    }
+
+
+def _dataclass_frozen(node: ast.ClassDef):
+    """None if not a dataclass, else the frozen=... flag value."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        chain = attribute_chain(target)
+        if not chain or chain[-1] != "dataclass":
+            continue
+        if not isinstance(decorator, ast.Call):
+            return False  # bare @dataclass: frozen defaults to False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                return (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                )
+        return False
+    return None
+
+
+def _defines_size(node: ast.ClassDef) -> bool:
+    if class_body_assign(node, "HEADER_BYTES") is not None:
+        return True
+    return any(
+        isinstance(statement, ast.FunctionDef)
+        and statement.name == "_extra_bytes"
+        for statement in node.body
+    )
+
+
+def _reports_size(
+    node: ast.ClassDef,
+    classes: Dict[str, Tuple[SourceFile, ast.ClassDef]],
+    _depth: int = 0,
+) -> bool:
+    """Does the class (or a concrete ancestor) report a size?"""
+    if _depth > 8:
+        return False
+    if _defines_size(node):
+        return True
+    for base in base_names(node):
+        if base == ROOT_CLASS:
+            continue  # the root's HEADER_BYTES = 0 default is not a size
+        entry = classes.get(base)
+        if entry is not None and _reports_size(entry[1], classes, _depth + 1):
+            return True
+    return False

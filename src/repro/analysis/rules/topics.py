@@ -1,0 +1,132 @@
+"""KL005 — event-bus topics: every subscription has a publisher.
+
+Components communicate only through the
+:class:`~repro.eventbus.bus.EventBus`, and topics are plain strings — a
+typo'd subscription compiles, runs, and simply never fires.  This rule
+cross-checks the two sides statically:
+
+- **publications** — ``*.bus.publish(topic, …)`` call sites;
+- **subscriptions** — ``*bus.subscribe(topic, …)`` and
+  ``*bus.subscribe_prefix(prefix, …)`` call sites.
+
+Topic expressions may be literals, names resolving to module-level
+constants (``ALERT_TOPIC``), concatenations with a constant head
+(``KNOWLEDGE_TOPIC_PREFIX + key`` → prefix ``knowledge.``) or f-strings
+with a constant head.  A subscription whose pattern can never overlap
+any publication pattern is flagged; fully-dynamic expressions on either
+side are left alone (statically unknowable).
+
+Only receivers spelled ``…bus`` / ``…_bus`` are considered, so
+same-named methods on unrelated classes (e.g.
+``KnowledgeBase.subscribe``, which takes a *label*, not a topic) are not
+misread.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.analysis.astutil import (
+    StrPattern,
+    call_chain,
+    patterns_overlap,
+    string_pattern,
+)
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+_BUS_RECEIVERS = ("bus", "_bus")
+
+
+@dataclass(frozen=True)
+class TopicSite:
+    pattern: StrPattern
+    path: str
+    line: int
+    module: str
+    via: str  # "publish", "subscribe", "subscribe_prefix"
+
+
+def collect_topic_sites(project: Project) -> List[TopicSite]:
+    """Every statically-visible bus publish/subscribe call site."""
+    sites: List[TopicSite] = []
+    for source in project.files:
+        if source.in_package("repro.analysis"):
+            continue
+        sites.extend(_scan_file(project, source))
+    return sites
+
+
+def _scan_file(project: Project, source: SourceFile) -> Iterable[TopicSite]:
+    def resolve(name: str) -> Optional[str]:
+        return project.resolve_str(source.module, name)
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = call_chain(node)
+        if chain is None or len(chain) < 2:
+            continue
+        method = chain[-1]
+        if method not in ("publish", "subscribe", "subscribe_prefix"):
+            continue
+        receiver = chain[-2]
+        if not any(
+            receiver == r or receiver.endswith(r) for r in _BUS_RECEIVERS
+        ):
+            continue
+        if not node.args:
+            continue
+        kind, value = string_pattern(node.args[0], resolve)
+        if method == "subscribe_prefix" and kind == "exact":
+            # A prefix subscription matches a topic family by design.
+            kind = "prefix"
+        yield TopicSite(
+            pattern=(kind, value),
+            path=source.relpath,
+            line=node.lineno,
+            module=source.module,
+            via=method,
+        )
+
+
+@register_rule
+class TopicFlowRule(Rule):
+    """KL005: every bus subscription must have a matching publication."""
+
+    ID = "KL005"
+    TITLE = "bus topics: no subscription without a matching publication"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        sites = collect_topic_sites(project)
+        publications = [s for s in sites if s.via == "publish"]
+        has_dynamic_publish = any(
+            s.pattern[0] == "dynamic" for s in publications
+        )
+        for site in sites:
+            if site.via == "publish":
+                continue
+            kind, value = site.pattern
+            if kind == "dynamic" or value is None:
+                continue
+            if any(
+                patterns_overlap(site.pattern, publication.pattern)
+                for publication in publications
+            ):
+                continue
+            if has_dynamic_publish:
+                # An unanalyzable publish() somewhere could feed this
+                # subscription; stay quiet rather than guess wrong.
+                continue
+            rendered = value if kind == "exact" else f"{value}*"
+            yield self.finding(
+                Severity.ERROR,
+                site.path,
+                site.line,
+                f"topic {rendered!r} is subscribed here but never published"
+                " anywhere in the tree — the handler can never fire",
+                key=rendered,
+            )

@@ -35,7 +35,11 @@ class DataAlterationModule(DetectionModule):
 
     Parameters: ``ingressWindow`` (default 10 s of remembered inbound
     flows), ``detectionThresh`` (default 2 fabricated relays), ``window``
-    (default 30 s), ``cooldown`` (default 20 s per suspect).
+    (default 30 s), ``cooldown`` (default 20 s per suspect),
+    ``minFabricationRatio`` (default 0.3: fraction of a relay's traffic
+    that must be fabricated before alerting), ``monitorRssi`` (default
+    -82 dBm: weakest signal at which this sniffer trusts that it would
+    have overheard the original inbound frame).
     """
 
     NAME = "DataAlterationModule"

@@ -51,7 +51,9 @@ class ForwardingMisbehaviorModule(DetectionModule):
     assumed even on a clean channel), ``significance`` (default 0.02:
     the binomial-tail p-value below which misses cannot be explained by
     ambient loss), ``monitorRssi`` (default -82 dBm), ``cooldown``
-    (default 20 s per forwarder).
+    (default 20 s per forwarder), ``rootWindow`` (default 15 s: the
+    initial grace period for learning collection-tree roots before
+    accusing them of sinking traffic).
     """
 
     NAME = "ForwardingMisbehaviorModule"

@@ -37,7 +37,7 @@ class IcmpFloodModule(DetectionModule):
     """Rate detector for Echo-Reply floods on single-hop networks.
 
     Parameters: ``threshold`` (default 15 replies), ``window`` (default
-    10 s), ``cooldown`` (default 15 s between alerts per victim),
+    10 s), ``cooldown`` (default 8 s between alerts per victim),
     ``rssiTolerance`` (default 6 dB for suspect disambiguation).
     """
 

@@ -43,7 +43,9 @@ class WormholeModule(DetectionModule):
 
     Parameters: ``ingressWindow`` (default 10 s of remembered ingress),
     ``sourceThresh`` (default 3 unexplained relays before declaring a
-    source anomaly), ``cooldown`` (default 30 s per suspect pair).
+    source anomaly), ``cooldown`` (default 30 s per suspect pair),
+    ``minUnexplainedRatio`` (default 0.5: fraction of a node's relays
+    that must be unexplained before it counts as a source anomaly).
     """
 
     NAME = "WormholeModule"

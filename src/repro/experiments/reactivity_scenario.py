@@ -18,7 +18,7 @@ that nothing is missed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.attacks.selective_forwarding import SelectiveForwardingMote
 from repro.core.kalis import KalisNode

@@ -5,7 +5,6 @@ import pytest
 
 from repro.attacks import (
     AlteringMote,
-    BlackholeMeshNode,
     BlackholeMote,
     HelloFloodNode,
     IcmpFloodAttacker,
@@ -18,8 +17,7 @@ from repro.attacks import (
     SynFloodAttacker,
     WormholePair,
 )
-from repro.devices.wsn import TelosbMote, build_wsn
-from repro.net.packets.base import Medium
+from repro.devices.wsn import TelosbMote
 from repro.net.packets.icmp import IcmpMessage, IcmpType
 from repro.net.packets.ieee802154 import Ieee802154Frame
 from repro.net.packets.ip import IpPacket
@@ -28,7 +26,6 @@ from repro.proto.iphost import IpHost, LanDirectory
 from repro.proto.mesh import ZigbeeMeshNode
 from repro.sim.engine import Simulator
 from repro.sim.node import SnifferNode
-from repro.sim.topology import line_positions
 from repro.util.ids import NodeId
 from repro.util.rng import SeededRng
 

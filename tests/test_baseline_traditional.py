@@ -1,6 +1,5 @@
 """Tests for the traditional-IDS baseline."""
 
-import pytest
 
 from repro.baselines.traditional import TraditionalIds
 from repro.core.kalis import DEFAULT_DETECTION_MODULES, DEFAULT_SENSING_MODULES

@@ -1,6 +1,5 @@
 """Tests for compile-time module configuration (paper §VIII)."""
 
-import pytest
 
 from repro.attacks import SelectiveForwardingMote
 from repro.core.compile import (

@@ -1,7 +1,6 @@
 """Tests for the flood-family detection modules (ICMP flood, Smurf,
 SYN flood, HELLO flood)."""
 
-import pytest
 
 from repro.core.datastore import DataStore
 from repro.core.knowledge import KnowledgeBase

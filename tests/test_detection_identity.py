@@ -1,7 +1,6 @@
 """Tests for identity-abuse detectors: replication (static + mobile),
 sybil, spoofing — including the pure analysis functions."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

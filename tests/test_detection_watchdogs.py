@@ -1,7 +1,6 @@
 """Tests for the watchdog-family modules: forwarding misbehaviour,
 data alteration, sinkhole, wormhole."""
 
-import pytest
 
 from repro.core.datastore import DataStore
 from repro.core.knowledge import KnowledgeBase

@@ -5,7 +5,6 @@ each asserts its own success criteria internally.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -4,7 +4,6 @@ files from disk — the "new modules without recompiling" story."""
 import enum
 from dataclasses import dataclass
 
-import pytest
 
 from repro.core.config import parse_config_file, render_config
 from repro.net.packets.base import Packet, PacketKind

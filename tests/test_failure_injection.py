@@ -2,7 +2,6 @@
 degrades — lossy radios, lossy peer links, partially deaf sniffers.
 """
 
-import pytest
 
 from repro.attacks import SelectiveForwardingMote
 from repro.core.collective import CollectiveKnowledgeNetwork

@@ -1,6 +1,5 @@
 """Tests for the smart-firewall policy and router deployment."""
 
-import pytest
 
 from repro.core.alerts import ALERT_TOPIC, Alert
 from repro.eventbus.bus import EventBus

@@ -8,7 +8,6 @@ RSSI values) through a complete KalisNode and a Snort engine and assert
 the machinery stays sane.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,221 @@
+"""CLI behavior tests for kalis-lint: flags, exit codes, baseline workflow."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import TODO_REASON, main
+
+_DIRTY_TREE = {
+    "repro/sim/engine.py": """
+    import time
+
+
+    def stamp():
+        \"\"\"Planted wall-clock read.\"\"\"
+        return time.time()
+    """,
+}
+
+
+def write_tree(tmp_path, files):
+    """Materialize {relpath: source} under tmp_path/src with packages."""
+    for relpath, content in files.items():
+        path = tmp_path / "src" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    for directory in sorted((tmp_path / "src").rglob("*")):
+        if directory.is_dir():
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+    return tmp_path / "src" / "repro"
+
+
+class TestFlags:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("KL001", "KL002", "KL003", "KL004", "KL005", "KL006"):
+            assert rule_id in out
+
+    def test_select_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--root", str(tmp_path), "--select", "KL999", str(tree)])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--no-baseline",
+                "--select",
+                "KL002",
+                str(tree),
+            ]
+        )
+        assert code == 0  # the planted bug is KL001 territory
+        capsys.readouterr()
+
+    def test_json_format(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--no-baseline",
+                "--format",
+                "json",
+                str(tree),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suppressed"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "KL001"
+        assert finding["path"] == "src/repro/sim/engine.py"
+        assert finding["severity"] == "error"
+        assert finding["line"] > 0
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--root", str(tmp_path), str(tmp_path / "nope")])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_syntax_error_reported_as_kl000(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path, {"repro/core/broken.py": "def oops(:\n"}
+        )
+        code = main(["--root", str(tmp_path), "--no-baseline", str(tree)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "KL000" in out
+
+
+class TestBaselineWorkflow:
+    def test_baseline_suppresses_findings(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time -- legacy wall-clock,"
+            " scheduled for removal\n",
+            encoding="utf-8",
+        )
+        code = main(
+            ["--root", str(tmp_path), "--baseline", str(baseline), str(tree)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_stale_entry_reported_as_kl099(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path,
+            {"repro/sim/engine.py": '"""Clean module."""\n'},
+        )
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time -- fixed long ago\n",
+            encoding="utf-8",
+        )
+        code = main(
+            ["--root", str(tmp_path), "--baseline", str(baseline), str(tree)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "KL099" in out
+        assert "stale baseline entry" in out
+
+    def test_stale_entry_ignored_when_file_not_scanned(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path,
+            {
+                "repro/sim/engine.py": '"""Clean module."""\n',
+                "repro/core/other.py": '"""Also clean."""\n',
+            },
+        )
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time -- fixed long ago\n",
+            encoding="utf-8",
+        )
+        # Lint only core/ — the engine.py entry must not be called stale.
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                str(tree / "core"),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_malformed_baseline_is_exit_2(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time\n", encoding="utf-8"
+        )
+        code = main(
+            ["--root", str(tmp_path), "--baseline", str(baseline), str(tree)]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "justification" in err
+
+    def test_write_baseline_creates_and_preserves_reasons(
+        self, tmp_path, capsys
+    ):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        baseline = tmp_path / "kalis-lint.baseline"
+
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                str(tree),
+            ]
+        )
+        assert code == 0
+        content = baseline.read_text(encoding="utf-8")
+        assert "KL001 src/repro/sim/engine.py time.time" in content
+        assert TODO_REASON in content
+
+        # Hand-edit the justification, re-write: the reason must survive.
+        baseline.write_text(
+            content.replace(TODO_REASON, "justified for reasons"),
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                str(tree),
+            ]
+        )
+        assert code == 0
+        content = baseline.read_text(encoding="utf-8")
+        assert "justified for reasons" in content
+        assert TODO_REASON not in content
+
+        # And the freshly-written baseline makes the tree pass.
+        code = main(
+            ["--root", str(tmp_path), "--baseline", str(baseline), str(tree)]
+        )
+        assert code == 0
+        capsys.readouterr()

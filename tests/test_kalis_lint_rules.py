@@ -1,0 +1,489 @@
+"""Per-rule unit tests for kalis-lint, over synthetic mini-trees."""
+
+import textwrap
+
+from repro.analysis.engine import run_rules
+from repro.analysis.project import Project
+
+
+def make_project(tmp_path, files):
+    """Write a ``src/`` tree from {relpath: source} and parse it."""
+    for relpath, content in files.items():
+        path = tmp_path / "src" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    for directory in sorted((tmp_path / "src").rglob("*")):
+        if directory.is_dir():
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+    return Project.load([tmp_path / "src" / "repro"], root=tmp_path)
+
+
+def run(tmp_path, files, rule):
+    return run_rules(make_project(tmp_path, files), select=[rule])
+
+
+class TestDeterminismRule:
+    def test_banned_time_call_in_sim(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/sim/engine.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+            "KL001",
+        )
+        assert [f.key for f in findings] == ["time.time"]
+        assert findings[0].path == "src/repro/sim/engine.py"
+        assert findings[0].line == 5
+
+    def test_random_import_and_from_time_import(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                import random
+                from time import monotonic
+                """
+            },
+            "KL001",
+        )
+        assert {f.key for f in findings} == {
+            "import.random",
+            "import.time.monotonic",
+        }
+
+    def test_datetime_class_and_numpy_random(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/attacks/burst.py": """
+                from datetime import datetime
+                import numpy as np
+
+                def go():
+                    return datetime.now(), np.random.random()
+                """
+            },
+            "KL001",
+        )
+        assert {f.key for f in findings} == {
+            "datetime.datetime.now",
+            "numpy.random",
+        }
+
+    def test_util_and_unguarded_packages_exempt(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/util/wallclock.py": """
+                import time
+
+                def now():
+                    return time.time()
+                """,
+                "repro/metrics/timer.py": """
+                import time
+
+                def now():
+                    return time.time()
+                """,
+            },
+            "KL001",
+        )
+        assert findings == []
+
+
+_GOOD_MODULE = """
+from repro.core.modules.base import DetectionModule, Requirement
+from repro.core.modules.registry import register_module
+
+
+@register_module
+class GoodModule(DetectionModule):
+    \"\"\"Detects nothing much.
+
+    Parameters: ``threshold`` (default 3).
+    \"\"\"
+
+    NAME = "GoodModule"
+    REQUIREMENTS = (Requirement(label="Multihop"),)
+    DETECTS = ("smurf",)
+
+    def __init__(self, params=None):
+        super().__init__(params)
+        self.threshold = self.param("threshold", 3)
+"""
+
+_PRODUCER = """
+class Sensor:
+    \"\"\"Writes Multihop.\"\"\"
+
+    def process(self, kb):
+        \"\"\"Write.\"\"\"
+        kb.put("Multihop", True)
+"""
+
+
+class TestModuleContractRule:
+    def test_good_module_is_clean(self, tmp_path):
+        findings = run(
+            tmp_path, {"repro/core/modules/detection/good.py": _GOOD_MODULE},
+            "KL002",
+        )
+        assert findings == []
+
+    def test_missing_name_registration_and_detects(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/modules/detection/bad.py": """
+                from repro.core.modules.base import DetectionModule
+
+
+                class BadModule(DetectionModule):
+                    \"\"\"Broken on purpose.\"\"\"
+                """
+            },
+            "KL002",
+        )
+        assert {f.key for f in findings} == {
+            "BadModule.NAME",
+            "BadModule",
+            "BadModule.DETECTS",
+        }
+
+    def test_duplicate_name_across_files(self, tmp_path):
+        other = _GOOD_MODULE.replace("GoodModule", "OtherModule").replace(
+            'NAME = "OtherModule"', 'NAME = "GoodModule"'
+        )
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/modules/detection/good.py": _GOOD_MODULE,
+                "repro/core/modules/detection/other.py": other,
+            },
+            "KL002",
+        )
+        assert [f.key for f in findings] == ["duplicate.GoodModule"]
+
+    def test_missing_super_init_and_undocumented_param(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/modules/detection/leaky.py": """
+                from repro.core.modules.base import DetectionModule
+                from repro.core.modules.registry import register_module
+
+
+                @register_module
+                class LeakyModule(DetectionModule):
+                    \"\"\"Drops params.\"\"\"
+
+                    NAME = "LeakyModule"
+                    DETECTS = ("smurf",)
+
+                    def __init__(self, params=None):
+                        self.window = self.param("window", 5.0)
+                """
+            },
+            "KL002",
+        )
+        assert {f.key for f in findings} == {
+            "LeakyModule.__init__",
+            "LeakyModule.params.window",
+        }
+
+
+class TestLabelFlowRule:
+    def test_exact_producer_satisfies_requirement(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/modules/detection/good.py": _GOOD_MODULE,
+                "repro/core/modules/sensing/topo.py": _PRODUCER,
+            },
+            "KL003",
+        )
+        assert findings == []
+
+    def test_fstring_prefix_producer_covers_label(self, tmp_path):
+        consumer = _GOOD_MODULE.replace('label="Multihop"', 'label="Multihop.wifi"')
+        producer = _PRODUCER.replace(
+            'kb.put("Multihop", True)', 'kb.put(f"Multihop.{medium}", True)'
+        ).replace("def process(self, kb):", "def process(self, kb, medium=0):")
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/modules/detection/good.py": consumer,
+                "repro/core/modules/sensing/topo.py": producer,
+            },
+            "KL003",
+        )
+        assert findings == []
+
+    def test_unproduced_requirement_is_error(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {"repro/core/modules/detection/good.py": _GOOD_MODULE},
+            "KL003",
+        )
+        assert len(findings) == 1
+        assert findings[0].key == "Multihop"
+        assert findings[0].severity.value == "error"
+        assert "dormant" in findings[0].message
+
+    def test_orphan_producer_is_warning(self, tmp_path):
+        findings = run(
+            tmp_path, {"repro/core/modules/sensing/topo.py": _PRODUCER},
+            "KL003",
+        )
+        assert [f.key for f in findings] == ["Multihop"]
+        assert findings[0].severity.value == "warning"
+
+    def test_orphan_softened_by_constant_reference_elsewhere(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/modules/sensing/topo.py": _PRODUCER,
+                "repro/core/freeze.py": """
+                FREEZABLE = ("Multihop",)
+                """,
+            },
+            "KL003",
+        )
+        assert findings == []
+
+    def test_consumer_via_tuple_constant(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/freeze.py": """
+                LABELS = ("Multihop", "Mobility")
+
+
+                def freeze(kb):
+                    \"\"\"Read every freezable label.\"\"\"
+                    return [kb.get_knowgget(LABELS)]
+                """
+            },
+            "KL003",
+        )
+        # Both tuple labels become consumers; neither is produced.
+        assert {f.key for f in findings} == {"Multihop", "Mobility"}
+
+
+_PACKET_BASE = """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Packet:
+    \"\"\"Root.\"\"\"
+
+    HEADER_BYTES = 0
+"""
+
+_CODEC = """
+from repro.net.packets import base as _base
+from repro.net.packets import good as _good
+
+_MODULES = (_base, _good)
+"""
+
+
+class TestPacketSchemaRule:
+    def test_good_packet_is_clean(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/net/packets/base.py": _PACKET_BASE,
+                "repro/net/packets/good.py": """
+                from dataclasses import dataclass
+
+                from repro.net.packets.base import Packet
+
+
+                @dataclass(frozen=True)
+                class GoodFrame(Packet):
+                    \"\"\"Fine.\"\"\"
+
+                    HEADER_BYTES = 8
+                """,
+                "repro/net/packets/codec.py": _CODEC,
+            },
+            "KL004",
+        )
+        assert findings == []
+
+    def test_unfrozen_unsized_unregistered(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/net/packets/base.py": _PACKET_BASE,
+                "repro/net/packets/rogue.py": """
+                from dataclasses import dataclass
+
+                from repro.net.packets.base import Packet
+
+
+                @dataclass
+                class RogueFrame(Packet):
+                    \"\"\"Broken.\"\"\"
+                """,
+                "repro/net/packets/codec.py": """
+                from repro.net.packets import base as _base
+
+                _MODULES = (_base,)
+                """,
+            },
+            "KL004",
+        )
+        assert {f.key for f in findings} == {
+            "RogueFrame.frozen",
+            "RogueFrame.size",
+            "RogueFrame.codec",
+        }
+
+    def test_size_inherited_from_concrete_ancestor(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/net/packets/base.py": _PACKET_BASE,
+                "repro/net/packets/good.py": """
+                from dataclasses import dataclass
+
+                from repro.net.packets.base import Packet
+
+
+                @dataclass(frozen=True)
+                class MacFrame(Packet):
+                    \"\"\"Sized.\"\"\"
+
+                    HEADER_BYTES = 11
+
+
+                @dataclass(frozen=True)
+                class BeaconFrame(MacFrame):
+                    \"\"\"Inherits size from MacFrame.\"\"\"
+                """,
+                "repro/net/packets/codec.py": _CODEC,
+            },
+            "KL004",
+        )
+        assert findings == []
+
+
+class TestTopicFlowRule:
+    def test_matched_topics_are_clean(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/alerts.py": """
+                ALERT_TOPIC = "alerts"
+                """,
+                "repro/core/wiring.py": """
+                from repro.core.alerts import ALERT_TOPIC
+
+                PREFIX = "knowledge."
+
+
+                def wire(bus, key):
+                    \"\"\"Publish and subscribe consistently.\"\"\"
+                    bus.publish(ALERT_TOPIC, None)
+                    bus.publish(PREFIX + key, None)
+                    bus.subscribe(ALERT_TOPIC, print)
+                    bus.subscribe_prefix(PREFIX, print)
+                """,
+            },
+            "KL005",
+        )
+        assert findings == []
+
+    def test_subscribed_never_published(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/wiring.py": """
+                def wire(bus):
+                    \"\"\"A typo'd subscription.\"\"\"
+                    bus.publish("alerts", None)
+                    bus.subscribe("alert", print)
+                """
+            },
+            "KL005",
+        )
+        assert [f.key for f in findings] == ["alert"]
+        assert findings[0].line == 5
+
+    def test_dynamic_publish_suppresses(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/wiring.py": """
+                def wire(bus, topic):
+                    \"\"\"Dynamic publish makes subscriptions unknowable.\"\"\"
+                    bus.publish(topic, None)
+                    bus.subscribe("anything", print)
+                """
+            },
+            "KL005",
+        )
+        assert findings == []
+
+    def test_kb_subscribe_is_not_a_bus_topic(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/wiring.py": """
+                def wire(kb):
+                    \"\"\"KnowledgeBase.subscribe takes a label, not a topic.\"\"\"
+                    kb.subscribe("Mobility", print)
+                """
+            },
+            "KL005",
+        )
+        assert findings == []
+
+
+class TestUnusedImportRule:
+    def test_unused_import_flagged(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                import os
+                from typing import Dict
+
+
+                def f() -> Dict:
+                    \"\"\"Uses only the typing import.\"\"\"
+                    return {}
+                """
+            },
+            "KL006",
+        )
+        assert [f.key for f in findings] == ["os"]
+
+    def test_string_reference_and_noqa_and_init_exempt(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                import os  # noqa
+                import sys
+
+                __all__ = ["sys"]
+                """,
+                "repro/core/pkg/__init__.py": """
+                import json
+                """,
+            },
+            "KL006",
+        )
+        assert findings == []

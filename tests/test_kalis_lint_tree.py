@@ -1,0 +1,126 @@
+"""Tier-1 gate: the real tree is lint-clean, and planted bugs are caught."""
+
+import shutil
+import textwrap
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import run_rules
+from repro.analysis.project import Project
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestTreeIsClean:
+    def test_no_unbaselined_findings(self):
+        """`kalis-lint src/repro` must stay clean (modulo the baseline)."""
+        project = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        baseline = Baseline.load(ROOT / "kalis-lint.baseline")
+        leftover = [
+            finding
+            for finding in run_rules(project)
+            if not baseline.suppresses(finding)
+        ]
+        assert leftover == [], "\n" + "\n".join(f.render() for f in leftover)
+
+    def test_no_stale_baseline_entries(self):
+        """Every baseline entry still matches a live finding."""
+        project = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        baseline = Baseline.load(ROOT / "kalis-lint.baseline")
+        for finding in run_rules(project):
+            baseline.suppresses(finding)
+        scanned = {source.relpath for source in project.files}
+        stale = baseline.stale_entries(scanned)
+        assert stale == [], [e.render() for e in stale]
+
+    def test_cli_exits_clean_on_real_tree(self, capsys):
+        code = main(
+            [
+                "--root",
+                str(ROOT),
+                "--baseline",
+                str(ROOT / "kalis-lint.baseline"),
+                str(ROOT / "src" / "repro"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kalis-lint: clean" in out
+
+
+def _copy_tree(tmp_path):
+    target = tmp_path / "src" / "repro"
+    shutil.copytree(ROOT / "src" / "repro", target)
+    return target
+
+
+class TestPlantedViolations:
+    def test_planted_wallclock_call_in_sim_engine(self, tmp_path, capsys):
+        """ISSUE acceptance: time.time() in sim/engine.py fails the lint."""
+        tree = _copy_tree(tmp_path)
+        engine = tree / "sim" / "engine.py"
+        engine.write_text(
+            engine.read_text(encoding="utf-8")
+            + textwrap.dedent(
+                """
+
+                import time
+
+
+                def _wallclock_stamp():
+                    \"\"\"Planted nondeterminism.\"\"\"
+                    return time.time()
+                """
+            ),
+            encoding="utf-8",
+        )
+        code = main(["--root", str(tmp_path), "--no-baseline", str(tree)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "src/repro/sim/engine.py:" in out
+        assert "KL001" in out
+        # the finding is file:line addressed
+        line = next(l for l in out.splitlines() if "KL001" in l)
+        path_part = line.split(" ", 1)[0]
+        assert path_part.startswith("src/repro/sim/engine.py:")
+        assert path_part.rstrip(":").rsplit(":", 1)[-1].isdigit()
+
+    def test_planted_unregistered_detection_module(self, tmp_path, capsys):
+        """ISSUE acceptance: an unregistered detection module fails the lint."""
+        tree = _copy_tree(tmp_path)
+        rogue = tree / "core" / "modules" / "detection" / "rogue.py"
+        rogue.write_text(
+            textwrap.dedent(
+                '''
+                """A planted, non-conformant detection module."""
+
+                from repro.core.modules.base import DetectionModule
+
+
+                class RogueModule(DetectionModule):
+                    """Missing NAME, registration, and DETECTS."""
+                '''
+            ),
+            encoding="utf-8",
+        )
+        code = main(["--root", str(tmp_path), "--no-baseline", str(tree)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "src/repro/core/modules/detection/rogue.py:" in out
+        assert "KL002" in out
+
+    def test_unmodified_copy_is_clean(self, tmp_path, capsys):
+        """Control: the copied tree passes with the real baseline."""
+        tree = _copy_tree(tmp_path)
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(ROOT / "kalis-lint.baseline"),
+                str(tree),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()

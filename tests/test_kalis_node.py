@@ -1,6 +1,5 @@
 """Integration tests for the KalisNode facade."""
 
-import pytest
 
 from repro.core.kalis import (
     DEFAULT_DETECTION_MODULES,

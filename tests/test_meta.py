@@ -5,7 +5,6 @@ import inspect
 import pkgutil
 from pathlib import Path
 
-import pytest
 
 import repro
 

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.attacks.base import SymptomInstance, SymptomLog
 from repro.core.alerts import Alert
 from repro.metrics.detection import (
-    DetectionScore,
     attack_family,
     score_alerts,
     score_countermeasure,

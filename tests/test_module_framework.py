@@ -6,7 +6,6 @@ from repro.core.datastore import DataStore
 from repro.core.knowledge import KnowledgeBase
 from repro.core.manager import ModuleManager
 from repro.core.modules.base import (
-    EXISTS,
     DetectionModule,
     KalisModule,
     ModuleContext,

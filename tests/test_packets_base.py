@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.packets.base import Medium, Packet, PacketKind, RawPayload
+from repro.net.packets.base import Medium, PacketKind, RawPayload
 from repro.net.packets.icmp import IcmpMessage, IcmpType
 from repro.net.packets.ieee802154 import Ieee802154Frame
 from repro.net.packets.ip import IpPacket

@@ -1,12 +1,11 @@
 """Tests for the CTP protocol behaviour."""
 
-import pytest
 
 from repro.devices.wsn import build_wsn
 from repro.proto.ctp import NO_ROUTE_ETX, CtpNode
 from repro.sim.engine import Simulator
 from repro.sim.topology import line_positions
-from repro.util.ids import NodeId, make_node_id
+from repro.util.ids import NodeId
 
 
 def chain(sim, count=4, spacing=25.0):

@@ -1,6 +1,5 @@
 """Tests for ZigBee mesh forwarding and RPL DODAG formation."""
 
-import pytest
 
 from repro.proto.mesh import ZigbeeMeshNode, compute_mesh_routes
 from repro.proto.rpl import RplNode

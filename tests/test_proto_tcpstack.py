@@ -1,9 +1,8 @@
 """Tests for the minimal TCP state machine."""
 
-import pytest
 
 from repro.net.packets.tcp import TcpFlags, TcpSegment
-from repro.proto.tcpstack import TcpConnectionState, TcpStack
+from repro.proto.tcpstack import TcpStack
 
 
 def handshake(client: TcpStack, server: TcpStack, data_bytes=0, **open_kwargs):

@@ -1,0 +1,86 @@
+"""Error-path coverage for the module registry (satellite of PR 1)."""
+
+import pytest
+
+from repro.core.modules import registry
+from repro.core.modules.base import DetectionModule
+from repro.core.modules.registry import (
+    available_modules,
+    create_module,
+    module_class,
+    register_module,
+)
+
+
+class TestDuplicateRegistration:
+    def test_duplicate_name_raises_value_error(self):
+        @register_module
+        class _FirstTestOnlyModule(DetectionModule):
+            """Registers fine the first time."""
+
+            NAME = "_RegistryDupProbe"
+            DETECTS = ("icmp_flood",)
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+
+                @register_module
+                class _SecondTestOnlyModule(DetectionModule):
+                    """Collides on NAME with the first class."""
+
+                    NAME = "_RegistryDupProbe"
+                    DETECTS = ("icmp_flood",)
+
+        finally:
+            registry._REGISTRY.pop("_RegistryDupProbe", None)
+            registry._REGISTRY.pop("_FirstTestOnlyModule", None)
+            registry._REGISTRY.pop("_SecondTestOnlyModule", None)
+
+    def test_reregistering_same_class_is_idempotent(self):
+        @register_module
+        class _IdempotentTestOnlyModule(DetectionModule):
+            """Registering the same class twice is allowed."""
+
+            NAME = "_RegistryIdemProbe"
+            DETECTS = ("icmp_flood",)
+
+        try:
+            assert (
+                register_module(_IdempotentTestOnlyModule)
+                is _IdempotentTestOnlyModule
+            )
+        finally:
+            registry._REGISTRY.pop("_RegistryIdemProbe", None)
+            registry._REGISTRY.pop("_IdempotentTestOnlyModule", None)
+
+    def test_non_module_class_raises_type_error(self):
+        with pytest.raises(TypeError, match="not a KalisModule"):
+            register_module(object)
+
+
+class TestUnknownModule:
+    def test_create_unknown_lists_known_modules(self):
+        with pytest.raises(KeyError) as excinfo:
+            create_module("NoSuchModule")
+        message = str(excinfo.value)
+        assert "unknown module 'NoSuchModule'" in message
+        # The error must enumerate what IS available, to aid config authors.
+        for known in available_modules():
+            assert known in message
+
+    def test_module_class_unknown_raises_key_error(self):
+        with pytest.raises(KeyError, match="unknown module"):
+            module_class("NoSuchModule")
+
+
+class TestParamPassthrough:
+    def test_create_module_forwards_params(self):
+        module = create_module("IcmpFloodModule", params={"threshold": 42})
+        assert module.threshold == 42
+        # Unspecified params keep their documented defaults.
+        assert module.window == 10.0
+
+    def test_create_by_class_name_and_by_name_agree(self):
+        by_name = create_module("IcmpFloodModule")
+        by_class = create_module(module_class("IcmpFloodModule").__name__)
+        assert type(by_name) is type(by_class)

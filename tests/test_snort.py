@@ -1,14 +1,11 @@
 """Tests for the Snort baseline: rule model, parser, engine, ruleset."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.baselines.snort.engine import SnortEngine, _flags_match, _port_matches
 from repro.baselines.snort.parser import RuleParseError, parse_rule, parse_rules
-from repro.baselines.snort.rule import SnortRule, Threshold
+from repro.baselines.snort.rule import Threshold
 from repro.baselines.snort.ruleset import community_ruleset, custom_iot_rules
-from repro.net.packets.base import Medium
 from repro.net.packets.tcp import TcpFlags
 from repro.util.ids import NodeId
 from tests.conftest import ctp_data_capture, wifi_icmp_capture, wifi_tcp_capture

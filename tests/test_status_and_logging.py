@@ -3,7 +3,6 @@ through the KalisNode facade."""
 
 import json
 
-import pytest
 
 from repro.core.kalis import KalisNode
 from repro.util.ids import NodeId

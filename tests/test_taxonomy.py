@@ -3,7 +3,6 @@ machine-check that Figure 3 matches the detection-module library."""
 
 import pytest
 
-from repro.core.modules.base import Requirement
 from repro.core.modules.registry import module_class
 from repro.taxonomy.by_feature import (
     ATTACKS,

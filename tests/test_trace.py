@@ -1,6 +1,5 @@
 """Tests for trace recording, persistence, merging and replay."""
 
-from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
