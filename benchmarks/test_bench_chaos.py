@@ -1,0 +1,60 @@
+"""E14 — chaos: detection accuracy and knowledge convergence under a
+seeded fault plan (module crashes, node crash, interface flap, link
+partition, 30% peer-link loss)."""
+
+import pytest
+
+from repro.experiments import chaos_scenario
+from repro.experiments.chaos_scenario import CRASHED_MODULE
+
+
+def test_bench_e14_chaos(benchmark, report):
+    result = benchmark.pedantic(
+        chaos_scenario.run, kwargs={"seed": 23}, rounds=1, iterations=1
+    )
+    baseline = chaos_scenario.run(seed=23, max_retries=0)
+    report(
+        "E14: Chaos (faults + lossy collective sync)",
+        result.summary()
+        + "\n  fire-and-forget baseline: "
+        + f"{baseline.shared_received}/{baseline.shared_total} shared "
+        + f"knowggets delivered (gave_up={baseline.delivery['gave_up']})",
+    )
+
+    # The run completed and the scripted flood was still detected.
+    assert result.completed
+    assert result.score.detection_rate == 1.0
+    assert result.score.false_positive_alerts == 0
+
+    # The crashed module was quarantined and later restored; every
+    # injected crash was absorbed by the supervisor, none aborted the run.
+    assert result.quarantined == [CRASHED_MODULE]
+    assert result.restored == [CRASHED_MODULE]
+    assert result.health_table[CRASHED_MODULE] == "healthy"
+    assert result.module_failures == result.extra["injected"][
+        f"kalis-1/{CRASHED_MODULE}"
+    ]
+
+    # Retries drove every shared knowgget to the remote node despite 30%
+    # loss and a 15 s partition; fire-and-forget demonstrably lost some.
+    assert result.shared_received == result.shared_total > 0
+    assert result.delivery["retries"] > 0
+    assert 0.0 < result.convergence_time <= result.duration_s
+    assert baseline.shared_received < baseline.shared_total
+    assert baseline.delivery["retries"] == 0
+
+
+@pytest.mark.parametrize("seed", [23, 31, 47])
+def test_bench_e14_determinism(seed, report):
+    """Same seed + same fault plan => byte-identical alert logs."""
+    first = chaos_scenario.run(seed=seed)
+    second = chaos_scenario.run(seed=seed)
+    log = "\n".join(first.alert_log).encode()
+    assert log == "\n".join(second.alert_log).encode()
+    assert first.delivery == second.delivery
+    assert first.convergence_time == second.convergence_time
+    report(
+        f"E14 determinism (seed {seed})",
+        f"{len(first.alert_log)} alerts, log byte-identical across runs "
+        f"({len(log)} bytes)",
+    )

@@ -12,7 +12,16 @@ from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     imports,
     labels,
     packets,
+    swallows,
     topics,
 )
 
-__all__ = ["contracts", "determinism", "imports", "labels", "packets", "topics"]
+__all__ = [
+    "contracts",
+    "determinism",
+    "imports",
+    "labels",
+    "packets",
+    "swallows",
+    "topics",
+]

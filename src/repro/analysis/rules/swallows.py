@@ -1,0 +1,123 @@
+"""KL007 — swallowed exceptions: no silent failure in the substrate.
+
+A reproduction whose components fail silently cannot be trusted: a
+module crash, a dropped capture or a failed transfer must surface
+somewhere — the supervisor's failure record, the bus dead-letter topic,
+a counter — never vanish into ``except: pass``.  Two shapes are banned
+throughout ``repro``:
+
+- a **bare** ``except:`` clause, which also traps ``KeyboardInterrupt``
+  and ``SystemExit`` (always wrong here);
+- an ``except Exception:`` / ``except BaseException:`` handler whose
+  body does nothing (only ``pass``, ``...``, ``continue`` or a bare
+  ``return``) — a catch-all that records nothing.
+
+Narrow handlers (``except ValueError: pass``) stay legal: ignoring one
+anticipated error is a decision, swallowing *everything* is a bug
+factory.  Justified catch-alls go in the baseline with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+#: Exception names treated as catch-alls when the handler body is inert.
+CATCH_ALL_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _names_of(handler_type: Optional[ast.expr]) -> Iterator[str]:
+    """The dotted-name leaves of an except clause's type expression."""
+    if handler_type is None:
+        return
+    nodes = (
+        handler_type.elts
+        if isinstance(handler_type, ast.Tuple)
+        else [handler_type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _is_inert(body: Iterable[ast.stmt]) -> bool:
+    """True if the handler body observably does nothing."""
+    for statement in body:
+        if isinstance(statement, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(statement, ast.Return) and statement.value is None:
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(
+            statement.value, ast.Constant
+        ):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """KL007: no bare ``except:`` and no inert catch-all handlers."""
+
+    ID = "KL007"
+    TITLE = "no swallowed exceptions (bare or inert catch-all handlers)"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        scopes: list = []
+        yield from self._walk(source, source.tree, scopes)
+
+    def _walk(
+        self, source: SourceFile, node: ast.AST, scopes: list
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                scopes.append(child.name)
+                yield from self._walk(source, child, scopes)
+                scopes.pop()
+                continue
+            if isinstance(child, ast.ExceptHandler):
+                yield from self._check_handler(source, child, scopes)
+            yield from self._walk(source, child, scopes)
+
+    def _check_handler(
+        self, source: SourceFile, handler: ast.ExceptHandler, scopes: list
+    ) -> Iterator[Finding]:
+        scope = ".".join(scopes) if scopes else "<module>"
+        if handler.type is None:
+            yield self.finding(
+                Severity.ERROR,
+                source.relpath,
+                handler.lineno,
+                f"bare 'except:' in {scope} traps SystemExit and"
+                " KeyboardInterrupt; name the exceptions (and record the"
+                " failure somewhere observable)",
+                key=f"{scope}.bare",
+                column=handler.col_offset,
+            )
+            return
+        caught = set(_names_of(handler.type))
+        catch_alls = caught & CATCH_ALL_NAMES
+        if catch_alls and _is_inert(handler.body):
+            name = sorted(catch_alls)[0]
+            yield self.finding(
+                Severity.ERROR,
+                source.relpath,
+                handler.lineno,
+                f"'except {name}:' in {scope} silently swallows every"
+                " failure; record it (supervisor, dead-letter, counter)"
+                " or catch the specific exception",
+                key=f"{scope}.{name}",
+                column=handler.col_offset,
+            )

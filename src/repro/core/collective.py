@@ -15,11 +15,23 @@ one-way channel between peer pairs; since the payload is opaque to any
 observer by construction, the channel is modelled as a direct scheduled
 hand-off with configurable latency and loss, while beacons are counted
 for the discovery protocol's accounting.
+
+**Reliability.**  Transfers are acknowledged: a lost attempt is retried
+with exponential backoff (``retry_base_delay * retry_backoff**attempt``)
+under a bounded retry budget, so with loss below certainty the expected
+delivery rate approaches 100% — a lost knowgget is no longer lost
+forever.  ``max_retries=0`` restores the original fire-and-forget
+channel (the baseline the chaos experiments compare against).  All
+randomness flows through per-link :class:`SeededRng` substreams and all
+timing through ``sim.schedule_in``, so the retry schedule is
+reproducible bit-for-bit from the seed.  Links can also carry declared
+outage windows (:meth:`PeerLink.add_outage`) during which every attempt
+deterministically fails — the substrate for fault-plan partitions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.knowledge import Knowgget, KnowledgeBase
 from repro.util.ids import NodeId
@@ -27,7 +39,13 @@ from repro.util.rng import SeededRng
 
 
 class PeerLink:
-    """The encrypted one-way channel from one Kalis node to a peer."""
+    """The encrypted one-way channel from one Kalis node to a peer.
+
+    :param max_retries: retry budget per knowgget transfer; 0 means
+        fire-and-forget (the pre-reliability behaviour).
+    :param retry_base_delay: delay before the first retry, seconds.
+    :param retry_backoff: multiplier applied per successive retry.
+    """
 
     def __init__(
         self,
@@ -37,6 +55,9 @@ class PeerLink:
         latency: float = 0.05,
         loss_probability: float = 0.0,
         rng: Optional[SeededRng] = None,
+        max_retries: int = 6,
+        retry_base_delay: float = 0.2,
+        retry_backoff: float = 2.0,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
@@ -44,32 +65,90 @@ class PeerLink:
             raise ValueError(
                 f"loss_probability must be in [0, 1), got {loss_probability}"
             )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if retry_base_delay <= 0:
+            raise ValueError(
+                f"retry_base_delay must be positive, got {retry_base_delay}"
+            )
+        if retry_backoff < 1.0:
+            raise ValueError(f"retry_backoff must be >= 1, got {retry_backoff}")
         self.sim = sim
         self.target_kb = target_kb
         self.sender = sender
         self.latency = latency
         self.loss_probability = loss_probability
         self._rng = rng if rng is not None else SeededRng(0, "peerlink")
+        self.max_retries = max_retries
+        self.retry_base_delay = retry_base_delay
+        self.retry_backoff = retry_backoff
+        #: Declared outage windows (start, end) in sim time.
+        self.outages: List[Tuple[float, float]] = []
         self.sent = 0
         self.delivered = 0
         self.lost = 0
+        self.attempts = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.last_delivery_at = 0.0
+        #: (time, attempt_index) of every retry, for determinism checks.
+        self.retry_log: List[Tuple[float, int]] = []
+
+    # -- outages -------------------------------------------------------------
+
+    def add_outage(self, start: float, end: float) -> None:
+        """Declare a window during which every attempt fails (partition)."""
+        if end <= start:
+            raise ValueError(f"outage must end after it starts: [{start}, {end}]")
+        self.outages.append((start, end))
+
+    def in_outage(self, timestamp: float) -> bool:
+        return any(start <= timestamp < end for start, end in self.outages)
+
+    # -- transfer ------------------------------------------------------------
+
+    @property
+    def _now(self) -> float:
+        return self.sim.clock.now if self.sim is not None else 0.0
 
     def transfer(self, knowgget: Knowgget) -> None:
+        """Send one knowgget; retries on loss until the budget runs out."""
         self.sent += 1
-        if self.loss_probability and self._rng.chance(self.loss_probability):
-            self.lost += 1
+        self._attempt(knowgget, attempt=0)
+
+    def _attempt(self, knowgget: Knowgget, attempt: int) -> None:
+        self.attempts += 1
+        lost = self.in_outage(self._now) or (
+            self.loss_probability > 0.0 and self._rng.chance(self.loss_probability)
+        )
+        if not lost:
+            if self.sim is None:
+                self._deliver(knowgget)
+            else:
+                self.sim.schedule_in(
+                    self.latency, lambda item=knowgget: self._deliver(item)
+                )
             return
+        self.lost += 1
+        if attempt >= self.max_retries:
+            self.gave_up += 1
+            return
+        self.retries += 1
+        delay = self.retry_base_delay * (self.retry_backoff ** attempt)
+        self.retry_log.append((self._now + delay, attempt + 1))
         if self.sim is None:
-            self._deliver(knowgget)
+            self._attempt(knowgget, attempt + 1)
         else:
             self.sim.schedule_in(
-                self.latency, lambda item=knowgget: self._deliver(item)
+                delay,
+                lambda item=knowgget, index=attempt + 1: self._attempt(item, index),
             )
 
     def _deliver(self, knowgget: Knowgget) -> None:
         accepted = self.target_kb.apply_remote(knowgget, sender=self.sender)
         if accepted:
             self.delivered += 1
+            self.last_delivery_at = self._now
 
 
 class CollectiveKnowledgeNetwork:
@@ -77,6 +156,8 @@ class CollectiveKnowledgeNetwork:
 
     :param sim: simulator for transfer latency (None = synchronous).
     :param beacon_interval: advertisement period for peer discovery.
+    :param max_retries: per-link retry budget (0 = fire-and-forget).
+    :param retry_base_delay / retry_backoff: the links' backoff schedule.
     """
 
     def __init__(
@@ -86,15 +167,36 @@ class CollectiveKnowledgeNetwork:
         loss_probability: float = 0.0,
         beacon_interval: float = 10.0,
         rng: Optional[SeededRng] = None,
+        max_retries: int = 6,
+        retry_base_delay: float = 0.2,
+        retry_backoff: float = 2.0,
     ) -> None:
         self.sim = sim
         self.latency = latency
         self.loss_probability = loss_probability
         self.beacon_interval = beacon_interval
         self._rng = rng if rng is not None else SeededRng(0, "collective")
+        self.max_retries = max_retries
+        self.retry_base_delay = retry_base_delay
+        self.retry_backoff = retry_backoff
         self._members: Dict[NodeId, KnowledgeBase] = {}
         self._links: Dict[NodeId, List[PeerLink]] = {}
         self.beacons_sent = 0
+
+    def _make_link(
+        self, sender: NodeId, target_kb: KnowledgeBase, target: NodeId
+    ) -> PeerLink:
+        return PeerLink(
+            self.sim,
+            target_kb,
+            sender=sender,
+            latency=self.latency,
+            loss_probability=self.loss_probability,
+            rng=self._rng.substream("link", sender.value, target.value),
+            max_retries=self.max_retries,
+            retry_base_delay=self.retry_base_delay,
+            retry_backoff=self.retry_backoff,
+        )
 
     def join(self, kb: KnowledgeBase) -> None:
         """Add a Kalis node to the group and build peer links both ways."""
@@ -105,24 +207,10 @@ class CollectiveKnowledgeNetwork:
         # network this converges to full pairwise links.
         for existing_owner, existing_kb in sorted(self._members.items()):
             self._links.setdefault(kb.owner, []).append(
-                PeerLink(
-                    self.sim,
-                    existing_kb,
-                    sender=kb.owner,
-                    latency=self.latency,
-                    loss_probability=self.loss_probability,
-                    rng=self._rng.substream("link", kb.owner.value, existing_owner.value),
-                )
+                self._make_link(kb.owner, existing_kb, existing_owner)
             )
             self._links.setdefault(existing_owner, []).append(
-                PeerLink(
-                    self.sim,
-                    kb,
-                    sender=existing_owner,
-                    latency=self.latency,
-                    loss_probability=self.loss_probability,
-                    rng=self._rng.substream("link", existing_owner.value, kb.owner.value),
-                )
+                self._make_link(existing_owner, kb, kb.owner)
             )
         self._members[kb.owner] = kb
         kb.add_collective_listener(
@@ -145,3 +233,37 @@ class CollectiveKnowledgeNetwork:
 
     def member_count(self) -> int:
         return len(self._members)
+
+    def links(self) -> List[PeerLink]:
+        """Every directed link, ordered by sender for determinism."""
+        return [
+            link for owner in sorted(self._links) for link in self._links[owner]
+        ]
+
+    def add_outage(self, start: float, end: float) -> None:
+        """Partition the whole group for a window of sim time."""
+        for link in self.links():
+            link.add_outage(start, end)
+
+    def delivery_stats(self) -> Dict[str, int]:
+        """Aggregate transfer accounting across every link."""
+        totals = {
+            "sent": 0,
+            "attempts": 0,
+            "delivered": 0,
+            "lost": 0,
+            "retries": 0,
+            "gave_up": 0,
+        }
+        for link in self.links():
+            totals["sent"] += link.sent
+            totals["attempts"] += link.attempts
+            totals["delivered"] += link.delivered
+            totals["lost"] += link.lost
+            totals["retries"] += link.retries
+            totals["gave_up"] += link.gave_up
+        return totals
+
+    def convergence_time(self) -> float:
+        """Sim time of the last accepted knowgget delivery (0 if none)."""
+        return max((link.last_delivery_at for link in self.links()), default=0.0)

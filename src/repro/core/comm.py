@@ -16,13 +16,14 @@ through it, the modules).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.packets.base import Medium
 from repro.sim.capture import Capture
 from repro.sim.node import SnifferNode
 
 CaptureListener = Callable[[Capture], None]
+IntakeErrorListener = Callable[[CaptureListener, Capture, BaseException], None]
 
 
 class CommunicationSystem:
@@ -31,6 +32,12 @@ class CommunicationSystem:
     :param supported_mediums: mediums this Kalis node has hardware for;
         captures on other mediums are dropped (the way Snort, lacking an
         802.15.4 radio, simply never sees ZigBee traffic).
+
+    Intake is failure-isolated: a raising consumer does not block the
+    remaining consumers from seeing the capture.  Failures are recorded
+    in :attr:`intake_errors` and forwarded to the error listener (the
+    Kalis facade routes them to the bus dead-letter pipeline) — they are
+    never silently swallowed.
     """
 
     def __init__(self, supported_mediums: Optional[List[Medium]] = None) -> None:
@@ -40,12 +47,18 @@ class CommunicationSystem:
             else frozenset(Medium)
         )
         self._listeners: List[CaptureListener] = []
+        self._error_listener: Optional[IntakeErrorListener] = None
         self.captures_by_medium: Dict[Medium, int] = {}
         self.dropped_unsupported = 0
+        self.intake_errors: List[Tuple[str, BaseException]] = []
 
     def add_listener(self, listener: CaptureListener) -> None:
         """Register a consumer of captures (typically the Data Store)."""
         self._listeners.append(listener)
+
+    def set_error_listener(self, listener: IntakeErrorListener) -> None:
+        """Route intake failures somewhere observable (bus dead-letter)."""
+        self._error_listener = listener
 
     def attach_sniffer(self, sniffer: SnifferNode) -> None:
         """Wire a live promiscuous sniffer into this Communication System."""
@@ -59,7 +72,13 @@ class CommunicationSystem:
         count = self.captures_by_medium.get(capture.medium, 0)
         self.captures_by_medium[capture.medium] = count + 1
         for listener in self._listeners:
-            listener(capture)
+            try:
+                listener(capture)
+            except Exception as error:
+                name = getattr(listener, "__qualname__", repr(listener))
+                self.intake_errors.append((name, error))
+                if self._error_listener is not None:
+                    self._error_listener(listener, capture, error)
 
     @property
     def total_captures(self) -> int:

@@ -29,9 +29,9 @@ from repro.core.comm import CommunicationSystem
 from repro.core.config import KalisConfig, parse_config
 from repro.core.datastore import DataStore
 from repro.core.knowledge import KnowledgeBase
-from repro.core.manager import ModuleManager
+from repro.core.manager import ModuleManager, ModuleSupervisor
 from repro.core.modules.registry import available_modules, create_module
-from repro.eventbus.bus import EventBus
+from repro.eventbus.bus import DEADLETTER_TOPIC, DeadLetter, Event, EventBus
 from repro.net.packets.base import Medium
 from repro.sim.capture import Capture
 from repro.sim.node import SnifferNode
@@ -80,6 +80,9 @@ class KalisNode:
     :param module_names: the module library to register (default: all
         sensing + all detection modules).
     :param window_size / window_age / log_to: Data Store settings.
+    :param supervisor: a pre-configured :class:`ModuleSupervisor`
+        (custom breaker thresholds / cooldowns); default settings apply
+        when omitted.
     """
 
     def __init__(
@@ -92,6 +95,7 @@ class KalisNode:
         window_size: int = 2000,
         window_age: Optional[float] = 60.0,
         log_to: Optional[str] = None,
+        supervisor: Optional[ModuleSupervisor] = None,
     ) -> None:
         self.node_id = node_id
         self.bus = EventBus()
@@ -108,9 +112,15 @@ class KalisNode:
             bus=self.bus,
             node_id=node_id,
             knowledge_driven=knowledge_driven,
+            supervisor=supervisor,
         )
         self.alerts = AlertSink()
+        self.deadletters: List[DeadLetter] = []
         self.bus.subscribe(ALERT_TOPIC, lambda event: self.alerts.on_alert(event.payload))
+        self.bus.subscribe(
+            DEADLETTER_TOPIC, lambda event: self.deadletters.append(event.payload)
+        )
+        self.comm.set_error_listener(self._on_intake_error)
         self.comm.add_listener(self._on_capture)
 
         if isinstance(config, str):
@@ -147,6 +157,18 @@ class KalisNode:
     def _on_capture(self, capture: Capture) -> None:
         self.datastore.add(capture)
         self.manager.on_capture(capture)
+
+    def _on_intake_error(self, listener, capture: Capture, error: BaseException) -> None:
+        """Surface a failed capture consumer on the dead-letter topic."""
+        self.bus.publish(
+            DEADLETTER_TOPIC,
+            DeadLetter(
+                topic="comm.capture",
+                event=Event(topic="comm.capture", payload=capture),
+                handler=getattr(listener, "__qualname__", repr(listener)),
+                error=error,
+            ),
+        )
 
     def feed(self, capture: Capture) -> None:
         """Push one capture through the full pipeline (tests, adapters)."""
@@ -211,6 +233,9 @@ class KalisNode:
             },
             "knowggets": len(self.kb),
             "modules": self.manager.activation_table(),
+            "module_health": self.manager.health_table(),
+            "module_failures": len(self.manager.supervisor.failures),
+            "deadletters": len(self.deadletters),
             "alerts": len(self.alerts),
             "attacks_seen": self.alerts.attacks_seen(),
             "work_units": self.manager.work_units,
@@ -224,11 +249,14 @@ class KalisNode:
         lines.append(f"  knowggets: {len(self.kb)}")
         lines.append(f"  captures: {self.comm.total_captures}")
         lines.append("  modules:")
+        health_table = self.manager.health_table()
         for module in self.manager.modules():
             state = "ACTIVE" if module.active else "dormant"
+            health = health_table[module.NAME]
+            suffix = "" if health == "healthy" else f" [{health}]"
             lines.append(
                 f"    [{state:>7}] {module.NAME} ({module.KIND}; "
-                f"requires {module.describe_requirements()})"
+                f"requires {module.describe_requirements()}){suffix}"
             )
         return "\n".join(lines)
 

@@ -17,11 +17,27 @@ the modules active at all times", §VI-B).
 Work accounting: every capture routed to an active module adds that
 module's ``COST_WEIGHT`` to :attr:`work_units` — the input to the CPU
 proxy in :mod:`repro.metrics.resources`.
+
+**Supervision.**  The paper sells Kalis as "security-in-a-box" that
+keeps protecting the network while the world degrades (§IV, §VI-D), so
+a crashing detection module must not take the whole engine down.  The
+:class:`ModuleSupervisor` wraps every module entry point
+(``handle`` / ``on_activate`` / ``required``) in crash isolation with a
+per-module circuit breaker: ``N`` consecutive failures quarantine the
+module, a sim-clock cooldown later a single half-open probe capture is
+routed, and a successful probe restores it.  Repeated probe failures
+escalate the cooldown and eventually disable the module permanently.
+Every transition is published on the bus (:data:`TOPIC_MODULE_FAILURE`,
+:data:`TOPIC_MODULE_QUARANTINE`, :data:`TOPIC_MODULE_RESTORE`) so peers,
+dashboards and tests observe the health of the module library the same
+way they observe alerts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.core.datastore import DataStore
 from repro.core.knowledge import KnowledgeBase
@@ -29,6 +45,204 @@ from repro.core.modules.base import KalisModule, ModuleContext, SensingModule
 from repro.eventbus.bus import EventBus
 from repro.sim.capture import Capture
 from repro.util.ids import NodeId
+
+#: Published on every isolated module crash; payload is a ModuleFailure.
+TOPIC_MODULE_FAILURE = "module.failure"
+#: Published when the circuit breaker opens; payload is a ModuleHealth.
+TOPIC_MODULE_QUARANTINE = "module.quarantine"
+#: Published when a half-open probe succeeds; payload is a ModuleHealth.
+TOPIC_MODULE_RESTORE = "module.restore"
+
+
+class ModuleState(enum.Enum):
+    """Circuit-breaker state of one supervised module."""
+
+    HEALTHY = "healthy"
+    QUARANTINED = "quarantined"
+    HALF_OPEN = "half-open"
+    DISABLED = "disabled"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ModuleFailure:
+    """One isolated module crash (the payload of ``module.failure``)."""
+
+    module: str
+    operation: str  # "handle", "on_activate" or "required"
+    error: BaseException
+    timestamp: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.module}.{self.operation} raised "
+            f"{type(self.error).__name__}: {self.error} at t={self.timestamp:g}"
+        )
+
+
+@dataclass
+class ModuleHealth:
+    """Supervision record for one module."""
+
+    module: str
+    state: ModuleState = ModuleState.HEALTHY
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    quarantine_count: int = 0
+    probe_failures: int = 0
+    quarantined_until: float = 0.0
+    last_error: Optional[BaseException] = None
+
+
+class ModuleSupervisor:
+    """Per-module circuit breaker with deterministic sim-clock cooldowns.
+
+    State machine, per module::
+
+        HEALTHY --(threshold consecutive failures)--> QUARANTINED
+        QUARANTINED --(cooldown elapsed, next capture)--> HALF_OPEN
+        HALF_OPEN --(probe succeeds)--> HEALTHY        (module.restore)
+        HALF_OPEN --(probe fails)--> QUARANTINED       (escalated cooldown)
+        HALF_OPEN --(max_probe_failures reached)--> DISABLED  (permanent)
+
+    Time comes from capture timestamps (:meth:`advance_to`), so the
+    breaker is bit-for-bit reproducible on simulated or replayed traffic.
+
+    :param bus: bus for health events; may be None at construction (a
+        standalone supervisor handed to :class:`ModuleManager` or
+        ``KalisNode``) — the manager binds its own bus in that case.
+    :param failure_threshold: consecutive failures that open the breaker.
+    :param cooldown: quarantine duration before the first probe, seconds.
+    :param cooldown_factor: cooldown multiplier per repeated quarantine.
+    :param max_probe_failures: failed probes before permanent disable.
+    """
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        cooldown_factor: float = 2.0,
+        max_probe_failures: int = 3,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        if cooldown_factor < 1.0:
+            raise ValueError(
+                f"cooldown_factor must be >= 1, got {cooldown_factor}"
+            )
+        if max_probe_failures < 1:
+            raise ValueError(
+                f"max_probe_failures must be >= 1, got {max_probe_failures}"
+            )
+        self.bus = bus
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.cooldown_factor = cooldown_factor
+        self.max_probe_failures = max_probe_failures
+        self.now = 0.0
+        self.failures: List[ModuleFailure] = []
+        self._health: Dict[str, ModuleHealth] = {}
+
+    def _publish(self, topic: str, payload) -> None:
+        if self.bus is not None:
+            self.bus.publish(topic, payload)
+
+    # -- time ----------------------------------------------------------------
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the supervisor clock forward (capture timestamps)."""
+        if timestamp > self.now:
+            self.now = timestamp
+
+    # -- registration / introspection ---------------------------------------
+
+    def track(self, name: str) -> ModuleHealth:
+        """Start (or fetch) supervision state for a module."""
+        if name not in self._health:
+            self._health[name] = ModuleHealth(module=name)
+        return self._health[name]
+
+    def health(self, name: str) -> ModuleHealth:
+        return self._health[name]
+
+    def state_of(self, name: str) -> ModuleState:
+        return self._health[name].state
+
+    def health_table(self) -> Dict[str, str]:
+        """Module name -> breaker state, next to ``activation_table()``."""
+        return {name: health.state.value for name, health in self._health.items()}
+
+    # -- routing decisions ---------------------------------------------------
+
+    def should_route(self, name: str) -> bool:
+        """May a capture be routed to this module right now?
+
+        Transitions QUARANTINED -> HALF_OPEN when the cooldown has
+        elapsed: the capture that asked becomes the probe.
+        """
+        health = self.track(name)
+        if health.state is ModuleState.HEALTHY:
+            return True
+        if health.state is ModuleState.DISABLED:
+            return False
+        if health.state is ModuleState.QUARANTINED:
+            if self.now >= health.quarantined_until:
+                health.state = ModuleState.HALF_OPEN
+                return True
+            return False
+        return True  # HALF_OPEN: the probe is in flight
+
+    # -- outcome recording ---------------------------------------------------
+
+    def record_success(self, name: str) -> None:
+        health = self.track(name)
+        if health.state is ModuleState.HALF_OPEN:
+            health.state = ModuleState.HEALTHY
+            health.consecutive_failures = 0
+            health.probe_failures = 0
+            self._publish(TOPIC_MODULE_RESTORE, health)
+        elif health.state is ModuleState.HEALTHY:
+            health.consecutive_failures = 0
+
+    def record_failure(
+        self, name: str, operation: str, error: BaseException
+    ) -> ModuleFailure:
+        health = self.track(name)
+        failure = ModuleFailure(
+            module=name, operation=operation, error=error, timestamp=self.now
+        )
+        self.failures.append(failure)
+        health.total_failures += 1
+        health.last_error = error
+        self._publish(TOPIC_MODULE_FAILURE, failure)
+        if health.state is ModuleState.HALF_OPEN:
+            health.probe_failures += 1
+            if health.probe_failures >= self.max_probe_failures:
+                health.state = ModuleState.DISABLED
+                health.quarantined_until = float("inf")
+            else:
+                self._quarantine(health)
+        elif health.state is ModuleState.HEALTHY:
+            health.consecutive_failures += 1
+            if health.consecutive_failures >= self.failure_threshold:
+                self._quarantine(health)
+        return failure
+
+    def _quarantine(self, health: ModuleHealth) -> None:
+        health.state = ModuleState.QUARANTINED
+        duration = self.cooldown * (
+            self.cooldown_factor ** health.quarantine_count
+        )
+        health.quarantined_until = self.now + duration
+        health.quarantine_count += 1
+        self._publish(TOPIC_MODULE_QUARANTINE, health)
 
 
 class ModuleManager:
@@ -41,12 +255,18 @@ class ModuleManager:
         bus: EventBus,
         node_id: NodeId,
         knowledge_driven: bool = True,
+        supervisor: Optional[ModuleSupervisor] = None,
     ) -> None:
         self.kb = kb
         self.datastore = datastore
         self.bus = bus
         self.node_id = node_id
         self.knowledge_driven = knowledge_driven
+        self.supervisor = (
+            supervisor if supervisor is not None else ModuleSupervisor(bus)
+        )
+        if self.supervisor.bus is None:
+            self.supervisor.bus = bus
         self._modules: Dict[str, KalisModule] = {}
         self._order: List[str] = []
         self._forced_active: Set[str] = set()
@@ -73,6 +293,7 @@ class ModuleManager:
         module.bind(context)
         self._modules[module.NAME] = module
         self._order.append(module.NAME)
+        self.supervisor.track(module.NAME)
         if force_active:
             self._forced_active.add(module.NAME)
         self._apply_state(module)
@@ -100,14 +321,22 @@ class ModuleManager:
         if isinstance(module, SensingModule):
             # Sensing modules are the knowledge source; they run always.
             return True
-        return module.required(self.kb)
+        try:
+            return module.required(self.kb)
+        except Exception as error:
+            # A crashing requirement predicate fails safe: not required.
+            self.supervisor.record_failure(module.NAME, "required", error)
+            return False
 
     def _apply_state(self, module: KalisModule) -> None:
         desired = self._should_be_active(module)
         if desired and not module.active:
             module.active = True
-            module.on_activate()
             self.activation_events += 1
+            try:
+                module.on_activate()
+            except Exception as error:
+                self.supervisor.record_failure(module.NAME, "on_activate", error)
         elif not desired and module.active:
             module.active = False
             module.on_deactivate()
@@ -130,11 +359,26 @@ class ModuleManager:
     # -- capture routing --------------------------------------------------------------
 
     def on_capture(self, capture: Capture) -> None:
-        """Route one capture to every active module, in registration order."""
+        """Route one capture to every active module, in registration order.
+
+        Routing is supervised: a module that raises is isolated (the
+        remaining modules still see the capture), repeated failures
+        quarantine it, and quarantined modules are skipped — and charged
+        no work — until their cooldown elapses and a probe restores them.
+        """
+        self.supervisor.advance_to(capture.timestamp)
         for module in self.modules():
-            if module.active:
-                self.work_units += module.COST_WEIGHT
+            if not module.active:
+                continue
+            if not self.supervisor.should_route(module.NAME):
+                continue
+            self.work_units += module.COST_WEIGHT
+            try:
                 module.handle(capture)
+            except Exception as error:
+                self.supervisor.record_failure(module.NAME, "handle", error)
+            else:
+                self.supervisor.record_success(module.NAME)
 
     # -- resource accounting -------------------------------------------------------------
 
@@ -147,3 +391,8 @@ class ModuleManager:
     def activation_table(self) -> Dict[str, bool]:
         """Module name -> active, for diagnostics and tests."""
         return {name: self._modules[name].active for name in self._order}
+
+    def health_table(self) -> Dict[str, str]:
+        """Module name -> supervisor breaker state, in registration order."""
+        states = self.supervisor.health_table()
+        return {name: states[name] for name in self._order}

@@ -6,6 +6,12 @@ publish knowledge changes, and detection modules publish alerts.  The
 same bus type backs all of these flows.
 """
 
-from repro.eventbus.bus import Event, EventBus, Subscription
+from repro.eventbus.bus import (
+    DEADLETTER_TOPIC,
+    DeadLetter,
+    Event,
+    EventBus,
+    Subscription,
+)
 
-__all__ = ["Event", "EventBus", "Subscription"]
+__all__ = ["DEADLETTER_TOPIC", "DeadLetter", "Event", "EventBus", "Subscription"]

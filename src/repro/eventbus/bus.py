@@ -9,6 +9,14 @@ reproducible.
 Topics are plain strings.  A subscription may target an exact topic or a
 topic prefix (``"packet."`` matches ``"packet.wifi"``), mirroring how
 Kalis modules subscribe to families of knowgget keys.
+
+Dispatch is exception-safe: a raising handler never prevents later
+subscribers from seeing the event ("security-in-a-box" must keep
+protecting while components degrade, §IV).  Each failure is counted
+per topic and re-published as a :class:`DeadLetter` on
+:data:`DEADLETTER_TOPIC`, where supervisors and diagnostics can pick it
+up; failures raised *by* dead-letter handlers are counted but not
+re-routed, so the bus can never recurse into itself.
 """
 
 from __future__ import annotations
@@ -18,6 +26,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 Handler = Callable[["Event"], None]
 
+#: Topic on which handler failures are re-published as DeadLetter events.
+DEADLETTER_TOPIC = "bus.deadletter"
+
 
 @dataclass(frozen=True)
 class Event:
@@ -25,6 +36,28 @@ class Event:
 
     topic: str
     payload: Any = None
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One handler failure, routed to :data:`DEADLETTER_TOPIC`.
+
+    :param topic: topic of the event whose handler raised.
+    :param event: the event that was being dispatched.
+    :param handler: best-effort name of the failing handler.
+    :param error: the exception the handler raised.
+    """
+
+    topic: str
+    event: Event
+    handler: str
+    error: BaseException
+
+    def describe(self) -> str:
+        return (
+            f"handler {self.handler!r} on topic {self.topic!r} raised "
+            f"{type(self.error).__name__}: {self.error}"
+        )
 
 
 @dataclass
@@ -42,7 +75,9 @@ class _BusStats:
     published: int = 0
     delivered: int = 0
     dropped: int = 0
+    errors: int = 0
     per_topic: Dict[str, int] = field(default_factory=dict)
+    errors_per_topic: Dict[str, int] = field(default_factory=dict)
 
 
 class EventBus:
@@ -100,7 +135,14 @@ class EventBus:
     # -- publication ---------------------------------------------------------
 
     def publish(self, topic: str, payload: Any = None) -> int:
-        """Publish an event; returns the number of handlers invoked."""
+        """Publish an event; returns the number of handlers that succeeded.
+
+        A raising handler does not abort the dispatch: remaining
+        subscribers still fire, the failure is counted, and a
+        :class:`DeadLetter` is re-published on :data:`DEADLETTER_TOPIC`
+        once the dispatch completes.  ``delivered`` accounting stays
+        exact under failure — only handlers that returned normally count.
+        """
         event = Event(topic=topic, payload=payload)
         self._stats.published += 1
         self._stats.per_topic[topic] = self._stats.per_topic.get(topic, 0) + 1
@@ -115,11 +157,28 @@ class EventBus:
 
         self._dispatching += 1
         delivered = 0
+        failures: List[DeadLetter] = []
         try:
             # Iterate over a snapshot so handlers may subscribe/unsubscribe.
             for subscription in list(targets):
-                if subscription.active:
+                if not subscription.active:
+                    continue
+                try:
                     subscription.handler(event)
+                except Exception as error:
+                    self._stats.errors += 1
+                    self._stats.errors_per_topic[topic] = (
+                        self._stats.errors_per_topic.get(topic, 0) + 1
+                    )
+                    failures.append(
+                        DeadLetter(
+                            topic=topic,
+                            event=event,
+                            handler=_handler_name(subscription.handler),
+                            error=error,
+                        )
+                    )
+                else:
                     delivered += 1
         finally:
             self._dispatching -= 1
@@ -128,6 +187,11 @@ class EventBus:
                     self._remove(stale)
                 self._pending_unsubscribes.clear()
         self._stats.delivered += delivered
+        if failures and topic != DEADLETTER_TOPIC:
+            # Failures of dead-letter handlers are counted above but not
+            # re-routed — the recursion must ground out somewhere.
+            for deadletter in failures:
+                self.publish(DEADLETTER_TOPIC, deadletter)
         return delivered
 
     # -- introspection -------------------------------------------------------
@@ -153,6 +217,24 @@ class EventBus:
     def delivered_count(self) -> int:
         return self._stats.delivered
 
+    @property
+    def error_count(self) -> int:
+        """Total handler failures absorbed across all topics."""
+        return self._stats.errors
+
     def topic_counts(self) -> Dict[str, int]:
         """Copy of per-topic publish counters (for diagnostics and tests)."""
         return dict(self._stats.per_topic)
+
+    def error_counts(self) -> Dict[str, int]:
+        """Copy of per-topic handler-failure counters."""
+        return dict(self._stats.errors_per_topic)
+
+
+def _handler_name(handler: Handler) -> str:
+    """A stable, human-readable name for a subscribed callable."""
+    qualname = getattr(handler, "__qualname__", None)
+    if qualname:
+        module = getattr(handler, "__module__", None)
+        return f"{module}.{qualname}" if module else qualname
+    return repr(handler)

@@ -1,0 +1,230 @@
+"""E14 — Chaos: detection and knowledge sync under injected faults.
+
+The robustness experiment: the E1 single-hop flood scenario runs live
+with a seeded :class:`~repro.faults.FaultPlan` layered on top — a
+sensing module forced to crash on every capture inside a window, a
+benign device powered off and back on, an interface flap, and a
+peer-link partition — while two Kalis nodes share detection knowledge
+over a lossy collective-knowledge channel.
+
+Measured claims:
+
+- the run **completes**: module crashes are quarantined by the
+  supervisor and the module is restored after its cooldown, and the
+  scripted ICMP flood is still detected;
+- the whole chaos schedule is **deterministic**: two runs with the same
+  seed and plan produce byte-identical alert logs;
+- with link loss ≤ 30%, the ack/retry channel delivers **100%** of the
+  shared knowggets, while the fire-and-forget baseline (``max_retries=0``)
+  demonstrably loses some — and the knowledge-convergence time
+  quantifies the cost of the retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.attacks.icmp_flood import IcmpFloodAttacker
+from repro.core.alerts import ALERT_TOPIC, Alert
+from repro.core.collective import CollectiveKnowledgeNetwork
+from repro.core.kalis import KalisNode
+from repro.core.manager import TOPIC_MODULE_QUARANTINE, TOPIC_MODULE_RESTORE
+from repro.devices.commodity import LifxBulb, NestThermostat, Smartphone
+from repro.faults import FaultPlan, InterfaceFlap, LinkOutage, ModuleCrash, NodeCrash
+from repro.metrics.detection import DetectionScore, score_alerts
+from repro.net.packets.base import Medium
+from repro.proto.iphost import IpRouter, LanDirectory
+from repro.sim.engine import Simulator
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+#: The module the default plan crashes (sensing; detection-independent).
+CRASHED_MODULE = "TrafficStatsModule"
+
+KALIS_PRIMARY = NodeId("kalis-1")
+KALIS_REMOTE = NodeId("kalis-2")
+
+
+def default_plan(seed: int) -> FaultPlan:
+    """The standard chaos schedule layered over the flood scenario."""
+    return FaultPlan(seed=seed, events=(
+        # Crash the sensing module on every capture for 25 s: three
+        # consecutive failures open the breaker; the 30 s cooldown ends
+        # after the window, so the half-open probe restores it.
+        ModuleCrash(kalis=KALIS_PRIMARY, module=CRASHED_MODULE,
+                    start=20.0, end=45.0, every=1),
+        NodeCrash(node=NodeId("lifx"), at=30.0, duration=40.0),
+        InterfaceFlap(node=NodeId("phone"), medium=Medium.WIFI,
+                      at=60.0, duration=10.0),
+        LinkOutage(start=60.0, end=75.0),
+    ))
+
+
+@dataclass
+class ChaosResult:
+    """Everything the chaos benchmark asserts on and reports."""
+
+    seed: int
+    duration_s: float
+    capture_count: int
+    score: DetectionScore
+    alerts: List[Alert]
+    alert_log: List[str]
+    health_table: Dict[str, str]
+    quarantined: List[str]
+    restored: List[str]
+    module_failures: int
+    shared_total: int
+    shared_received: int
+    delivery: Dict[str, int]
+    convergence_time: float
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return self.capture_count > 0
+
+    def summary(self) -> str:
+        lines = [
+            f"seed {self.seed}: {self.capture_count} captures over "
+            f"{self.duration_s:.0f} s | {self.score.summary()}",
+            f"  supervisor: quarantined={self.quarantined} "
+            f"restored={self.restored} "
+            f"({self.module_failures} failures absorbed); "
+            f"final health: {self.health_table}",
+            f"  knowledge sync: {self.shared_received}/{self.shared_total} "
+            f"shared knowggets delivered "
+            f"(attempts={self.delivery['attempts']}, "
+            f"retries={self.delivery['retries']}, "
+            f"gave_up={self.delivery['gave_up']}); "
+            f"convergence at t={self.convergence_time:.2f} s",
+        ]
+        return "\n".join(lines)
+
+
+def alert_log_lines(alerts: List[Alert]) -> List[str]:
+    """Canonical one-line-per-alert serialization (the determinism oracle)."""
+    return [
+        f"{alert.timestamp:.6f} {alert.kalis_node.value} {alert.attack} "
+        f"by={alert.detected_by} "
+        f"suspects={','.join(sorted(s.value for s in alert.suspects))}"
+        for alert in alerts
+    ]
+
+
+def run(
+    seed: int = 23,
+    symptom_instances: int = 20,
+    link_loss: float = 0.3,
+    max_retries: int = 8,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosResult:
+    """Run the chaos scenario live and collect every robustness metric.
+
+    :param link_loss: peer-link per-attempt loss probability.
+    :param max_retries: the links' retry budget (0 = fire-and-forget).
+        The default of 8 gives a ~51 s backoff span, sized to out-last
+        the plan's 15 s partition — a transfer starting the instant the
+        partition opens still has retries left when it lifts.
+    :param plan: a custom :class:`FaultPlan`; :func:`default_plan` when
+        omitted.  Plans are single-use — pass a fresh one per run.
+    """
+    sim = Simulator(seed=seed)
+    rng = SeededRng(seed, "chaos-scenario")
+    lan = LanDirectory()
+    wan = LanDirectory()
+
+    router = sim.add_node(IpRouter(NodeId("router"), (0.0, 0.0), lan, wan))
+    victim = sim.add_node(
+        NestThermostat(NodeId("nest"), (6.0, 2.0), lan, "203.0.113.1",
+                       router.node_id, rng=rng.substream("nest"))
+    )
+    sim.add_node(
+        LifxBulb(NodeId("lifx"), (4.0, 6.0), lan, "203.0.113.1",
+                 router.node_id, rng=rng.substream("lifx"))
+    )
+    sim.add_node(
+        Smartphone(NodeId("phone"), (3.0, 3.0), lan, router.node_id,
+                   rng=rng.substream("phone"))
+    )
+    attacker = sim.add_node(
+        IcmpFloodAttacker(
+            NodeId("flooder"), (9.0, 8.0), lan,
+            victim_ip=victim.ip, victim_link=victim.node_id,
+            burst_size=20, burst_interval=5.0, start_delay=12.0,
+            max_bursts=symptom_instances, rng=rng.substream("attacker"),
+        )
+    )
+
+    # Two Kalis nodes: the primary overlooks the LAN; the remote one is
+    # far out of radio range and learns of the attack only through the
+    # collective-knowledge channel.
+    primary = KalisNode(KALIS_PRIMARY)
+    primary.deploy(sim, position=(5.0, 4.0))
+    remote = KalisNode(KALIS_REMOTE)
+    remote.deploy(sim, position=(5000.0, 5000.0))
+
+    network = CollectiveKnowledgeNetwork(
+        sim=sim, loss_probability=link_loss,
+        rng=SeededRng(seed, "chaos-net"), max_retries=max_retries,
+    )
+    network.join(primary.kb)
+    network.join(remote.kb)
+
+    # Share every detection with the group: one uniquely-labelled
+    # collective knowgget per alert, so delivery is countable.
+    shared = {"count": 0}
+
+    def share_alert(event) -> None:
+        label = f"SharedAlert{shared['count']}"
+        shared["count"] += 1
+        primary.kb.put(label, event.payload.attack, collective=True)
+
+    primary.bus.subscribe(ALERT_TOPIC, share_alert)
+
+    quarantined: List[str] = []
+    restored: List[str] = []
+    primary.bus.subscribe(
+        TOPIC_MODULE_QUARANTINE, lambda e: quarantined.append(e.payload.module)
+    )
+    primary.bus.subscribe(
+        TOPIC_MODULE_RESTORE, lambda e: restored.append(e.payload.module)
+    )
+
+    if plan is None:
+        plan = default_plan(seed)
+    plan.apply(sim, kalis_nodes=[primary, remote], network=network)
+
+    duration = attacker.start_delay + symptom_instances * 5.0 + 30.0
+    sim.run(duration)
+
+    received = sum(
+        1 for index in range(shared["count"])
+        if remote.kb.get(f"SharedAlert{index}", str, creator=KALIS_PRIMARY)
+        is not None
+    )
+    score = score_alerts(
+        primary.alerts.alerts, attacker.log.instances, detection_slack=20.0
+    )
+    result = ChaosResult(
+        seed=seed,
+        duration_s=duration,
+        capture_count=primary.comm.total_captures,
+        score=score,
+        alerts=list(primary.alerts.alerts),
+        alert_log=alert_log_lines(primary.alerts.alerts),
+        health_table=primary.manager.health_table(),
+        quarantined=quarantined,
+        restored=restored,
+        module_failures=len(primary.manager.supervisor.failures),
+        shared_total=shared["count"],
+        shared_received=received,
+        delivery=network.delivery_stats(),
+        convergence_time=network.convergence_time(),
+    )
+    result.extra["plan"] = plan.describe()
+    result.extra["injected"] = {
+        key: injector.injected for key, injector in plan.injectors.items()
+    }
+    return result

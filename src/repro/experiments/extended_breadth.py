@@ -11,7 +11,7 @@ against its attack (not just unit-tested).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.attacks.base import SymptomInstance
 from repro.attacks.data_alteration import AlteringMote
@@ -208,7 +208,7 @@ def run(seed: int = 47) -> ExtendedBreadthResult:
 def _collapse(
     instances: List[SymptomInstance],
     attack: str,
-    until: float = None,
+    until: Optional[float] = None,
 ) -> List[SymptomInstance]:
     """Collapse per-packet symptom logs into one spanning instance.
 

@@ -1,0 +1,19 @@
+"""Fault injection: declarative, seeded chaos for the simulation."""
+
+from repro.faults.plan import (
+    FaultPlan,
+    InjectedModuleCrash,
+    InterfaceFlap,
+    LinkOutage,
+    ModuleCrash,
+    NodeCrash,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedModuleCrash",
+    "InterfaceFlap",
+    "LinkOutage",
+    "ModuleCrash",
+    "NodeCrash",
+]

@@ -1,0 +1,229 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a list of fault events — node crashes and
+reboots, radio-interface flaps, injected module crashes, peer-link
+partitions — applied to a running simulation.  Everything is scheduled
+on the simulator's event queue and any jitter comes from a
+:class:`~repro.util.rng.SeededRng` substream, so the same plan and seed
+reproduce the same chaos bit-for-bit: the substrate for the chaos
+experiments, and the property that lets an alert log serve as a
+regression oracle.
+
+The plan knows how to target three layers:
+
+- **simulation nodes** (:class:`NodeCrash`, :class:`InterfaceFlap`) via
+  the :meth:`~repro.sim.node.SimNode.crash` /
+  :meth:`~repro.sim.node.SimNode.disable_medium` fault hooks;
+- **Kalis modules** (:class:`ModuleCrash`) by wrapping the module's
+  ``handle`` so it raises :class:`InjectedModuleCrash` on schedule,
+  which the Module Manager's supervisor must absorb;
+- **the collective-knowledge network** (:class:`LinkOutage`) via
+  declared peer-link outage windows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.net.packets.base import Medium
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+class InjectedModuleCrash(RuntimeError):
+    """The failure a :class:`ModuleCrash` injects into a module."""
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Power a simulation node off at ``at``; back on after ``duration``
+    (None = it stays down)."""
+
+    node: NodeId
+    at: float
+    duration: Optional[float] = None
+
+    def describe(self) -> str:
+        tail = "" if self.duration is None else f" for {self.duration}s"
+        return f"crash {self.node} at t={self.at}{tail}"
+
+
+@dataclass(frozen=True)
+class InterfaceFlap:
+    """Take one of a node's radio interfaces down for a window."""
+
+    node: NodeId
+    medium: Medium
+    at: float
+    duration: float
+
+    def describe(self) -> str:
+        return (
+            f"flap {self.node}/{self.medium.value} at t={self.at} "
+            f"for {self.duration}s"
+        )
+
+
+@dataclass(frozen=True)
+class ModuleCrash:
+    """Force a Kalis module to raise during ``[start, end)``.
+
+    ``every=1`` crashes every handled capture in the window (drives the
+    supervisor to quarantine); ``every=N`` crashes each N-th one.
+    """
+
+    kalis: NodeId
+    module: str
+    start: float
+    end: float = math.inf
+    every: int = 1
+
+    def describe(self) -> str:
+        cadence = "every capture" if self.every == 1 else f"every {self.every}th capture"
+        return (
+            f"crash module {self.module}@{self.kalis} on {cadence} "
+            f"in t=[{self.start}, {self.end})"
+        )
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """Partition every peer link of the collective network for a window."""
+
+    start: float
+    end: float
+
+    def describe(self) -> str:
+        return f"partition peer links in t=[{self.start}, {self.end})"
+
+
+class _ModuleCrashInjector:
+    """Wraps a module's ``handle`` to raise on the planned schedule."""
+
+    def __init__(self, module, event: ModuleCrash) -> None:
+        self.module = module
+        self.event = event
+        self.calls_in_window = 0
+        self.injected = 0
+        self._original = module.handle
+        module.handle = self._handle
+
+    def _handle(self, capture) -> None:
+        if self.event.start <= capture.timestamp < self.event.end:
+            self.calls_in_window += 1
+            if self.calls_in_window % self.event.every == 0:
+                self.injected += 1
+                raise InjectedModuleCrash(
+                    f"{self.event.module}: planned crash #{self.injected} "
+                    f"at t={capture.timestamp}"
+                )
+        self._original(capture)
+
+
+class FaultPlan:
+    """An ordered, seeded collection of fault events.
+
+    :param seed: seeds the plan's jitter substream.
+    :param events: initial events (more can be added with :meth:`add`).
+    :param jitter: each event's time is shifted by a uniform offset in
+        ``[0, jitter)`` drawn from the seeded substream — the same seed
+        always produces the same shifted schedule.
+    """
+
+    def __init__(
+        self, seed: int = 0, events: Iterable = (), jitter: float = 0.0
+    ) -> None:
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self.seed = seed
+        self.jitter = jitter
+        self._rng = SeededRng(seed, "faultplan")
+        self.events: List = list(events)
+        self.injectors: Dict[str, _ModuleCrashInjector] = {}
+        self._applied = False
+
+    def add(self, event) -> "FaultPlan":
+        """Append one event; chainable."""
+        self.events.append(event)
+        return self
+
+    def _shift(self, timestamp: float) -> float:
+        if self.jitter == 0.0 or not math.isfinite(timestamp):
+            return timestamp
+        return timestamp + self._rng.uniform(0.0, self.jitter)
+
+    def apply(self, sim, kalis_nodes: Iterable = (), network=None) -> None:
+        """Schedule every event onto ``sim``.
+
+        :param kalis_nodes: the :class:`~repro.core.kalis.KalisNode`
+            instances whose modules :class:`ModuleCrash` events may
+            target (matched by ``node_id``).
+        :param network: the
+            :class:`~repro.core.collective.CollectiveKnowledgeNetwork`
+            that :class:`LinkOutage` events partition.
+        """
+        if self._applied:
+            raise RuntimeError("fault plan already applied")
+        self._applied = True
+        kalis_by_id = {node.node_id: node for node in kalis_nodes}
+        for event in self.events:
+            if isinstance(event, NodeCrash):
+                self._apply_node_crash(sim, event)
+            elif isinstance(event, InterfaceFlap):
+                self._apply_interface_flap(sim, event)
+            elif isinstance(event, ModuleCrash):
+                self._apply_module_crash(kalis_by_id, event)
+            elif isinstance(event, LinkOutage):
+                if network is None:
+                    raise ValueError(
+                        f"{event.describe()}: plan applied without a network"
+                    )
+                network.add_outage(event.start, event.end)
+            else:
+                raise TypeError(f"unknown fault event {event!r}")
+
+    def _apply_node_crash(self, sim, event: NodeCrash) -> None:
+        at = self._shift(event.at)
+
+        def down() -> None:
+            if sim.has_node(event.node):
+                sim.node(event.node).crash()
+
+        def up() -> None:
+            if sim.has_node(event.node):
+                sim.node(event.node).reboot()
+
+        sim.schedule_at(at, down)
+        if event.duration is not None:
+            sim.schedule_at(at + event.duration, up)
+
+    def _apply_interface_flap(self, sim, event: InterfaceFlap) -> None:
+        at = self._shift(event.at)
+
+        def down() -> None:
+            if sim.has_node(event.node):
+                sim.node(event.node).disable_medium(event.medium)
+
+        def up() -> None:
+            if sim.has_node(event.node):
+                sim.node(event.node).enable_medium(event.medium)
+
+        sim.schedule_at(at, down)
+        sim.schedule_at(at + event.duration, up)
+
+    def _apply_module_crash(self, kalis_by_id, event: ModuleCrash) -> None:
+        if event.kalis not in kalis_by_id:
+            raise ValueError(
+                f"{event.describe()}: no Kalis node {event.kalis} in plan targets"
+            )
+        module = kalis_by_id[event.kalis].manager.module(event.module)
+        key = f"{event.kalis.value}/{event.module}"
+        self.injectors[key] = _ModuleCrashInjector(module, event)
+
+    def describe(self) -> str:
+        """One line per event, in declaration order."""
+        lines = [f"FaultPlan(seed={self.seed}, jitter={self.jitter})"]
+        lines.extend(f"  - {event.describe()}" for event in self.events)
+        return "\n".join(lines)

@@ -49,6 +49,11 @@ class Simulator:
         self.deliveries = 0
         self._running = False
 
+    @property
+    def now(self) -> float:
+        """Current simulated time, seconds."""
+        return self.clock.now
+
     # -- registries ----------------------------------------------------------
 
     def medium(self, medium: Medium) -> RadioMedium:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.net.packets.base import Medium
 from repro.util.rng import SeededRng
@@ -96,8 +97,8 @@ class RadioMedium:
     def __init__(
         self,
         medium: Medium,
-        params: PathLossParams = None,
-        rng: SeededRng = None,
+        params: Optional[PathLossParams] = None,
+        rng: Optional[SeededRng] = None,
         base_loss_probability: float = 0.0,
     ) -> None:
         if params is None:

@@ -42,14 +42,22 @@ class SimNode:
     ) -> None:
         self.node_id = node_id
         self.position = (float(position[0]), float(position[1]))
-        self.mediums = frozenset(mediums)
-        if not self.mediums:
+        self._equipped = frozenset(mediums)
+        if not self._equipped:
             raise ValueError(f"node {node_id} must have at least one medium")
+        self._disabled_mediums: set = set()
         self.promiscuous = promiscuous
         self.sim = None
         self.attached = False
+        self.alive = True
+        self.crash_count = 0
         self.sent_count = 0
         self.received_count = 0
+
+    @property
+    def mediums(self) -> frozenset:
+        """Mediums currently usable: equipped minus administratively down."""
+        return self._equipped - self._disabled_mediums
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -64,6 +72,31 @@ class SimNode:
         """Called once when the node enters the simulation; override to
         schedule periodic behaviour."""
 
+    # -- faults --------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power the node off in place: it stops sending and hearing
+        frames but keeps its registration, position and state (unlike
+        revocation, which removes it from the world)."""
+        self.alive = False
+        self.crash_count += 1
+
+    def reboot(self) -> None:
+        """Power the node back on after a :meth:`crash`."""
+        self.alive = True
+
+    def disable_medium(self, medium: Medium) -> None:
+        """Take one radio interface down (an interface flap's start)."""
+        if medium not in self._equipped:
+            raise ValueError(
+                f"node {self.node_id} has no {medium.value} interface"
+            )
+        self._disabled_mediums.add(medium)
+
+    def enable_medium(self, medium: Medium) -> None:
+        """Bring a previously disabled interface back up."""
+        self._disabled_mediums.discard(medium)
+
     # -- movement ------------------------------------------------------------
 
     def move_to(self, position: Tuple[float, float]) -> None:
@@ -73,12 +106,14 @@ class SimNode:
 
     def send(self, medium: Medium, packet: Packet) -> int:
         """Transmit a frame; returns the number of receptions scheduled."""
-        if not self.attached:
+        if not self.attached or not self.alive:
             return 0
-        if medium not in self.mediums:
+        if medium not in self._equipped:
             raise ValueError(
                 f"node {self.node_id} has no {medium.value} interface"
             )
+        if medium in self._disabled_mediums:
+            return 0
         self.sent_count += 1
         return self.sim.transmit(self, medium, packet)
 
@@ -92,6 +127,8 @@ class SimNode:
         :meth:`on_receive`; promiscuous nodes additionally observe
         everything through :meth:`on_overhear`.
         """
+        if not self.alive:
+            return
         destination = frame_destination(packet)
         addressed = (
             destination is None

@@ -1,0 +1,173 @@
+"""Reliable collective sync: ack/retry with exponential backoff must be
+deterministic from the seed, drive delivery to 100% under moderate loss
+(where fire-and-forget demonstrably loses knowggets), and recover from
+declared link outage windows."""
+
+import pytest
+
+from repro.core.collective import CollectiveKnowledgeNetwork, PeerLink
+from repro.core.knowledge import KnowledgeBase, Knowgget
+from repro.eventbus.bus import EventBus
+from repro.sim.engine import Simulator
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+K1, K2 = NodeId("kalis-1"), NodeId("kalis-2")
+
+
+def kb_for(owner):
+    return KnowledgeBase(owner, EventBus())
+
+
+def lossy_link(seed, sim=None, loss=0.4, **kwargs):
+    return PeerLink(
+        sim=sim,
+        target_kb=kb_for(K2),
+        sender=K1,
+        loss_probability=loss,
+        rng=SeededRng(seed, "reliability"),
+        **kwargs,
+    )
+
+
+def send_facts(link, count):
+    for index in range(count):
+        link.transfer(Knowgget(label=f"Fact{index}", value=str(index), creator=K1))
+
+
+class TestRetryBackoff:
+    def test_retry_delays_follow_exponential_backoff(self):
+        sim = Simulator()
+        link = lossy_link(
+            seed=7, sim=sim, loss=0.0,
+            retry_base_delay=0.2, retry_backoff=2.0, max_retries=4,
+        )
+        link.add_outage(0.0, 100.0)  # every attempt fails deterministically
+        send_facts(link, 1)
+        sim.run_until(200.0)
+        # Retries at t = 0.2, 0.2+0.4, ... each doubling the previous delay.
+        times = [entry[0] for entry in link.retry_log]
+        assert times == pytest.approx([0.2, 0.6, 1.4, 3.0])
+        assert [entry[1] for entry in link.retry_log] == [1, 2, 3, 4]
+        assert link.gave_up == 1
+
+    def test_retry_budget_is_bounded(self):
+        link = lossy_link(seed=8, loss=0.0, max_retries=3)
+        link.add_outage(0.0, float("inf"))
+        send_facts(link, 2)
+        assert link.attempts == 2 * (1 + 3)
+        assert link.gave_up == 2
+        assert link.delivered == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            lossy_link(seed=1, max_retries=-1)
+        with pytest.raises(ValueError):
+            lossy_link(seed=1, retry_base_delay=0.0)
+        with pytest.raises(ValueError):
+            lossy_link(seed=1, retry_backoff=0.9)
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run(seed):
+        sim = Simulator(seed=seed)
+        link = lossy_link(seed=seed, sim=sim, loss=0.45)
+        send_facts(link, 25)
+        sim.run_until(120.0)
+        return link
+
+    def test_same_seed_same_retry_schedule(self):
+        first = self._run(seed=42)
+        second = self._run(seed=42)
+        assert first.retry_log == second.retry_log
+        assert first.attempts == second.attempts
+        assert first.delivered == second.delivered
+        assert first.last_delivery_at == second.last_delivery_at
+
+    def test_different_seed_different_schedule(self):
+        first = self._run(seed=42)
+        second = self._run(seed=43)
+        assert first.retry_log != second.retry_log
+
+
+class TestReliableDelivery:
+    @staticmethod
+    def _network(max_retries, seed=11, loss=0.3, count=60):
+        sim = Simulator(seed=seed)
+        network = CollectiveKnowledgeNetwork(
+            sim=sim, loss_probability=loss,
+            rng=SeededRng(seed, "net"), max_retries=max_retries,
+        )
+        kb1, kb2 = kb_for(K1), kb_for(K2)
+        network.join(kb1)
+        network.join(kb2)
+        for index in range(count):
+            kb1.put(f"Fact{index}", index, collective=True)
+        sim.run_until(300.0)
+        received = sum(
+            1 for index in range(count)
+            if kb2.get(f"Fact{index}", int, creator=K1) is not None
+        )
+        return network, received
+
+    def test_retries_drive_delivery_to_100_percent(self):
+        network, received = self._network(max_retries=6)
+        assert received == 60
+        stats = network.delivery_stats()
+        assert stats["gave_up"] == 0
+        assert stats["delivered"] == stats["sent"] == 60
+        assert stats["retries"] > 0  # loss happened; retries recovered it
+
+    def test_fire_and_forget_loses_knowggets(self):
+        network, received = self._network(max_retries=0)
+        stats = network.delivery_stats()
+        assert received < 60
+        assert stats["gave_up"] > 0
+        assert stats["delivered"] + stats["gave_up"] == stats["sent"]
+
+    def test_convergence_time_is_reported(self):
+        network, _ = self._network(max_retries=6)
+        assert 0.0 < network.convergence_time() <= 300.0
+
+
+class TestOutages:
+    def test_attempts_during_outage_fail_and_retries_recover_after(self):
+        sim = Simulator(seed=3)
+        link = lossy_link(seed=3, sim=sim, loss=0.0, max_retries=8)
+        link.add_outage(0.0, 5.0)
+        send_facts(link, 10)
+        sim.run_until(60.0)
+        # Every first attempt hit the outage; backoff carried the
+        # retries past t=5 and all ten got through.
+        assert link.lost >= 10
+        assert link.delivered == 10
+        assert link.gave_up == 0
+        assert link.last_delivery_at >= 5.0
+
+    def test_outage_longer_than_budget_loses_the_knowgget(self):
+        sim = Simulator(seed=4)
+        link = lossy_link(
+            seed=4, sim=sim, loss=0.0,
+            max_retries=2, retry_base_delay=0.1, retry_backoff=2.0,
+        )
+        link.add_outage(0.0, 1000.0)
+        send_facts(link, 1)
+        sim.run_until(2000.0)
+        assert link.delivered == 0
+        assert link.gave_up == 1
+
+    def test_outage_validation(self):
+        link = lossy_link(seed=5)
+        with pytest.raises(ValueError):
+            link.add_outage(5.0, 5.0)
+
+    def test_network_wide_outage_partitions_every_link(self):
+        network = CollectiveKnowledgeNetwork(sim=None, rng=SeededRng(6))
+        network.join(kb_for(K1))
+        network.join(kb_for(K2))
+        network.add_outage(10.0, 20.0)
+        for link in network.links():
+            assert link.in_outage(10.0)
+            assert link.in_outage(19.9)
+            assert not link.in_outage(20.0)

@@ -41,16 +41,18 @@ class TestPeerLink:
         assert target.get("Mobility", bool, creator=K1) is True
 
     def test_lossy_link_drops(self):
+        """Fire-and-forget mode (max_retries=0): losses are final."""
         target = kb_for(K2)
         link = PeerLink(
             sim=None, target_kb=target, sender=K1,
-            loss_probability=0.9, rng=SeededRng(1),
+            loss_probability=0.9, rng=SeededRng(1), max_retries=0,
         )
         from repro.core.knowledge import Knowgget
 
         for i in range(30):
             link.transfer(Knowgget(label=f"L{i}", value="1", creator=K1))
         assert link.lost > 0
+        assert link.gave_up == link.lost
         assert link.delivered + link.lost == link.sent
 
 

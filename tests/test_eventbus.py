@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eventbus.bus import EventBus
+from repro.eventbus.bus import DEADLETTER_TOPIC, DeadLetter, EventBus
 
 
 @pytest.fixture
@@ -118,3 +118,77 @@ class TestStats:
         bus.subscribe("outer", lambda e: bus.publish("inner"))
         bus.publish("outer")
         assert received == ["inner"]
+
+
+class TestExceptionSafety:
+    def test_poisoned_middle_subscriber_does_not_block_later_ones(self, bus):
+        """The regression this PR fixes: a raising handler used to abort
+        the dispatch, silently skipping every later subscriber."""
+        received = []
+
+        def poisoned(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe("t", lambda e: received.append("first"))
+        bus.subscribe("t", poisoned)
+        bus.subscribe("t", lambda e: received.append("third"))
+        returned = bus.publish("t", "payload")
+        assert received == ["first", "third"]
+        assert returned == 2
+
+    def test_delivered_stats_exact_under_failure(self, bus):
+        bus.subscribe("t", lambda e: None)
+        bus.subscribe("t", lambda e: (_ for _ in ()).throw(ValueError("bad")))
+        bus.subscribe("t", lambda e: None)
+        bus.publish("t")
+        bus.publish("t")
+        assert bus.delivered_count == 4  # 2 successes per publish
+        assert bus.error_count == 2
+        assert bus.error_counts() == {"t": 2}
+
+    def test_failures_route_to_deadletter_topic(self, bus):
+        dead = []
+        bus.subscribe(DEADLETTER_TOPIC, lambda e: dead.append(e.payload))
+
+        def poisoned(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe("t", poisoned)
+        bus.publish("t", {"k": 1})
+        assert len(dead) == 1
+        letter = dead[0]
+        assert isinstance(letter, DeadLetter)
+        assert letter.topic == "t"
+        assert letter.event.payload == {"k": 1}
+        assert isinstance(letter.error, RuntimeError)
+        assert "poisoned" in letter.handler
+        assert "boom" in letter.describe()
+
+    def test_deadletter_handler_failures_do_not_recurse(self, bus):
+        calls = []
+
+        def bad_deadletter_handler(event):
+            calls.append(event.topic)
+            raise RuntimeError("the undertaker died too")
+
+        bus.subscribe(DEADLETTER_TOPIC, bad_deadletter_handler)
+        bus.subscribe("t", lambda e: (_ for _ in ()).throw(ValueError("bad")))
+        bus.publish("t")
+        # One dead letter dispatched, its own failure absorbed, no loop.
+        assert calls == [DEADLETTER_TOPIC]
+        assert bus.error_count == 2
+
+    def test_unsubscribe_still_applied_after_handler_failure(self, bus):
+        received = []
+        subs = {}
+
+        def failing_then_unsub(event):
+            bus.unsubscribe(subs["self"])
+            raise RuntimeError("boom")
+
+        subs["self"] = bus.subscribe("t", failing_then_unsub)
+        bus.subscribe("t", lambda e: received.append(1))
+        bus.publish("t")
+        bus.publish("t")
+        assert received == [1, 1]
+        assert bus.error_count == 1

@@ -70,9 +70,11 @@ class TestLossyRadio:
 
 
 class TestLossyCollective:
-    def test_sync_is_best_effort_not_corrupting(self):
+    def test_fire_and_forget_sync_is_best_effort_not_corrupting(self):
+        """With the retry budget disabled (the pre-reliability channel),
+        sync is best-effort: losses are final but never corrupting."""
         network = CollectiveKnowledgeNetwork(
-            sim=None, loss_probability=0.5, rng=SeededRng(84)
+            sim=None, loss_probability=0.5, rng=SeededRng(84), max_retries=0
         )
         kb1 = KnowledgeBase(NodeId("kalis-1"))
         kb2 = KnowledgeBase(NodeId("kalis-2"))

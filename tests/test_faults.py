@@ -1,0 +1,216 @@
+"""Fault-injection substrate tests: node crash/reboot, interface flaps,
+planned module crashes, link partitions, and plan determinism."""
+
+import pytest
+
+from repro.core.collective import CollectiveKnowledgeNetwork
+from repro.core.kalis import KalisNode
+from repro.core.knowledge import KnowledgeBase
+from repro.devices.wsn import TelosbMote
+from repro.eventbus.bus import EventBus
+from repro.faults import (
+    FaultPlan,
+    InjectedModuleCrash,
+    InterfaceFlap,
+    LinkOutage,
+    ModuleCrash,
+    NodeCrash,
+)
+from repro.net.packets.base import Medium
+from repro.sim.engine import Simulator
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId
+from tests.conftest import wifi_icmp_capture
+
+K = NodeId("kalis-1")
+
+
+class TestNodeFaultHooks:
+    def test_crashed_node_neither_sends_nor_hears(self):
+        sim = Simulator(seed=1)
+        a = sim.add_node(SimNode(NodeId("a"), (0.0, 0.0)))
+        b = sim.add_node(SimNode(NodeId("b"), (5.0, 0.0)))
+        b.crash()
+        from repro.net.packets.wifi import WifiFrame
+
+        sent = a.send(Medium.WIFI, WifiFrame(src=a.node_id, dst=b.node_id))
+        sim.run_until(1.0)
+        assert sent >= 1  # the frame went to air...
+        assert b.received_count == 0  # ...but the dead node never heard it
+        assert b.send(Medium.WIFI, WifiFrame(src=b.node_id, dst=a.node_id)) == 0
+        assert b.crash_count == 1
+
+    def test_reboot_restores_both_directions(self):
+        sim = Simulator(seed=2)
+        a = sim.add_node(SimNode(NodeId("a"), (0.0, 0.0)))
+        b = sim.add_node(SimNode(NodeId("b"), (5.0, 0.0)))
+        b.crash()
+        b.reboot()
+        from repro.net.packets.wifi import WifiFrame
+
+        a.send(Medium.WIFI, WifiFrame(src=a.node_id, dst=b.node_id))
+        sim.run_until(1.0)
+        assert b.received_count == 1
+        assert b.alive
+
+    def test_disabled_medium_drops_sends_and_receptions(self):
+        sim = Simulator(seed=3)
+        a = sim.add_node(SimNode(NodeId("a"), (0.0, 0.0)))
+        b = sim.add_node(SimNode(NodeId("b"), (5.0, 0.0)))
+        b.disable_medium(Medium.WIFI)
+        from repro.net.packets.wifi import WifiFrame
+
+        # The flapped interface is skipped at propagation time...
+        assert a.send(Medium.WIFI, WifiFrame(src=a.node_id, dst=b.node_id)) == 0
+        # ...and an owned-but-down interface sends nothing (no error).
+        assert b.send(Medium.WIFI, WifiFrame(src=b.node_id, dst=a.node_id)) == 0
+        b.enable_medium(Medium.WIFI)
+        assert a.send(Medium.WIFI, WifiFrame(src=a.node_id, dst=b.node_id)) == 1
+
+    def test_unequipped_medium_still_raises(self):
+        node = SimNode(NodeId("a"), mediums=(Medium.WIFI,))
+        with pytest.raises(ValueError):
+            node.disable_medium(Medium.BLUETOOTH)
+
+
+class TestFaultPlanScheduling:
+    def test_node_crash_window(self):
+        sim = Simulator(seed=4)
+        mote = sim.add_node(TelosbMote(NodeId("mote-1"), (0.0, 0.0)))
+        plan = FaultPlan(seed=4).add(
+            NodeCrash(node=NodeId("mote-1"), at=10.0, duration=20.0)
+        )
+        plan.apply(sim)
+        sim.run_until(15.0)
+        assert not mote.alive
+        sim.run_until(31.0)
+        assert mote.alive
+        assert mote.crash_count == 1
+
+    def test_permanent_crash_without_duration(self):
+        sim = Simulator(seed=5)
+        mote = sim.add_node(TelosbMote(NodeId("mote-1"), (0.0, 0.0)))
+        FaultPlan().add(NodeCrash(node=NodeId("mote-1"), at=1.0)).apply(sim)
+        sim.run_until(1000.0)
+        assert not mote.alive
+
+    def test_interface_flap_window(self):
+        sim = Simulator(seed=6)
+        node = sim.add_node(SimNode(NodeId("a"), mediums=(Medium.WIFI,)))
+        plan = FaultPlan().add(
+            InterfaceFlap(
+                node=NodeId("a"), medium=Medium.WIFI, at=5.0, duration=5.0
+            )
+        )
+        plan.apply(sim)
+        sim.run_until(6.0)
+        assert Medium.WIFI not in node.mediums
+        sim.run_until(11.0)
+        assert Medium.WIFI in node.mediums
+
+    def test_crash_of_removed_node_is_a_no_op(self):
+        sim = Simulator(seed=7)
+        sim.add_node(SimNode(NodeId("a")))
+        FaultPlan().add(NodeCrash(node=NodeId("a"), at=5.0)).apply(sim)
+        sim.remove_node(NodeId("a"))
+        sim.run_until(10.0)  # must not raise
+
+    def test_jitter_is_seeded_and_deterministic(self):
+        def shifted_times(seed):
+            plan = FaultPlan(seed=seed, jitter=2.0)
+            return [plan._shift(10.0), plan._shift(10.0)]
+
+        assert shifted_times(9) == shifted_times(9)
+        assert shifted_times(9) != shifted_times(10)
+        for time in shifted_times(9):
+            assert 10.0 <= time < 12.0
+
+    def test_plan_cannot_be_applied_twice(self):
+        plan = FaultPlan()
+        plan.apply(Simulator())
+        with pytest.raises(RuntimeError):
+            plan.apply(Simulator())
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=["not-an-event"]).apply(Simulator())
+
+    def test_describe_lists_every_event(self):
+        plan = FaultPlan(seed=1).add(
+            NodeCrash(node=NodeId("a"), at=1.0, duration=2.0)
+        ).add(LinkOutage(start=3.0, end=4.0))
+        text = plan.describe()
+        assert "crash a at t=1.0 for 2.0s" in text
+        assert "partition peer links" in text
+
+
+class TestModuleCrashInjection:
+    @staticmethod
+    def _kalis():
+        return KalisNode(
+            K, knowledge_driven=False, module_names=["TrafficStatsModule"]
+        )
+
+    def test_planned_module_crash_quarantines_then_restores(self):
+        kalis = self._kalis()
+        plan = FaultPlan().add(
+            ModuleCrash(kalis=K, module="TrafficStatsModule", start=0.0, end=10.0)
+        )
+        plan.apply(Simulator(), kalis_nodes=[kalis])
+        for step in range(5):  # crashes every capture in the window
+            kalis.feed(
+                wifi_icmp_capture(
+                    NodeId("a"), NodeId("b"), "10.0.0.2", timestamp=float(step)
+                )
+            )
+        assert kalis.manager.health_table()["TrafficStatsModule"] == "quarantined"
+        injector = plan.injectors["kalis-1/TrafficStatsModule"]
+        assert injector.injected == 3  # breaker opened after the third
+        # Past the window and the cooldown, the probe capture restores it.
+        kalis.feed(
+            wifi_icmp_capture(NodeId("a"), NodeId("b"), "10.0.0.2", timestamp=50.0)
+        )
+        assert kalis.manager.health_table()["TrafficStatsModule"] == "healthy"
+        failures = [f.error for f in kalis.manager.supervisor.failures]
+        assert all(isinstance(e, InjectedModuleCrash) for e in failures)
+
+    def test_every_nth_capture_crashes(self):
+        kalis = self._kalis()
+        plan = FaultPlan().add(
+            ModuleCrash(
+                kalis=K, module="TrafficStatsModule", start=0.0, end=100.0, every=3
+            )
+        )
+        plan.apply(Simulator(), kalis_nodes=[kalis])
+        for step in range(9):
+            kalis.feed(
+                wifi_icmp_capture(
+                    NodeId("a"), NodeId("b"), "10.0.0.2", timestamp=float(step)
+                )
+            )
+        injector = plan.injectors["kalis-1/TrafficStatsModule"]
+        assert injector.injected == 3  # captures 3, 6, 9
+        # Interleaved successes keep resetting the breaker: never opens.
+        assert kalis.manager.health_table()["TrafficStatsModule"] == "healthy"
+
+    def test_unknown_kalis_target_rejected(self):
+        plan = FaultPlan().add(
+            ModuleCrash(kalis=NodeId("ghost"), module="X", start=0.0)
+        )
+        with pytest.raises(ValueError):
+            plan.apply(Simulator(), kalis_nodes=[self._kalis()])
+
+
+class TestLinkOutageEvent:
+    def test_outage_applied_to_every_link(self):
+        network = CollectiveKnowledgeNetwork(sim=None)
+        network.join(KnowledgeBase(NodeId("kalis-1"), EventBus()))
+        network.join(KnowledgeBase(NodeId("kalis-2"), EventBus()))
+        FaultPlan().add(LinkOutage(start=5.0, end=9.0)).apply(
+            Simulator(), network=network
+        )
+        assert all(link.in_outage(6.0) for link in network.links())
+
+    def test_outage_without_network_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().add(LinkOutage(start=1.0, end=2.0)).apply(Simulator())

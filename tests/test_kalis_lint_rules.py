@@ -487,3 +487,88 @@ class TestUnusedImportRule:
             "KL006",
         )
         assert findings == []
+
+
+class TestSwallowedExceptionRule:
+    def test_bare_except_flagged(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                def fetch():
+                    try:
+                        return 1
+                    except:
+                        return 2
+                """
+            },
+            "KL007",
+        )
+        assert [f.key for f in findings] == ["fetch.bare"]
+        assert findings[0].line == 5
+
+    def test_inert_catch_all_flagged(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                class Worker:
+                    def step(self):
+                        try:
+                            self.run()
+                        except Exception:
+                            pass
+
+                def loop(items):
+                    for item in items:
+                        try:
+                            item()
+                        except (ValueError, BaseException) as error:
+                            continue
+                """
+            },
+            "KL007",
+        )
+        assert sorted(f.key for f in findings) == [
+            "Worker.step.Exception",
+            "loop.BaseException",
+        ]
+
+    def test_handled_catch_all_and_narrow_swallow_allowed(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                def safe(callback, failures):
+                    try:
+                        callback()
+                    except Exception as error:
+                        failures.append(error)
+
+                def probe(path):
+                    try:
+                        return path.read_text()
+                    except FileNotFoundError:
+                        pass
+                """
+            },
+            "KL007",
+        )
+        assert findings == []
+
+    def test_docstring_and_bare_return_still_inert(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                def quiet():
+                    try:
+                        work()
+                    except Exception:
+                        \"\"\"Nothing to do.\"\"\"
+                        return
+                """
+            },
+            "KL007",
+        )
+        assert [f.key for f in findings] == ["quiet.Exception"]
