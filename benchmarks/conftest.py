@@ -5,9 +5,49 @@ Each bench regenerates one table or figure from the paper's evaluation
 so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
 reproduction report generator.  EXPERIMENTS.md records the
 paper-vs-measured comparison.
+
+Benches that call the ``bench_json`` fixture additionally dump their
+headline numbers to ``BENCH_<name>.json`` (machine-readable, one file
+per bench) so CI and EXPERIMENTS.md updates can diff runs without
+scraping terminal output.  Set ``BENCH_JSON_DIR`` to redirect the
+files; they default to the working directory.
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+
+
+@pytest.fixture
+def bench_json(request):
+    """Dump a bench's headline numbers to ``BENCH_<name>.json``.
+
+    Usage::
+
+        def test_bench_e1(bench_json, ...):
+            ...
+            bench_json("e1_icmp_flood", detection_rate=1.0, ...)
+
+    Values must be JSON-serializable (numbers, strings, lists, dicts).
+    The file lands in ``$BENCH_JSON_DIR`` (default: the working
+    directory), keys sorted, so same-seed reruns produce identical
+    bytes.
+    """
+
+    def _dump(name: str, **numbers) -> Path:
+        out_dir = Path(os.environ.get("BENCH_JSON_DIR", "."))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{name}.json"
+        payload = {"bench": name, "test": request.node.name, **numbers}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    return _dump
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ from repro.experiments import chaos_scenario
 from repro.experiments.chaos_scenario import CRASHED_MODULE
 
 
-def test_bench_e14_chaos(benchmark, report):
+def test_bench_e14_chaos(benchmark, report, bench_json):
     result = benchmark.pedantic(
         chaos_scenario.run, kwargs={"seed": 23}, rounds=1, iterations=1
     )
@@ -19,6 +19,19 @@ def test_bench_e14_chaos(benchmark, report):
         + "\n  fire-and-forget baseline: "
         + f"{baseline.shared_received}/{baseline.shared_total} shared "
         + f"knowggets delivered (gave_up={baseline.delivery['gave_up']})",
+    )
+
+    bench_json(
+        "e14_chaos",
+        detection_rate=result.score.detection_rate,
+        false_positives=result.score.false_positive_alerts,
+        shared_received=result.shared_received,
+        shared_total=result.shared_total,
+        retries=result.delivery["retries"],
+        convergence_time_s=result.convergence_time,
+        deadletters=result.deadletters,
+        quarantined=result.quarantined,
+        baseline_shared_received=baseline.shared_received,
     )
 
     # The run completed and the scripted flood was still detected.

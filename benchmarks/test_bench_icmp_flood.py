@@ -11,7 +11,7 @@ def result():
     return icmp_flood_scenario.run(seed=7, symptom_instances=50)
 
 
-def test_bench_e1_icmp_flood(benchmark, report):
+def test_bench_e1_icmp_flood(benchmark, report, bench_json):
     outcome = benchmark.pedantic(
         icmp_flood_scenario.run,
         kwargs={"seed": 7, "symptom_instances": 50},
@@ -31,6 +31,14 @@ def test_bench_e1_icmp_flood(benchmark, report):
 
     kalis = outcome.runs["kalis"]
     trad = outcome.runs["traditional"]
+    bench_json(
+        "e1_icmp_flood",
+        kalis_accuracy=kalis.score.classification_accuracy,
+        traditional_accuracy=trad.score.classification_accuracy,
+        kalis_countermeasure=kalis.countermeasure_effectiveness,
+        traditional_countermeasure=trad.countermeasure_effectiveness,
+        snort_detection_rate=outcome.runs["snort"].score.detection_rate,
+    )
     assert kalis.score.classification_accuracy == 1.0
     assert trad.score.classification_accuracy < 1.0
     assert kalis.countermeasure_effectiveness == 1.0

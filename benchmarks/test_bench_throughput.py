@@ -19,7 +19,7 @@ def trace():
     return icmp_flood_scenario.build(seed=7, symptom_instances=10).trace
 
 
-def test_bench_throughput_kalis(benchmark, trace):
+def test_bench_throughput_kalis(benchmark, trace, bench_json):
     def replay():
         kalis = KalisNode(NodeId("kalis-1"))
         kalis.replay_trace(trace)
@@ -27,6 +27,12 @@ def test_bench_throughput_kalis(benchmark, trace):
 
     captures = benchmark(replay)
     assert captures == len(trace)
+    bench_json(
+        "throughput_kalis",
+        captures=captures,
+        mean_s=benchmark.stats.stats.mean,
+        captures_per_s=captures / benchmark.stats.stats.mean,
+    )
 
 
 def test_bench_throughput_traditional(benchmark, trace):

@@ -18,7 +18,8 @@ Public surface:
 
 Rules: KL001 determinism, KL002 module contracts, KL003 knowledge-label
 flow, KL004 packet schemas, KL005 event-bus topics, KL006 unused
-imports — plus KL000 (syntax failure) and KL099 (stale baseline entry).
+imports, KL007 swallowed exceptions, KL008 no print() outside the CLI
+surface — plus KL000 (syntax failure) and KL099 (stale baseline entry).
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry

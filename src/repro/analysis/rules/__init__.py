@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     imports,
     labels,
     packets,
+    prints,
     swallows,
     topics,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "imports",
     "labels",
     "packets",
+    "prints",
     "swallows",
     "topics",
 ]

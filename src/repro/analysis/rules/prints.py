@@ -1,0 +1,91 @@
+"""KL008 — no ``print()`` outside the CLI surface.
+
+The library layers (``repro.sim``, ``repro.core``, ``repro.obs``, …)
+must never write to stdout: experiment harnesses compare rendered
+reports byte-for-byte, benches parse captured output, and the
+telemetry layer exists precisely so runtime events have a structured
+channel.  A stray ``print()`` in a module handler corrupts every one
+of those consumers at once.
+
+Allowed homes for ``print``:
+
+- ``repro.cli`` and any ``__main__`` module — the operator surface;
+- ``repro.analysis`` — kalis-lint's own CLI reporting.
+
+Everything else should either *return* the text (the ``summary()`` /
+``render()`` convention) or record the event through
+``repro.obs.Telemetry``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import Rule, register_rule
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceFile
+
+#: Packages whose modules may call ``print`` freely.
+EXEMPT_PACKAGES = ("repro.cli", "repro.analysis")
+
+_FIX_HINT = (
+    "return the text (summary()/render() convention) or record the event"
+    " via repro.obs.Telemetry; print only in repro.cli, __main__ modules"
+    " and repro.analysis"
+)
+
+
+@register_rule
+class PrintRule(Rule):
+    """KL008: ``print()`` is reserved for the CLI surface."""
+
+    ID = "KL008"
+    TITLE = "no print() outside cli/__main__/analysis"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            if self._exempt(source):
+                continue
+            yield from self._check_file(source)
+
+    @staticmethod
+    def _exempt(source: SourceFile) -> bool:
+        if source.module == "__main__" or source.module.endswith(".__main__"):
+            return True
+        return any(source.in_package(pkg) for pkg in EXEMPT_PACKAGES)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        shadowed = _module_shadows_print(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "print"
+                and func.id not in shadowed
+            ):
+                yield self.finding(
+                    Severity.ERROR,
+                    source.relpath,
+                    node.lineno,
+                    f"print() call in library module {source.module};"
+                    f" {_FIX_HINT}",
+                    key=f"print:{node.lineno}",
+                    column=node.col_offset,
+                )
+
+
+def _module_shadows_print(tree: ast.Module) -> frozenset:
+    """Names rebound at module level (a local ``print = ...`` is legal)."""
+    rebound = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    rebound.add(target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                rebound.add(alias.asname or alias.name.split(".", 1)[0])
+    return frozenset(rebound & {"print"})

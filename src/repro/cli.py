@@ -29,6 +29,7 @@ EXPERIMENT_CHOICES = (
     "breadth",
     "ablation-modules",
     "ablation-window",
+    "chaos",
 )
 
 
@@ -59,8 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs", type=int, default=10,
         help="repetitions for the replication experiment (paper: 100)",
     )
+    experiment.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help=(
+            "record the run's telemetry (spans, metrics, flight dumps) "
+            "to this JSONL file (.gz gzips); inspect with "
+            "'kalis-repro obs report PATH'"
+        ),
+    )
 
     subparsers.add_parser("modules", help="list the module library")
+
+    obs = subparsers.add_parser(
+        "obs", help="inspect telemetry exports produced by --telemetry"
+    )
+    obs.add_argument("action", choices=("report",))
+    obs.add_argument("path", help="telemetry export file (.jsonl or .jsonl.gz)")
+    obs.add_argument(
+        "--top", type=int, default=10,
+        help="rows per table in the report (default 10)",
+    )
 
     taxonomy = subparsers.add_parser(
         "taxonomy", help="print the paper's taxonomies"
@@ -75,30 +94,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_experiment(args) -> int:
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
     if args.id == "e1":
         from repro.experiments import icmp_flood_scenario
 
         result = icmp_flood_scenario.run(
-            seed=args.seed, symptom_instances=args.instances
+            seed=args.seed, symptom_instances=args.instances, telemetry=telemetry
         )
         print(result.summary())
     elif args.id == "e2":
         from repro.experiments import replication_scenario
 
-        result = replication_scenario.run(seed=args.seed, runs=args.runs)
+        result = replication_scenario.run(
+            seed=args.seed, runs=args.runs, telemetry=telemetry
+        )
         print(result.summary())
     elif args.id == "table2":
         from repro.experiments import table2
 
-        print(table2.run(seed=args.seed, replication_runs=args.runs).render())
+        print(
+            table2.run(
+                seed=args.seed, replication_runs=args.runs, telemetry=telemetry
+            ).render()
+        )
     elif args.id == "reactivity":
         from repro.experiments import reactivity_scenario
 
-        print(reactivity_scenario.run(seed=args.seed).summary())
+        print(reactivity_scenario.run(seed=args.seed, telemetry=telemetry).summary())
     elif args.id == "wormhole":
         from repro.experiments import wormhole_scenario
 
-        isolated, collective = wormhole_scenario.run(seed=args.seed)
+        isolated, collective = wormhole_scenario.run(
+            seed=args.seed, telemetry=telemetry
+        )
         print(isolated.summary())
         print(collective.summary())
     elif args.id == "breadth":
@@ -108,18 +140,35 @@ def _run_experiment(args) -> int:
             breadth.run(
                 seed=args.seed,
                 instances_per_scenario=min(args.instances, 12),
+                telemetry=telemetry,
             ).render()
         )
     elif args.id == "ablation-modules":
         from repro.experiments import ablations
 
         print(ablations.render_module_scaling(
-            ablations.module_scaling(seed=args.seed)
+            ablations.module_scaling(seed=args.seed, telemetry=telemetry)
         ))
     elif args.id == "ablation-window":
         from repro.experiments import ablations
 
-        print(ablations.render_window_sweep(ablations.window_sweep(seed=args.seed)))
+        print(ablations.render_window_sweep(
+            ablations.window_sweep(seed=args.seed, telemetry=telemetry)
+        ))
+    elif args.id == "chaos":
+        from repro.experiments import chaos_scenario
+
+        print(chaos_scenario.run(seed=args.seed, telemetry=telemetry).summary())
+    if telemetry is not None:
+        path = telemetry.export_jsonl(args.telemetry)
+        print(f"telemetry written to {path}")
+    return 0
+
+
+def _run_obs(args) -> int:
+    from repro.obs import render_report
+
+    print(render_report(args.path, top=args.top))
     return 0
 
 
@@ -204,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "modules":
         return _run_modules()
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "taxonomy":
         return _run_taxonomy(args.which)
     if args.command == "demo":

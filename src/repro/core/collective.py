@@ -58,6 +58,7 @@ class PeerLink:
         max_retries: int = 6,
         retry_base_delay: float = 0.2,
         retry_backoff: float = 2.0,
+        telemetry=None,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
@@ -93,6 +94,13 @@ class PeerLink:
         self.last_delivery_at = 0.0
         #: (time, attempt_index) of every retry, for determinism checks.
         self.retry_log: List[Tuple[float, int]] = []
+        self.telemetry = telemetry
+        #: Stable label for this directed link in telemetry series.
+        self.link_label = f"{sender.value}->{target_kb.owner.value}"
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(name).inc(amount, link=self.link_label)
 
     # -- outages -------------------------------------------------------------
 
@@ -114,41 +122,84 @@ class PeerLink:
     def transfer(self, knowgget: Knowgget) -> None:
         """Send one knowgget; retries on loss until the budget runs out."""
         self.sent += 1
-        self._attempt(knowgget, attempt=0)
+        self._count("peerlink_sent_total")
+        # Capture the trace of the pipeline work that triggered the
+        # share, so the receiving node's delivery span joins it even
+        # though the hand-off crosses the event queue.
+        trace_id = (
+            self.telemetry.current_trace_id() if self.telemetry is not None else None
+        )
+        self._attempt(knowgget, attempt=0, trace_id=trace_id)
 
-    def _attempt(self, knowgget: Knowgget, attempt: int) -> None:
+    def _attempt(
+        self, knowgget: Knowgget, attempt: int, trace_id: Optional[int] = None
+    ) -> None:
         self.attempts += 1
+        self._count("peerlink_attempts_total")
         lost = self.in_outage(self._now) or (
             self.loss_probability > 0.0 and self._rng.chance(self.loss_probability)
         )
         if not lost:
             if self.sim is None:
-                self._deliver(knowgget)
+                self._deliver(knowgget, trace_id)
             else:
                 self.sim.schedule_in(
-                    self.latency, lambda item=knowgget: self._deliver(item)
+                    self.latency,
+                    lambda item=knowgget, trace=trace_id: self._deliver(item, trace),
                 )
             return
         self.lost += 1
         if attempt >= self.max_retries:
             self.gave_up += 1
+            self._count("peerlink_gave_up_total")
+            if self.telemetry is not None:
+                self.telemetry.event(
+                    "collective.gave_up",
+                    node=self.sender.value,
+                    link=self.link_label,
+                    attempts=attempt + 1,
+                )
             return
         self.retries += 1
+        self._count("peerlink_retries_total")
         delay = self.retry_base_delay * (self.retry_backoff ** attempt)
         self.retry_log.append((self._now + delay, attempt + 1))
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "collective.retry",
+                node=self.sender.value,
+                link=self.link_label,
+                attempt=attempt + 1,
+            )
         if self.sim is None:
-            self._attempt(knowgget, attempt + 1)
+            self._attempt(knowgget, attempt + 1, trace_id)
         else:
             self.sim.schedule_in(
                 delay,
-                lambda item=knowgget, index=attempt + 1: self._attempt(item, index),
+                lambda item=knowgget, index=attempt + 1, trace=trace_id: (
+                    self._attempt(item, index, trace)
+                ),
             )
 
-    def _deliver(self, knowgget: Knowgget) -> None:
+    def _deliver(self, knowgget: Knowgget, trace_id: Optional[int] = None) -> None:
+        if self.telemetry is None:
+            self._apply(knowgget)
+            return
+        with self.telemetry.span(
+            "collective.deliver",
+            node=self.target_kb.owner.value,
+            trace_id=trace_id,
+            link=self.link_label,
+            label=knowgget.label,
+        ):
+            self._apply(knowgget)
+
+    def _apply(self, knowgget: Knowgget) -> None:
         accepted = self.target_kb.apply_remote(knowgget, sender=self.sender)
         if accepted:
             self.delivered += 1
             self.last_delivery_at = self._now
+            self._count("peerlink_delivered_total")
 
 
 class CollectiveKnowledgeNetwork:
@@ -170,6 +221,7 @@ class CollectiveKnowledgeNetwork:
         max_retries: int = 6,
         retry_base_delay: float = 0.2,
         retry_backoff: float = 2.0,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.latency = latency
@@ -179,6 +231,7 @@ class CollectiveKnowledgeNetwork:
         self.max_retries = max_retries
         self.retry_base_delay = retry_base_delay
         self.retry_backoff = retry_backoff
+        self.telemetry = telemetry
         self._members: Dict[NodeId, KnowledgeBase] = {}
         self._links: Dict[NodeId, List[PeerLink]] = {}
         self.beacons_sent = 0
@@ -196,6 +249,7 @@ class CollectiveKnowledgeNetwork:
             max_retries=self.max_retries,
             retry_base_delay=self.retry_base_delay,
             retry_backoff=self.retry_backoff,
+            telemetry=self.telemetry,
         )
 
     def join(self, kb: KnowledgeBase) -> None:

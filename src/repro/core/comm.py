@@ -51,6 +51,13 @@ class CommunicationSystem:
         self.captures_by_medium: Dict[Medium, int] = {}
         self.dropped_unsupported = 0
         self.intake_errors: List[Tuple[str, BaseException]] = []
+        self._telemetry = None
+        self._telemetry_node: Optional[str] = None
+
+    def bind_telemetry(self, telemetry, node: Optional[str] = None) -> None:
+        """Attach a :class:`repro.obs.Telemetry` for intake metrics."""
+        self._telemetry = telemetry
+        self._telemetry_node = node
 
     def add_listener(self, listener: CaptureListener) -> None:
         """Register a consumer of captures (typically the Data Store)."""
@@ -66,11 +73,23 @@ class CommunicationSystem:
 
     def on_capture(self, capture: Capture) -> None:
         """Intake one capture from any interface."""
+        telemetry = self._telemetry
+        labels = {}
+        if telemetry is not None and self._telemetry_node is not None:
+            labels["node"] = self._telemetry_node
         if capture.medium not in self.supported_mediums:
             self.dropped_unsupported += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("captures_dropped_total").inc(
+                    medium=capture.medium.value, **labels
+                )
             return
         count = self.captures_by_medium.get(capture.medium, 0)
         self.captures_by_medium[capture.medium] = count + 1
+        if telemetry is not None:
+            telemetry.metrics.counter("captures_total").inc(
+                medium=capture.medium.value, **labels
+            )
         for listener in self._listeners:
             try:
                 listener(capture)

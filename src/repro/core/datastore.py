@@ -40,6 +40,8 @@ class DataStore:
         window_size: int = 2000,
         window_age: Optional[float] = 60.0,
         log_to: Optional[str] = None,
+        telemetry=None,
+        telemetry_node: Optional[str] = None,
     ) -> None:
         if window_size < 1:
             raise ValueError(f"window_size must be >= 1, got {window_size}")
@@ -51,6 +53,8 @@ class DataStore:
         self._log_path = Path(log_to) if log_to else None
         self._log_trace: Optional[Trace] = Trace() if log_to else None
         self.total_captures = 0
+        self._telemetry = telemetry
+        self._telemetry_node = telemetry_node
 
     # -- intake ------------------------------------------------------------------
 
@@ -58,14 +62,31 @@ class DataStore:
         """Record one capture, evicting anything outside the window."""
         self._window.append(capture)
         self.total_captures += 1
+        evicted_count = 0
+        evicted_age = 0
         if len(self._window) > self.window_size:
             self._window.popleft()
+            evicted_count += 1
         if self.window_age is not None:
             horizon = capture.timestamp - self.window_age
             while self._window and self._window[0].timestamp < horizon:
                 self._window.popleft()
+                evicted_age += 1
         if self._log_trace is not None:
             self._log_trace.append(TraceRecord(capture=capture))
+        if self._telemetry is not None:
+            metrics = self._telemetry.metrics
+            labels = {} if self._telemetry_node is None else {"node": self._telemetry_node}
+            metrics.counter("datastore_added_total").inc(**labels)
+            if evicted_count:
+                metrics.counter("datastore_evicted_total").inc(
+                    evicted_count, reason="count", **labels
+                )
+            if evicted_age:
+                metrics.counter("datastore_evicted_total").inc(
+                    evicted_age, reason="age", **labels
+                )
+            metrics.gauge("datastore_window_size").set(len(self._window), **labels)
 
     # -- queries -------------------------------------------------------------------
 

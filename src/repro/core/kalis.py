@@ -29,7 +29,7 @@ from repro.core.comm import CommunicationSystem
 from repro.core.config import KalisConfig, parse_config
 from repro.core.datastore import DataStore
 from repro.core.knowledge import KnowledgeBase
-from repro.core.manager import ModuleManager, ModuleSupervisor
+from repro.core.manager import TOPIC_MODULE_QUARANTINE, ModuleManager, ModuleSupervisor
 from repro.core.modules.registry import available_modules, create_module
 from repro.eventbus.bus import DEADLETTER_TOPIC, DeadLetter, Event, EventBus
 from repro.net.packets.base import Medium
@@ -83,6 +83,11 @@ class KalisNode:
     :param supervisor: a pre-configured :class:`ModuleSupervisor`
         (custom breaker thresholds / cooldowns); default settings apply
         when omitted.
+    :param telemetry: a shared :class:`repro.obs.Telemetry`; when given,
+        every layer of this node (bus, data store, intake, manager,
+        supervisor) reports spans and metrics into it, and the flight
+        recorder dumps automatically on module quarantine and bus
+        dead-letters.  None (the default) disables all instrumentation.
     """
 
     def __init__(
@@ -96,12 +101,18 @@ class KalisNode:
         window_age: Optional[float] = 60.0,
         log_to: Optional[str] = None,
         supervisor: Optional[ModuleSupervisor] = None,
+        telemetry=None,
     ) -> None:
         self.node_id = node_id
+        self.telemetry = telemetry
         self.bus = EventBus()
         self.kb = KnowledgeBase(node_id, self.bus)
         self.datastore = DataStore(
-            window_size=window_size, window_age=window_age, log_to=log_to
+            window_size=window_size,
+            window_age=window_age,
+            log_to=log_to,
+            telemetry=telemetry,
+            telemetry_node=node_id.value,
         )
         self.comm = CommunicationSystem(
             supported_mediums=list(mediums) if mediums is not None else None
@@ -113,15 +124,18 @@ class KalisNode:
             node_id=node_id,
             knowledge_driven=knowledge_driven,
             supervisor=supervisor,
+            telemetry=telemetry,
         )
         self.alerts = AlertSink()
         self.deadletters: List[DeadLetter] = []
-        self.bus.subscribe(ALERT_TOPIC, lambda event: self.alerts.on_alert(event.payload))
-        self.bus.subscribe(
-            DEADLETTER_TOPIC, lambda event: self.deadletters.append(event.payload)
-        )
+        self.bus.subscribe(ALERT_TOPIC, self._on_alert)
+        self.bus.subscribe(DEADLETTER_TOPIC, self._on_deadletter)
         self.comm.set_error_listener(self._on_intake_error)
         self.comm.add_listener(self._on_capture)
+        if telemetry is not None:
+            self.bus.bind_telemetry(telemetry, node_id.value)
+            self.comm.bind_telemetry(telemetry, node_id.value)
+            self.bus.subscribe(TOPIC_MODULE_QUARANTINE, self._on_quarantine_dump)
 
         if isinstance(config, str):
             config = parse_config(config)
@@ -155,8 +169,56 @@ class KalisNode:
     # -- capture intake ------------------------------------------------------------------
 
     def _on_capture(self, capture: Capture) -> None:
-        self.datastore.add(capture)
-        self.manager.on_capture(capture)
+        if self.telemetry is None:
+            self.datastore.add(capture)
+            self.manager.on_capture(capture)
+            return
+        with self.telemetry.span(
+            "kalis.capture",
+            node=self.node_id.value,
+            t=capture.timestamp,
+            medium=capture.medium.value,
+        ):
+            self.datastore.add(capture)
+            self.manager.on_capture(capture)
+
+    # -- bus observers ----------------------------------------------------------------
+
+    def _on_alert(self, event: Event) -> None:
+        alert = event.payload
+        self.alerts.on_alert(alert)
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("alerts_total").inc(
+                node=self.node_id.value, attack=alert.attack
+            )
+            self.telemetry.event(
+                "alert.raised",
+                node=self.node_id.value,
+                t=alert.timestamp,
+                attack=alert.attack,
+                detected_by=alert.detected_by,
+            )
+
+    def _on_deadletter(self, event: Event) -> None:
+        deadletter = event.payload
+        self.deadletters.append(deadletter)
+        if self.telemetry is not None:
+            self.telemetry.flight_dump(
+                "bus.deadletter",
+                node=self.node_id.value,
+                topic=deadletter.topic,
+                handler=deadletter.handler,
+                error=type(deadletter.error).__name__,
+            )
+
+    def _on_quarantine_dump(self, event: Event) -> None:
+        health = event.payload
+        self.telemetry.flight_dump(
+            "module.quarantine",
+            node=self.node_id.value,
+            module=health.module,
+            quarantine_count=health.quarantine_count,
+        )
 
     def _on_intake_error(self, listener, capture: Capture, error: BaseException) -> None:
         """Surface a failed capture consumer on the dead-letter topic."""

@@ -149,10 +149,32 @@ class ModuleSupervisor:
         self.now = 0.0
         self.failures: List[ModuleFailure] = []
         self._health: Dict[str, ModuleHealth] = {}
+        self.telemetry = None
+        self.telemetry_node: Optional[str] = None
+
+    def bind_telemetry(self, telemetry, node: Optional[str] = None) -> None:
+        """Attach a :class:`repro.obs.Telemetry` for transition metrics."""
+        self.telemetry = telemetry
+        self.telemetry_node = node
 
     def _publish(self, topic: str, payload) -> None:
         if self.bus is not None:
             self.bus.publish(topic, payload)
+
+    def _note_transition(self, module: str, state: ModuleState) -> None:
+        if self.telemetry is None:
+            return
+        labels = {"module": module, "state": state.value}
+        if self.telemetry_node is not None:
+            labels["node"] = self.telemetry_node
+        self.telemetry.metrics.counter("supervisor_transitions_total").inc(**labels)
+        self.telemetry.event(
+            "supervisor.transition",
+            node=self.telemetry_node,
+            t=self.now,
+            module=module,
+            state=state.value,
+        )
 
     # -- time ----------------------------------------------------------------
 
@@ -207,6 +229,7 @@ class ModuleSupervisor:
             health.state = ModuleState.HEALTHY
             health.consecutive_failures = 0
             health.probe_failures = 0
+            self._note_transition(name, ModuleState.HEALTHY)
             self._publish(TOPIC_MODULE_RESTORE, health)
         elif health.state is ModuleState.HEALTHY:
             health.consecutive_failures = 0
@@ -227,6 +250,7 @@ class ModuleSupervisor:
             if health.probe_failures >= self.max_probe_failures:
                 health.state = ModuleState.DISABLED
                 health.quarantined_until = float("inf")
+                self._note_transition(name, ModuleState.DISABLED)
             else:
                 self._quarantine(health)
         elif health.state is ModuleState.HEALTHY:
@@ -242,6 +266,7 @@ class ModuleSupervisor:
         )
         health.quarantined_until = self.now + duration
         health.quarantine_count += 1
+        self._note_transition(health.module, ModuleState.QUARANTINED)
         self._publish(TOPIC_MODULE_QUARANTINE, health)
 
 
@@ -256,17 +281,21 @@ class ModuleManager:
         node_id: NodeId,
         knowledge_driven: bool = True,
         supervisor: Optional[ModuleSupervisor] = None,
+        telemetry=None,
     ) -> None:
         self.kb = kb
         self.datastore = datastore
         self.bus = bus
         self.node_id = node_id
         self.knowledge_driven = knowledge_driven
+        self.telemetry = telemetry
         self.supervisor = (
             supervisor if supervisor is not None else ModuleSupervisor(bus)
         )
         if self.supervisor.bus is None:
             self.supervisor.bus = bus
+        if telemetry is not None and self.supervisor.telemetry is None:
+            self.supervisor.bind_telemetry(telemetry, str(node_id))
         self._modules: Dict[str, KalisModule] = {}
         self._order: List[str] = []
         self._forced_active: Set[str] = set()
@@ -367,18 +396,48 @@ class ModuleManager:
         no work — until their cooldown elapses and a probe restores them.
         """
         self.supervisor.advance_to(capture.timestamp)
+        telemetry = self.telemetry
+        node = str(self.node_id) if telemetry is not None else None
         for module in self.modules():
             if not module.active:
                 continue
             if not self.supervisor.should_route(module.NAME):
                 continue
             self.work_units += module.COST_WEIGHT
-            try:
-                module.handle(capture)
-            except Exception as error:
-                self.supervisor.record_failure(module.NAME, "handle", error)
+            if telemetry is None:
+                try:
+                    module.handle(capture)
+                except Exception as error:
+                    self.supervisor.record_failure(module.NAME, "handle", error)
+                else:
+                    self.supervisor.record_success(module.NAME)
+                continue
+            telemetry.metrics.counter("module_invocations_total").inc(
+                node=node, module=module.NAME
+            )
+            failed = False
+            with telemetry.span(
+                "module.handle",
+                node=node,
+                t=capture.timestamp,
+                module=module.NAME,
+            ) as span:
+                try:
+                    module.handle(capture)
+                except Exception as error:
+                    failed = True
+                    span.attrs["error"] = type(error).__name__
+                    self.supervisor.record_failure(module.NAME, "handle", error)
+            if failed:
+                telemetry.metrics.counter("module_failures_total").inc(
+                    node=node, module=module.NAME
+                )
             else:
                 self.supervisor.record_success(module.NAME)
+            if span.wall_us is not None:
+                telemetry.metrics.histogram(
+                    "module_handle_wall_us", wall=True
+                ).observe(span.wall_us, node=node, module=module.NAME)
 
     # -- resource accounting -------------------------------------------------------------
 

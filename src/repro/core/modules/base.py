@@ -184,8 +184,15 @@ class KalisModule:
         return value
 
     def approximate_state_bytes(self) -> int:
-        """Rough footprint of the module's analysis state (RAM proxy)."""
-        return _deep_sizeof(self.__dict__, exclude={"ctx", "params"})
+        """Rough footprint of the module's analysis state (RAM proxy).
+
+        The instance ``__dict__`` is copied into a plain dict before
+        sizing: CPython attributes a key-sharing dict's shared-keys
+        object to each instance by live refcount, so sizing it directly
+        would depend on how many sibling instances exist — not on this
+        module's state.
+        """
+        return _deep_sizeof(dict(self.__dict__), exclude={"ctx", "params"})
 
     def describe_requirements(self) -> str:
         if not self.REQUIREMENTS:

@@ -89,6 +89,13 @@ class EventBus:
         self._stats = _BusStats()
         self._dispatching = 0
         self._pending_unsubscribes: List[Subscription] = []
+        self._telemetry = None
+        self._telemetry_node: Optional[str] = None
+
+    def bind_telemetry(self, telemetry, node: Optional[str] = None) -> None:
+        """Attach a :class:`repro.obs.Telemetry` to this bus's dispatch."""
+        self._telemetry = telemetry
+        self._telemetry_node = node
 
     # -- subscription --------------------------------------------------------
 
@@ -187,10 +194,30 @@ class EventBus:
                     self._remove(stale)
                 self._pending_unsubscribes.clear()
         self._stats.delivered += delivered
+        telemetry = self._telemetry
+        if telemetry is not None:
+            labels = {"topic": topic}
+            if self._telemetry_node is not None:
+                labels["node"] = self._telemetry_node
+            metrics = telemetry.metrics
+            metrics.counter("bus_published_total").inc(**labels)
+            if delivered:
+                metrics.counter("bus_delivered_total").inc(delivered, **labels)
+            if failures:
+                metrics.counter("bus_errors_total").inc(len(failures), **labels)
         if failures and topic != DEADLETTER_TOPIC:
             # Failures of dead-letter handlers are counted above but not
             # re-routed — the recursion must ground out somewhere.
             for deadletter in failures:
+                if telemetry is not None:
+                    telemetry.metrics.counter("bus_deadletters_total").inc(**labels)
+                    telemetry.event(
+                        "bus.deadletter",
+                        node=self._telemetry_node,
+                        topic=topic,
+                        handler=deadletter.handler,
+                        error=type(deadletter.error).__name__,
+                    )
                 self.publish(DEADLETTER_TOPIC, deadletter)
         return delivered
 

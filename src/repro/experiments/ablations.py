@@ -38,7 +38,7 @@ class ModuleScalingPoint:
 
 
 def module_scaling(
-    seed: int = 31, symptom_instances: int = 8
+    seed: int = 31, symptom_instances: int = 8, telemetry=None
 ) -> List[ModuleScalingPoint]:
     """E9: cost vs. registered detection-module count, same trace."""
     built = icmp_flood_scenario.build(seed=seed, symptom_instances=symptom_instances)
@@ -50,10 +50,10 @@ def module_scaling(
     for size in range(2, len(ordered) + 1, 2):
         library = list(DEFAULT_SENSING_MODULES) + ordered[:size]
         kalis_run, kalis = run_kalis_on_trace(
-            built.trace, built.instances, module_names=library
+            built.trace, built.instances, module_names=library, telemetry=telemetry
         )
         trad_run, trad = run_traditional_on_trace(
-            built.trace, built.instances, module_names=library
+            built.trace, built.instances, module_names=library, telemetry=telemetry
         )
         points.append(
             ModuleScalingPoint(
@@ -96,6 +96,7 @@ def window_sweep(
     seed: int = 37,
     symptom_instances: int = 30,
     windows: Tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0),
+    telemetry=None,
 ) -> List[WindowPoint]:
     """E10: ICMP-flood detection window vs. detection rate and RAM.
 
@@ -119,7 +120,9 @@ def window_sweep(
                 )
             ]
         )
-        kalis_run, _ = run_kalis_on_trace(built.trace, built.instances, config=config)
+        kalis_run, _ = run_kalis_on_trace(
+            built.trace, built.instances, config=config, telemetry=telemetry
+        )
         points.append(
             WindowPoint(
                 window_s=window,

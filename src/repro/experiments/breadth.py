@@ -270,15 +270,20 @@ def _score_pair(
     trace: Trace,
     instances: List[SymptomInstance],
     detection_slack: float = 25.0,
+    telemetry=None,
 ) -> Dict[str, EngineRun]:
-    kalis_run, _ = run_kalis_on_trace(trace, instances, detection_slack=detection_slack)
+    kalis_run, _ = run_kalis_on_trace(
+        trace, instances, detection_slack=detection_slack, telemetry=telemetry
+    )
     trad_run, _ = run_traditional_on_trace(
-        trace, instances, detection_slack=detection_slack
+        trace, instances, detection_slack=detection_slack, telemetry=telemetry
     )
     return {"kalis": kalis_run, "traditional": trad_run}
 
 
-def run(seed: int = 23, instances_per_scenario: int = 12) -> BreadthResult:
+def run(
+    seed: int = 23, instances_per_scenario: int = 12, telemetry=None
+) -> BreadthResult:
     """Run all eight Figure 8 scenarios.
 
     :param instances_per_scenario: symptom instances per burst-style
@@ -288,7 +293,8 @@ def run(seed: int = 23, instances_per_scenario: int = 12) -> BreadthResult:
     count = instances_per_scenario
 
     e1 = icmp_flood_scenario.run(
-        seed=seed, symptom_instances=count, engines=("kalis", "traditional")
+        seed=seed, symptom_instances=count, engines=("kalis", "traditional"),
+        telemetry=telemetry,
     )
     result.per_scenario["icmp_flood"] = {
         "kalis": e1.runs["kalis"],
@@ -296,10 +302,10 @@ def run(seed: int = 23, instances_per_scenario: int = 12) -> BreadthResult:
     }
 
     trace, instances = _build_smurf(seed + 1, bursts=count)
-    result.per_scenario["smurf"] = _score_pair(trace, instances)
+    result.per_scenario["smurf"] = _score_pair(trace, instances, telemetry=telemetry)
 
     trace, instances = _build_syn_flood(seed + 2, bursts=count)
-    result.per_scenario["syn_flood"] = _score_pair(trace, instances)
+    result.per_scenario["syn_flood"] = _score_pair(trace, instances, telemetry=telemetry)
 
     trace, instances = _build_ctp_chain(
         seed + 3,
@@ -309,14 +315,14 @@ def run(seed: int = 23, instances_per_scenario: int = 12) -> BreadthResult:
         ),
     )
     result.per_scenario["selective_forwarding"] = _score_pair(
-        trace, instances, detection_slack=35.0
+        trace, instances, detection_slack=35.0, telemetry=telemetry
     )
 
     trace, instances = _build_ctp_chain(
         seed + 4, BlackholeMote(NodeId("forwarder"), (50.0, 0.0))
     )
     result.per_scenario["blackhole"] = _score_pair(
-        trace, instances, detection_slack=35.0
+        trace, instances, detection_slack=35.0, telemetry=telemetry
     )
 
     # Wormhole: Kalis = two collaborating nodes; traditional = one
@@ -340,7 +346,8 @@ def run(seed: int = 23, instances_per_scenario: int = 12) -> BreadthResult:
     result.per_scenario["wormhole"] = {"kalis": kalis_run, "traditional": trad_run}
 
     e2 = replication_scenario.run(
-        seed=seed + 6, runs=3, engines=("kalis", "traditional")
+        seed=seed + 6, runs=3, engines=("kalis", "traditional"),
+        telemetry=telemetry,
     )
     result.per_scenario["replication"] = {
         "kalis": e2.runs["kalis"],
@@ -348,6 +355,8 @@ def run(seed: int = 23, instances_per_scenario: int = 12) -> BreadthResult:
     }
 
     trace, instances = _build_sybil(seed + 7, rounds=count)
-    result.per_scenario["sybil"] = _score_pair(trace, instances, detection_slack=35.0)
+    result.per_scenario["sybil"] = _score_pair(
+        trace, instances, detection_slack=35.0, telemetry=telemetry
+    )
 
     return result

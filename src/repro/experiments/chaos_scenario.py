@@ -33,6 +33,7 @@ from repro.core.manager import TOPIC_MODULE_QUARANTINE, TOPIC_MODULE_RESTORE
 from repro.devices.commodity import LifxBulb, NestThermostat, Smartphone
 from repro.faults import FaultPlan, InterfaceFlap, LinkOutage, ModuleCrash, NodeCrash
 from repro.metrics.detection import DetectionScore, score_alerts
+from repro.metrics.resources import resource_report
 from repro.net.packets.base import Medium
 from repro.proto.iphost import IpRouter, LanDirectory
 from repro.sim.engine import Simulator
@@ -79,6 +80,8 @@ class ChaosResult:
     shared_received: int
     delivery: Dict[str, int]
     convergence_time: float
+    deadletters: int = 0
+    resources: Dict[str, Dict[str, float]] = field(default_factory=dict)
     extra: Dict = field(default_factory=dict)
 
     @property
@@ -103,6 +106,23 @@ class ChaosResult:
         return "\n".join(lines)
 
 
+def _node_resources(node: KalisNode, duration: float, telemetry) -> Dict[str, float]:
+    """The CPU/RAM proxy for one live node, keyed by its node id."""
+    report = resource_report(
+        node.node_id.value,
+        work_units=node.cpu_work_units(),
+        duration_s=duration,
+        active_modules=len(node.manager.active_modules()),
+        state_bytes=node.approximate_ram_bytes(),
+        telemetry=telemetry,
+    )
+    return {
+        "cpu_percent": report.cpu_percent,
+        "ram_kb": report.ram_kb,
+        "work_units": report.work_units,
+    }
+
+
 def alert_log_lines(alerts: List[Alert]) -> List[str]:
     """Canonical one-line-per-alert serialization (the determinism oracle)."""
     return [
@@ -119,6 +139,7 @@ def run(
     link_loss: float = 0.3,
     max_retries: int = 8,
     plan: Optional[FaultPlan] = None,
+    telemetry=None,
 ) -> ChaosResult:
     """Run the chaos scenario live and collect every robustness metric.
 
@@ -129,8 +150,11 @@ def run(
         partition opens still has retries left when it lifts.
     :param plan: a custom :class:`FaultPlan`; :func:`default_plan` when
         omitted.  Plans are single-use — pass a fresh one per run.
+    :param telemetry: a :class:`repro.obs.Telemetry` shared by the
+        simulator, both Kalis nodes and the collective network; None
+        (the default) runs fully uninstrumented.
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     rng = SeededRng(seed, "chaos-scenario")
     lan = LanDirectory()
     wan = LanDirectory()
@@ -160,14 +184,15 @@ def run(
     # Two Kalis nodes: the primary overlooks the LAN; the remote one is
     # far out of radio range and learns of the attack only through the
     # collective-knowledge channel.
-    primary = KalisNode(KALIS_PRIMARY)
+    primary = KalisNode(KALIS_PRIMARY, telemetry=telemetry)
     primary.deploy(sim, position=(5.0, 4.0))
-    remote = KalisNode(KALIS_REMOTE)
+    remote = KalisNode(KALIS_REMOTE, telemetry=telemetry)
     remote.deploy(sim, position=(5000.0, 5000.0))
 
     network = CollectiveKnowledgeNetwork(
         sim=sim, loss_probability=link_loss,
         rng=SeededRng(seed, "chaos-net"), max_retries=max_retries,
+        telemetry=telemetry,
     )
     network.join(primary.kb)
     network.join(remote.kb)
@@ -182,6 +207,19 @@ def run(
         primary.kb.put(label, event.payload.attack, collective=True)
 
     primary.bus.subscribe(ALERT_TOPIC, share_alert)
+
+    # A deliberately flaky "dashboard" subscriber: its first two alert
+    # deliveries raise, exercising the bus dead-letter path (and, with
+    # telemetry on, the flight-recorder dump) on every run.  Dispatch is
+    # exception-safe, so the alert log is unaffected.
+    dashboard = {"failures_left": 2}
+
+    def flaky_dashboard(event) -> None:
+        if dashboard["failures_left"] > 0:
+            dashboard["failures_left"] -= 1
+            raise RuntimeError("dashboard connector not ready")
+
+    primary.bus.subscribe(ALERT_TOPIC, flaky_dashboard)
 
     quarantined: List[str] = []
     restored: List[str] = []
@@ -222,6 +260,11 @@ def run(
         shared_received=received,
         delivery=network.delivery_stats(),
         convergence_time=network.convergence_time(),
+        deadletters=len(primary.deadletters),
+        resources={
+            node.node_id.value: _node_resources(node, duration, telemetry)
+            for node in (primary, remote)
+        },
     )
     result.extra["plan"] = plan.describe()
     result.extra["injected"] = {

@@ -66,6 +66,18 @@ class ScenarioResult:
     def run(self, engine: str) -> EngineRun:
         return self.runs[engine]
 
+    def resource_table(self) -> Dict[str, Dict[str, float]]:
+        """Engine -> CPU/RAM proxy figures, as plain JSON-safe numbers."""
+        return {
+            name: {
+                "cpu_percent": run.resources.cpu_percent,
+                "ram_kb": run.resources.ram_kb,
+                "work_units": run.resources.work_units,
+                "duration_s": run.resources.duration_s,
+            }
+            for name, run in sorted(self.runs.items())
+        }
+
     def summary(self) -> str:
         lines = [
             f"scenario {self.scenario}: {self.capture_count} captures over "
@@ -94,10 +106,11 @@ def run_kalis_on_trace(
     node_id: NodeId = NodeId("kalis-1"),
     config=None,
     detection_slack: float = 20.0,
+    telemetry=None,
     **kalis_kwargs,
 ) -> Tuple[EngineRun, KalisNode]:
     """Replay a trace into a fresh Kalis node and score it."""
-    kalis = KalisNode(node_id, config=config, **kalis_kwargs)
+    kalis = KalisNode(node_id, config=config, telemetry=telemetry, **kalis_kwargs)
     kalis.replay_trace(trace)
     run = _score_engine(
         name="kalis",
@@ -109,6 +122,7 @@ def run_kalis_on_trace(
         active_modules=len(kalis.manager.active_modules()),
         state_bytes=kalis.approximate_ram_bytes(),
         detection_slack=detection_slack,
+        telemetry=telemetry,
     )
     return run, kalis
 
@@ -119,10 +133,13 @@ def run_traditional_on_trace(
     node_id: NodeId = NodeId("trad-1"),
     module_names=None,
     detection_slack: float = 20.0,
+    telemetry=None,
     **kwargs,
 ) -> Tuple[EngineRun, TraditionalIds]:
     """Replay a trace into the traditional-IDS baseline and score it."""
-    trad = TraditionalIds(node_id, module_names=module_names, **kwargs)
+    trad = TraditionalIds(
+        node_id, module_names=module_names, telemetry=telemetry, **kwargs
+    )
     trad.replay_trace(trace)
     run = _score_engine(
         name="traditional",
@@ -134,6 +151,7 @@ def run_traditional_on_trace(
         active_modules=len(trad.manager.active_modules()),
         state_bytes=trad.approximate_ram_bytes(),
         detection_slack=detection_slack,
+        telemetry=telemetry,
     )
     return run, trad
 
@@ -143,6 +161,7 @@ def run_snort_on_trace(
     instances: Sequence[SymptomInstance],
     rule_count: int = 3500,
     detection_slack: float = 20.0,
+    telemetry=None,
 ) -> Tuple[EngineRun, SnortEngine]:
     """Replay a trace into the Snort baseline and score it."""
     snort = SnortEngine(community_ruleset(target_size=rule_count))
@@ -159,6 +178,7 @@ def run_snort_on_trace(
         state_bytes=snort.approximate_state_bytes(),
         rule_count=snort.rule_count(),
         detection_slack=detection_slack,
+        telemetry=telemetry,
     )
     return run, snort
 
@@ -174,6 +194,7 @@ def _score_engine(
     state_bytes: int,
     rule_count: int = 0,
     detection_slack: float = 20.0,
+    telemetry=None,
 ) -> EngineRun:
     duration = max(trace.duration, 1e-9)
     score = score_alerts(alerts, instances, detection_slack=detection_slack)
@@ -184,6 +205,7 @@ def _score_engine(
         active_modules=active_modules,
         state_bytes=state_bytes,
         rule_count=rule_count,
+        telemetry=telemetry,
     )
     return EngineRun(
         name=name,

@@ -132,6 +132,7 @@ def run(
     seed: int = 7,
     symptom_instances: int = PAPER_SYMPTOM_INSTANCES,
     engines: Tuple[str, ...] = ("kalis", "traditional", "snort"),
+    telemetry=None,
 ) -> ScenarioResult:
     """Run E1 and score every engine on the identical trace."""
     built = build(seed=seed, symptom_instances=symptom_instances)
@@ -145,20 +146,26 @@ def run(
     result.extra["victim"] = built.victim
 
     if "kalis" in engines:
-        run_result, kalis = run_kalis_on_trace(built.trace, built.instances)
+        run_result, kalis = run_kalis_on_trace(
+            built.trace, built.instances, telemetry=telemetry
+        )
         run_result.extra["active_modules"] = kalis.active_module_names()
         apply_countermeasure_score(
             run_result, attackers=[built.attacker], victims=[built.victim]
         )
         result.runs["kalis"] = run_result
     if "traditional" in engines:
-        run_result, _ = run_traditional_on_trace(built.trace, built.instances)
+        run_result, _ = run_traditional_on_trace(
+            built.trace, built.instances, telemetry=telemetry
+        )
         apply_countermeasure_score(
             run_result, attackers=[built.attacker], victims=[built.victim]
         )
         result.runs["traditional"] = run_result
     if "snort" in engines:
-        run_result, _ = run_snort_on_trace(built.trace, built.instances)
+        run_result, _ = run_snort_on_trace(
+            built.trace, built.instances, telemetry=telemetry
+        )
         apply_countermeasure_score(
             run_result, attackers=[built.attacker], victims=[built.victim]
         )

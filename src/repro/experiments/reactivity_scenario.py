@@ -83,9 +83,11 @@ knowggets = { }
 RUN_DURATION_S = 120.0
 
 
-def run(seed: int = 13, drop_probability: float = 0.7) -> ReactivityResult:
+def run(
+    seed: int = 13, drop_probability: float = 0.7, telemetry=None
+) -> ReactivityResult:
     """Run the cold-start reactivity experiment."""
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, telemetry=telemetry)
     base = TelosbMote(NodeId("mote-base"), (0.0, 0.0), is_root=True)
     sim.add_node(base)
     sim.add_node(TelosbMote(NodeId("mote-1"), (25.0, 0.0)))
@@ -108,7 +110,7 @@ def run(seed: int = 13, drop_probability: float = 0.7) -> ReactivityResult:
         raise RuntimeError("scenario produced no captures")
     first_capture_at = trace[0].timestamp
 
-    kalis = KalisNode(NodeId("kalis-1"), config=COLD_START_CONFIG)
+    kalis = KalisNode(NodeId("kalis-1"), config=COLD_START_CONFIG, telemetry=telemetry)
 
     # Instrument the knowledge bus and module manager for the timeline.
     timeline = {"multihop_at": None, "activated_at": None}

@@ -174,6 +174,7 @@ def run(
     seed: int = 11,
     runs: int = 20,
     engines: Tuple[str, ...] = ("kalis", "traditional", "snort"),
+    telemetry=None,
 ) -> ScenarioResult:
     """Run E2 for ``runs`` repetitions and aggregate.
 
@@ -196,7 +197,8 @@ def run(
         per_run: List[Tuple[str, EngineRun]] = []
         if "kalis" in engines:
             engine_run, _ = run_kalis_on_trace(
-                built.trace, built.instances, detection_slack=12.0
+                built.trace, built.instances, detection_slack=12.0,
+                telemetry=telemetry,
             )
             per_run.append(("kalis", engine_run))
         if "traditional" in engines:
@@ -210,6 +212,7 @@ def run(
                     "ReplicationMobileModule",
                 ],
                 rng=rng.substream("run", str(run_index)),
+                telemetry=telemetry,
             )
             trad.replay_trace(built.trace)
             engine_run = _score_engine(
@@ -222,12 +225,14 @@ def run(
                 active_modules=len(trad.manager.active_modules()),
                 state_bytes=trad.approximate_ram_bytes(),
                 detection_slack=12.0,
+                telemetry=telemetry,
             )
             engine_run.extra["static_choice"] = trad.static_choice
             per_run.append(("traditional", engine_run))
         if "snort" in engines:
             engine_run, _ = run_snort_on_trace(
-                built.trace, built.instances, detection_slack=12.0
+                built.trace, built.instances, detection_slack=12.0,
+                telemetry=telemetry,
             )
             per_run.append(("snort", engine_run))
 

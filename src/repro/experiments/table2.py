@@ -94,7 +94,7 @@ class Table2:
         return "\n".join(lines)
 
 
-def run(seed: int = 7, replication_runs: int = 10) -> Table2:
+def run(seed: int = 7, replication_runs: int = 10, telemetry=None) -> Table2:
     """Run E1 + E2 and average into the Table II rows.
 
     For Snort, scenario E2 contributes nothing it can see (ZigBee), so
@@ -105,8 +105,10 @@ def run(seed: int = 7, replication_runs: int = 10) -> Table2:
     it operates.  We follow the paper and average Snort over E1 only,
     while its resource costs are measured on all traffic offered.
     """
-    e1 = icmp_flood_scenario.run(seed=seed)
-    e2 = replication_scenario.run(seed=seed + 1, runs=replication_runs)
+    e1 = icmp_flood_scenario.run(seed=seed, telemetry=telemetry)
+    e2 = replication_scenario.run(
+        seed=seed + 1, runs=replication_runs, telemetry=telemetry
+    )
 
     rows: Dict[str, Table2Row] = {}
     for engine in ENGINE_ORDER:

@@ -126,13 +126,13 @@ def build(seed: int = 17) -> BuiltWormhole:
     )
 
 
-def replay(built: BuiltWormhole, collective: bool) -> WormholeOutcome:
+def replay(built: BuiltWormhole, collective: bool, telemetry=None) -> WormholeOutcome:
     """Replay the recorded traces into two Kalis nodes, optionally
     joined through the collective-knowledge network."""
-    kalis_a = KalisNode(NodeId("kalis-A"))
-    kalis_b = KalisNode(NodeId("kalis-B"))
+    kalis_a = KalisNode(NodeId("kalis-A"), telemetry=telemetry)
+    kalis_b = KalisNode(NodeId("kalis-B"), telemetry=telemetry)
     if collective:
-        network = CollectiveKnowledgeNetwork(sim=None)
+        network = CollectiveKnowledgeNetwork(sim=None, telemetry=telemetry)
         network.join(kalis_a.kb)
         network.join(kalis_b.kb)
 
@@ -157,7 +157,12 @@ def replay(built: BuiltWormhole, collective: bool) -> WormholeOutcome:
     )
 
 
-def run(seed: int = 17) -> Tuple[WormholeOutcome, WormholeOutcome]:
+def run(
+    seed: int = 17, telemetry=None
+) -> Tuple[WormholeOutcome, WormholeOutcome]:
     """Run E5: returns (isolated outcome, collective outcome)."""
     built = build(seed=seed)
-    return replay(built, collective=False), replay(built, collective=True)
+    return (
+        replay(built, collective=False, telemetry=telemetry),
+        replay(built, collective=True, telemetry=telemetry),
+    )

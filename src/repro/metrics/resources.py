@@ -99,9 +99,14 @@ def resource_report(
     active_modules: int = 0,
     state_bytes: int = 0,
     rule_count: int = 0,
+    telemetry=None,
 ) -> ResourceReport:
-    """Build the full resource report for one engine run."""
-    return ResourceReport(
+    """Build the full resource report for one engine run.
+
+    When a :class:`repro.obs.Telemetry` is given, the report's figures
+    are also exported as per-engine gauges.
+    """
+    report = ResourceReport(
         engine=engine,
         cpu_percent=cpu_percent(work_units, duration_s),
         ram_kb=ram_kb(
@@ -113,3 +118,9 @@ def resource_report(
         work_units=work_units,
         duration_s=duration_s,
     )
+    if telemetry is not None:
+        metrics = telemetry.metrics
+        metrics.gauge("resource_cpu_percent").set(report.cpu_percent, engine=engine)
+        metrics.gauge("resource_ram_kb").set(report.ram_kb, engine=engine)
+        metrics.gauge("resource_work_units").set(report.work_units, engine=engine)
+    return report

@@ -1,0 +1,50 @@
+"""``repro.obs`` — the deterministic observability layer.
+
+Causal tracing (:class:`Telemetry` / :class:`Span`), the metrics
+registry (:class:`MetricsRegistry`), and the flight recorder
+(:class:`FlightRecorder`), exported as wall-stripped-deterministic
+JSONL (:func:`export_jsonl` / :func:`canonical_lines`) and rendered by
+``kalis-repro obs report`` (:func:`render_report`).
+
+This is the one package allowed to read the wall clock: KL001 keeps
+``perf_counter`` out of ``repro.sim``/``core``/``proto``/``attacks``,
+and the export contract keeps every wall-derived value under literal
+``"wall"`` keys so it can be stripped before byte-identity checks.
+"""
+
+from repro.obs.export import (
+    FORMAT_VERSION,
+    canonical_lines,
+    export_jsonl,
+    export_lines,
+    load_export,
+    strip_wall,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.report import render_report
+from repro.obs.telemetry import Span, Telemetry
+
+__all__ = [
+    "FORMAT_VERSION",
+    "DEFAULT_BUCKETS_US",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "FlightRecorder",
+    "Span",
+    "Telemetry",
+    "canonical_lines",
+    "export_jsonl",
+    "export_lines",
+    "load_export",
+    "render_report",
+    "strip_wall",
+]

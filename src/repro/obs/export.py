@@ -1,0 +1,102 @@
+"""Telemetry export: JSONL with a byte-identity determinism contract.
+
+One export file holds the whole run, one JSON object per line, in
+deterministic order:
+
+1. a ``meta`` line (format version plus deterministic run totals);
+2. every metric series, sorted by name then labels;
+3. every flight-recorder dump, in occurrence order;
+4. every surviving ring, sorted by node.
+
+Wall-clock measurements live *only* under keys literally named
+``"wall"``; :func:`strip_wall` removes them recursively, and
+:func:`canonical_lines` applies it with sorted keys — so
+
+    ``canonical_lines(run_a) == canonical_lines(run_b)``
+
+is the telemetry determinism oracle for two same-seed runs.  A ``.gz``
+suffix gzips the export, same as :class:`repro.trace.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List
+
+from repro.obs.telemetry import Telemetry
+
+#: Export format version, bumped on any line-shape change.
+FORMAT_VERSION = 1
+
+
+def export_lines(telemetry: Telemetry) -> Iterator[Dict[str, Any]]:
+    """Yield every export record, in the deterministic file order."""
+    yield {
+        "type": "meta",
+        "version": FORMAT_VERSION,
+        "sim_end": telemetry.now,
+        "spans_finished": telemetry.spans_finished,
+        "events_recorded": telemetry.events_recorded,
+        "ring_entries_recorded": telemetry.recorder.entries_recorded,
+        "dumps": len(telemetry.recorder.dumps),
+        "dumps_suppressed": telemetry.recorder.dumps_suppressed,
+    }
+    for entry in telemetry.metrics.snapshot():
+        yield entry
+    for dump in telemetry.recorder.dumps:
+        yield dump
+    for node in telemetry.recorder.nodes():
+        yield {"type": "ring", "node": node, "entries": telemetry.recorder.ring(node)}
+
+
+def export_jsonl(telemetry: Telemetry, path) -> Path:
+    """Write the telemetry export; ``.gz`` suffix enables gzip."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "wt", encoding="utf-8") as handle:
+        for record in export_lines(telemetry):
+            handle.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_export(path) -> List[Dict[str, Any]]:
+    """Parse an export back into its records (report and CI verify)."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    records: List[Dict[str, Any]] = []
+    with opener(path, "rt", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed telemetry record: {error}"
+                ) from error
+    if not records or records[0].get("type") != "meta":
+        raise ValueError(f"{path}: not a telemetry export (missing meta line)")
+    return records
+
+
+def strip_wall(obj: Any) -> Any:
+    """Recursively drop every ``"wall"`` key — the nondeterministic part."""
+    if isinstance(obj, dict):
+        return {key: strip_wall(value) for key, value in obj.items() if key != "wall"}
+    if isinstance(obj, list):
+        return [strip_wall(value) for value in obj]
+    return obj
+
+
+def canonical_lines(path) -> List[str]:
+    """The export's deterministic identity: wall-stripped, key-sorted."""
+    return [
+        json.dumps(strip_wall(record), separators=(",", ":"), sort_keys=True)
+        for record in load_export(path)
+    ]

@@ -1,0 +1,241 @@
+"""The metrics registry: counters, gauges and histograms.
+
+Every instrumented component in the pipeline registers its series here
+(packets sniffed per medium, per-module handle latency and invocation
+count, bus publish/deliver/error per topic, PeerLink sends/acks/retries,
+supervisor state transitions).  Registration is idempotent — asking for
+an existing metric returns it — so hooks scattered across packages
+share series without coordination.
+
+**Determinism contract.**  Counter and gauge values derive only from
+simulated behaviour, so two same-seed runs export identical values.
+Wall-clock measurements (histogram observations fed from
+``perf_counter``) are *wall metrics*: their value fields are exported
+under a literal ``"wall"`` key, which
+:func:`repro.obs.export.strip_wall` removes before any byte-for-byte
+comparison.  The observation *count* of a wall histogram is still
+deterministic (it counts invocations, not time) and is exported outside
+the ``"wall"`` key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Default histogram buckets, microseconds (wall-clock handle latency).
+DEFAULT_BUCKETS_US = (10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 25000.0)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    """A canonical, hashable, sortable key for a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named family of series, one per label set."""
+
+    KIND = "metric"
+
+    def __init__(self, name: str, help: str = "", wall: bool = False) -> None:
+        self.name = name
+        self.help = help
+        self.wall = wall
+
+    def series(self) -> Iterator[Tuple[LabelKey, Any]]:
+        raise NotImplementedError
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """One JSON-safe dict per series, sorted by label key."""
+        out = []
+        for key, value in sorted(self.series()):
+            entry: Dict[str, Any] = {
+                "type": "metric",
+                "kind": self.KIND,
+                "name": self.name,
+                "labels": dict(key),
+            }
+            entry.update(self._value_fields(value))
+            out.append(entry)
+        return out
+
+    def _value_fields(self, value: Any) -> Dict[str, Any]:
+        if self.wall:
+            return {"wall": {"value": value}}
+        return {"value": value}
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    KIND = "counter"
+
+    def __init__(self, name: str, help: str = "", wall: bool = False) -> None:
+        super().__init__(name, help, wall)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def series(self) -> Iterator[Tuple[LabelKey, Any]]:
+        return iter(self._values.items())
+
+
+class Gauge(Metric):
+    """A value that goes up and down (window sizes, CPU%, RAM)."""
+
+    KIND = "gauge"
+
+    def __init__(self, name: str, help: str = "", wall: bool = False) -> None:
+        super().__init__(name, help, wall)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = value
+
+    def value(self, **labels: Any) -> Optional[float]:
+        return self._values.get(_label_key(labels))
+
+    def series(self) -> Iterator[Tuple[LabelKey, Any]]:
+        return iter(self._values.items())
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.bucket_counts = [0] * (bucket_count + 1)  # +1 = +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(Metric):
+    """A bucketed distribution (wall-clock latencies, retry tails)."""
+
+    KIND = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS_US,
+        wall: bool = False,
+    ) -> None:
+        super().__init__(name, help, wall)
+        self.buckets = tuple(sorted(buckets))
+        self._values: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        series = self._values.get(key)
+        if series is None:
+            series = self._values[key] = _HistogramSeries(len(self.buckets))
+        series.count += 1
+        series.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[index] += 1
+                return
+        series.bucket_counts[-1] += 1
+
+    def count(self, **labels: Any) -> int:
+        series = self._values.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum_of(self, **labels: Any) -> float:
+        series = self._values.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def series(self) -> Iterator[Tuple[LabelKey, Any]]:
+        return iter(self._values.items())
+
+    def _value_fields(self, value: _HistogramSeries) -> Dict[str, Any]:
+        distribution = {
+            "sum": value.sum,
+            "buckets": {
+                ("+Inf" if index == len(self.buckets) else repr(bound)): count
+                for index, (bound, count) in enumerate(
+                    list(zip(self.buckets, value.bucket_counts))
+                    + [(float("inf"), value.bucket_counts[-1])]
+                )
+            },
+        }
+        fields: Dict[str, Any] = {"count": value.count}
+        if self.wall:
+            fields["wall"] = distribution
+        else:
+            fields.update(distribution)
+        return fields
+
+
+class MetricsRegistry:
+    """Name -> metric, with idempotent registration and exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.KIND}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS_US,
+        wall: bool = False,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets, wall=wall)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Every series of every metric, in deterministic order."""
+        out: List[Dict[str, Any]] = []
+        for name in sorted(self._metrics):
+            out.extend(self._metrics[name].snapshot())
+        return out
+
+    def prometheus_text(self) -> str:
+        """A Prometheus-style text snapshot of every series."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.KIND}")
+            for key, value in sorted(metric.series()):
+                label_text = ",".join(f'{k}="{v}"' for k, v in key)
+                suffix = f"{{{label_text}}}" if label_text else ""
+                if isinstance(metric, Histogram):
+                    lines.append(f"{name}_count{suffix} {value.count}")
+                    lines.append(f"{name}_sum{suffix} {value.sum:g}")
+                else:
+                    lines.append(f"{name}{suffix} {value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

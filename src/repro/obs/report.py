@@ -1,0 +1,217 @@
+"""``kalis-repro obs report`` — summarize a telemetry export.
+
+Renders the per-run answers an operator asks first, from the export
+alone (no source, no rerun): the hottest modules (invocations, isolated
+failures, wall time when present), the busiest/noisiest bus topics, the
+collective-sync retry tails, and every flight-recorder dump — which
+names the quarantined module and the dead-lettered topic directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.export import load_export
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    """Left-aligned fixed-width text table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+class _MetricView:
+    """Index metric records by name for cheap joins."""
+
+    def __init__(self, records: List[Dict[str, Any]]) -> None:
+        self._by_name: Dict[str, List[Dict[str, Any]]] = {}
+        for record in records:
+            if record.get("type") == "metric":
+                self._by_name.setdefault(record["name"], []).append(record)
+
+    def series(self, name: str) -> List[Dict[str, Any]]:
+        return self._by_name.get(name, [])
+
+    def lookup(self, name: str, **labels: str) -> Optional[Dict[str, Any]]:
+        wanted = {key: str(value) for key, value in labels.items()}
+        for record in self.series(name):
+            if record.get("labels", {}) == wanted:
+                return record
+        return None
+
+
+def _module_rows(view: _MetricView, top: int) -> List[List[str]]:
+    rows: List[Tuple[float, List[str]]] = []
+    for record in view.series("module_invocations_total"):
+        labels = record.get("labels", {})
+        node, module = labels.get("node", "?"), labels.get("module", "?")
+        invocations = record.get("value", 0)
+        failures = view.lookup(
+            "module_failures_total", node=node, module=module
+        )
+        latency = view.lookup("module_handle_wall_us", node=node, module=module)
+        wall_ms = "-"
+        if latency is not None and "wall" in latency:
+            wall_ms = f"{latency['wall'].get('sum', 0.0) / 1000.0:.1f}"
+        rows.append(
+            (
+                invocations,
+                [
+                    module,
+                    node,
+                    f"{invocations:g}",
+                    f"{failures.get('value', 0):g}" if failures else "0",
+                    wall_ms,
+                ],
+            )
+        )
+    rows.sort(key=lambda item: (-item[0], item[1][0], item[1][1]))
+    return [row for _, row in rows[:top]]
+
+
+def _topic_rows(view: _MetricView, top: int) -> List[List[str]]:
+    rows: List[Tuple[float, float, List[str]]] = []
+    for record in view.series("bus_published_total"):
+        labels = record.get("labels", {})
+        node, topic = labels.get("node", "?"), labels.get("topic", "?")
+        published = record.get("value", 0)
+
+        def count(name: str) -> float:
+            found = view.lookup(name, node=node, topic=topic)
+            return found.get("value", 0) if found else 0
+
+        errors = count("bus_errors_total")
+        deadletters = count("bus_deadletters_total")
+        rows.append(
+            (
+                errors + deadletters,
+                published,
+                [
+                    topic,
+                    node,
+                    f"{published:g}",
+                    f"{count('bus_delivered_total'):g}",
+                    f"{errors:g}",
+                    f"{deadletters:g}",
+                ],
+            )
+        )
+    # Noisiest first (errors/deadletters), then busiest.
+    rows.sort(key=lambda item: (-item[0], -item[1], item[2][0], item[2][1]))
+    return [row for _, _, row in rows[:top]]
+
+
+def _link_rows(view: _MetricView) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for record in view.series("peerlink_sent_total"):
+        link = record.get("labels", {}).get("link", "?")
+
+        def count(name: str) -> float:
+            found = view.lookup(name, link=link)
+            return found.get("value", 0) if found else 0
+
+        rows.append(
+            [
+                link,
+                f"{record.get('value', 0):g}",
+                f"{count('peerlink_delivered_total'):g}",
+                f"{count('peerlink_attempts_total'):g}",
+                f"{count('peerlink_retries_total'):g}",
+                f"{count('peerlink_gave_up_total'):g}",
+            ]
+        )
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+def _dump_lines(records: List[Dict[str, Any]]) -> List[str]:
+    lines: List[str] = []
+    for record in records:
+        if record.get("type") != "flight-dump":
+            continue
+        attrs = record.get("attrs", {})
+        attr_text = " ".join(
+            f"{key}={attrs[key]}" for key in sorted(attrs)
+        )
+        entries = sum(len(ring) for ring in record.get("rings", {}).values())
+        lines.append(
+            f"t={record.get('t', 0):.3f}s  {record.get('reason', '?')}"
+            f"  {attr_text}  ({entries} ring entries)".rstrip()
+        )
+    return lines
+
+
+def render_report(path, top: int = 10) -> str:
+    """Render the per-run summary for one telemetry export file."""
+    records = load_export(path)
+    meta = records[0]
+    view = _MetricView(records)
+
+    lines: List[str] = [f"telemetry report: {path}"]
+    lines.append(
+        f"  sim end t={meta.get('sim_end', 0):.2f}s | "
+        f"{meta.get('spans_finished', 0)} spans, "
+        f"{meta.get('events_recorded', 0)} events, "
+        f"{meta.get('dumps', 0)} flight dumps"
+        + (
+            f" (+{meta['dumps_suppressed']} suppressed)"
+            if meta.get("dumps_suppressed")
+            else ""
+        )
+    )
+
+    module_rows = _module_rows(view, top)
+    lines.append("")
+    lines.append(f"hottest modules (top {top} by invocations)")
+    if module_rows:
+        lines.extend(
+            _table(
+                ["module", "node", "invocations", "failures", "wall_ms"],
+                module_rows,
+            )
+        )
+    else:
+        lines.append("  (no module metrics in export)")
+
+    topic_rows = _topic_rows(view, top)
+    lines.append("")
+    lines.append(f"bus topics (top {top}, noisiest first)")
+    if topic_rows:
+        lines.extend(
+            _table(
+                ["topic", "node", "published", "delivered", "errors", "deadletters"],
+                topic_rows,
+            )
+        )
+    else:
+        lines.append("  (no bus metrics in export)")
+
+    link_rows = _link_rows(view)
+    lines.append("")
+    lines.append("collective sync retry tails")
+    if link_rows:
+        lines.extend(
+            _table(
+                ["link", "sent", "delivered", "attempts", "retries", "gave_up"],
+                link_rows,
+            )
+        )
+    else:
+        lines.append("  (no peer-link metrics in export)")
+
+    dump_lines = _dump_lines(records)
+    lines.append("")
+    lines.append("flight-recorder dumps")
+    if dump_lines:
+        lines.extend(f"  {line}" for line in dump_lines)
+    else:
+        lines.append("  (none — no quarantine or dead-letter fired)")
+
+    return "\n".join(lines)

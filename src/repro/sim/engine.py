@@ -38,7 +38,7 @@ BITS_PER_SECOND = {
 class Simulator:
     """Owns simulated time, the node registry and the radio mediums."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, telemetry=None) -> None:
         self.clock = ManualClock()
         self.rng = SeededRng(seed, "sim")
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
@@ -48,6 +48,9 @@ class Simulator:
         self.transmissions = 0
         self.deliveries = 0
         self._running = False
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_clock(self.clock)
 
     @property
     def now(self) -> float:
@@ -158,6 +161,13 @@ class Simulator:
         """
         model = self.medium(medium)
         self.transmissions += 1
+        telemetry = self.telemetry
+        trace_id = None
+        if telemetry is not None:
+            trace_id = telemetry.new_trace()
+            telemetry.metrics.counter("sim_transmissions_total").inc(
+                medium=medium.value
+            )
         airtime = packet.size_bytes * 8.0 / BITS_PER_SECOND[medium]
         arrival = self.clock.now + TRANSMIT_LATENCY_S + airtime
         receptions = 0
@@ -174,27 +184,61 @@ class Simulator:
                 continue
             receptions += 1
             self.deliveries += 1
+            if telemetry is not None:
+                telemetry.metrics.counter("sim_deliveries_total").inc(
+                    medium=medium.value
+                )
             self.schedule_at(
                 arrival,
-                _Delivery(receiver, packet, medium, rssi, arrival),
+                _Delivery(receiver, packet, medium, rssi, arrival, telemetry, trace_id),
             )
         return receptions
 
 
 class _Delivery:
-    """A scheduled frame delivery (callable; keeps the queue picklable)."""
+    """A scheduled frame delivery (callable; keeps the queue picklable).
 
-    __slots__ = ("receiver", "packet", "medium", "rssi", "timestamp")
+    Carries the frame's trace id across the event-queue gap so the
+    receiving node's pipeline spans stay linked to the transmission.
+    """
 
-    def __init__(self, receiver, packet, medium, rssi, timestamp) -> None:
+    __slots__ = (
+        "receiver",
+        "packet",
+        "medium",
+        "rssi",
+        "timestamp",
+        "telemetry",
+        "trace_id",
+    )
+
+    def __init__(
+        self, receiver, packet, medium, rssi, timestamp, telemetry=None, trace_id=None
+    ) -> None:
         self.receiver = receiver
         self.packet = packet
         self.medium = medium
         self.rssi = rssi
         self.timestamp = timestamp
+        self.telemetry = telemetry
+        self.trace_id = trace_id
 
     def __call__(self) -> None:
-        if self.receiver.attached:
+        if not self.receiver.attached:
+            return
+        if self.telemetry is None:
+            self.receiver.handle_frame(
+                self.packet, self.medium, self.rssi, self.timestamp
+            )
+            return
+        with self.telemetry.span(
+            "sim.deliver",
+            node=str(self.receiver.node_id),
+            t=self.timestamp,
+            trace_id=self.trace_id,
+            medium=self.medium.value,
+            kind=type(self.packet).__name__,
+        ):
             self.receiver.handle_frame(
                 self.packet, self.medium, self.rssi, self.timestamp
             )

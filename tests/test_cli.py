@@ -54,3 +54,40 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "KalisNode kalis-1" in out
         assert "ALERT" in out
+
+
+class TestTelemetry:
+    def test_experiment_with_telemetry_writes_export(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["experiment", "reactivity", "--seed", "13", "--telemetry", str(path)]
+        ) == 0
+        assert f"telemetry written to {path}" in capsys.readouterr().out
+
+        from repro.obs import load_export
+
+        records = load_export(path)
+        assert records[0]["type"] == "meta"
+        assert records[0]["spans_finished"] > 0
+
+    def test_obs_report_renders_export(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl.gz"
+        assert main(
+            ["experiment", "chaos", "--seed", "23", "--telemetry", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(path)]) == 0
+        report = capsys.readouterr().out
+        # The chaos run's two scripted failures must be attributable
+        # from the export alone: the quarantined module by name, and
+        # the dead-lettered topic.
+        assert "TrafficStatsModule" in report
+        assert "alert" in report
+        assert "module.quarantine" in report
+        assert "bus.deadletter" in report
+
+    def test_obs_requires_action_and_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "report"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "inspect", "x.jsonl"])

@@ -1,0 +1,124 @@
+"""Delivery accounting and convergence of the collective-knowledge
+network at its loss extremes.
+
+``delivery_stats()`` and ``convergence_time()`` feed both the E14
+chaos report and the telemetry retry-tail table, so their edge cases
+are pinned here: a perfect link must show zero retry noise, and a
+permanently partitioned link must exhaust its budget and report no
+convergence instead of hanging or lying.
+"""
+
+from repro.core.collective import CollectiveKnowledgeNetwork
+from repro.core.knowledge import KnowledgeBase
+from repro.sim.engine import Simulator
+from repro.util.ids import NodeId
+
+
+def _joined_pair(network):
+    kb_a = KnowledgeBase(NodeId("a"))
+    kb_b = KnowledgeBase(NodeId("b"))
+    network.join(kb_a)
+    network.join(kb_b)
+    return kb_a, kb_b
+
+
+class TestZeroLoss:
+    def test_every_send_delivers_without_retries(self):
+        sim = Simulator(seed=5)
+        network = CollectiveKnowledgeNetwork(sim=sim, loss_probability=0.0)
+        kb_a, kb_b = _joined_pair(network)
+        for i in range(4):
+            kb_a.put(f"Feature.{i}", i, collective=True)
+        sim.run(5.0)
+
+        stats = network.delivery_stats()
+        assert stats["sent"] == 4
+        assert stats["delivered"] == 4
+        assert stats["attempts"] == 4  # one attempt each, no second tries
+        assert stats["retries"] == 0
+        assert stats["lost"] == 0
+        assert stats["gave_up"] == 0
+
+    def test_convergence_is_last_delivery_time(self):
+        sim = Simulator(seed=5)
+        network = CollectiveKnowledgeNetwork(
+            sim=sim, loss_probability=0.0, latency=0.05
+        )
+        kb_a, _ = _joined_pair(network)
+        kb_a.put("Feature.first", 1, collective=True)
+        sim.run(1.0)
+        first = network.convergence_time()
+        kb_a.put("Feature.second", 2, collective=True)
+        sim.run(2.0)
+
+        assert first > 0.0
+        assert network.convergence_time() > first
+        assert network.convergence_time() <= sim.clock.now
+
+    def test_synchronous_network_delivers_at_time_zero(self):
+        network = CollectiveKnowledgeNetwork(sim=None, loss_probability=0.0)
+        kb_a, kb_b = _joined_pair(network)
+        kb_a.put("Feature.sync", 1, collective=True)
+
+        stats = network.delivery_stats()
+        assert stats["delivered"] == stats["sent"] == 1
+        assert kb_b.get("Feature.sync", creator=NodeId("a")) is not None
+        # No sim clock: delivery happens "now", which is time zero.
+        assert network.convergence_time() == 0.0
+
+    def test_stats_aggregate_both_directions(self):
+        sim = Simulator(seed=5)
+        network = CollectiveKnowledgeNetwork(sim=sim, loss_probability=0.0)
+        kb_a, kb_b = _joined_pair(network)
+        kb_a.put("Feature.east", 1, collective=True)
+        kb_b.put("Feature.west", 2, collective=True)
+        sim.run(5.0)
+
+        stats = network.delivery_stats()
+        assert stats["sent"] == 2
+        assert stats["delivered"] == 2
+        assert {link.sent for link in network.links()} == {1}
+
+
+class TestMaxLoss:
+    def test_permanent_partition_exhausts_budget_and_gives_up(self):
+        sim = Simulator(seed=5)
+        network = CollectiveKnowledgeNetwork(
+            sim=sim, loss_probability=0.0, max_retries=6
+        )
+        kb_a, kb_b = _joined_pair(network)
+        network.add_outage(0.0, 10_000.0)
+        for i in range(3):
+            kb_a.put(f"Feature.{i}", i, collective=True)
+        # Backoff schedule tops out well under a minute; run past it.
+        sim.run(60.0)
+
+        stats = network.delivery_stats()
+        assert stats["sent"] == 3
+        assert stats["delivered"] == 0
+        assert stats["gave_up"] == 3
+        assert stats["retries"] == 3 * 6
+        assert stats["attempts"] == 3 * 7  # initial try + six retries
+        assert stats["lost"] == stats["attempts"]
+        assert kb_b.get("Feature.0", creator=NodeId("a")) is None
+
+    def test_no_delivery_means_zero_convergence(self):
+        sim = Simulator(seed=5)
+        network = CollectiveKnowledgeNetwork(sim=sim)
+        _joined_pair(network)
+        network.add_outage(0.0, 10_000.0)
+        sim.run(30.0)
+        assert network.convergence_time() == 0.0
+
+    def test_fire_and_forget_gives_up_immediately(self):
+        sim = Simulator(seed=5)
+        network = CollectiveKnowledgeNetwork(sim=sim, max_retries=0)
+        kb_a, _ = _joined_pair(network)
+        network.add_outage(0.0, 10_000.0)
+        kb_a.put("Feature.x", 1, collective=True)
+        sim.run(10.0)
+
+        stats = network.delivery_stats()
+        assert stats["attempts"] == stats["sent"] == 1
+        assert stats["retries"] == 0
+        assert stats["gave_up"] == 1

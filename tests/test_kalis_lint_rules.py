@@ -572,3 +572,73 @@ class TestSwallowedExceptionRule:
             "KL007",
         )
         assert [f.key for f in findings] == ["quiet.Exception"]
+
+
+class TestPrintRule:
+    def test_print_in_library_module_flagged(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/core/thing.py": """
+                def handle(capture):
+                    print("saw", capture)
+                """
+            },
+            "KL008",
+        )
+        assert len(findings) == 1
+        assert findings[0].path == "src/repro/core/thing.py"
+        assert findings[0].line == 3
+        assert "repro.core.thing" in findings[0].message
+
+    def test_cli_main_and_analysis_exempt(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/cli.py": """
+                def main():
+                    print("report")
+                """,
+                "repro/__main__.py": """
+                print("entry point")
+                """,
+                "repro/analysis/cli.py": """
+                def report(finding):
+                    print(finding)
+                """,
+            },
+            "KL008",
+        )
+        assert findings == []
+
+    def test_print_in_string_not_flagged(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/obs/report.py": """
+                def render():
+                    '''Usage::
+
+                        print(render())
+                    '''
+                    return "print('hello')"
+                """
+            },
+            "KL008",
+        )
+        assert findings == []
+
+    def test_locally_rebound_print_is_legal(self, tmp_path):
+        findings = run(
+            tmp_path,
+            {
+                "repro/sim/thing.py": """
+                print = object()
+
+                def use():
+                    print()
+                """
+            },
+            "KL008",
+        )
+        assert findings == []
