@@ -14,28 +14,40 @@ Public surface:
 - :func:`repro.analysis.rules.labels.derive_label_flow` — the KL003
   producer/consumer label map (machine-checked against the paper's
   Figure 3 taxonomy in tests);
+- :class:`repro.analysis.callgraph.CallGraph` /
+  :func:`repro.analysis.knowflow.derive_knowflow` — the whole-program
+  symbol/call-graph layer and the knowledge-flow + topic graphs the
+  KL1xx rules run on (exported via ``kalis-lint graph``);
 - :mod:`repro.analysis.cli` — the ``kalis-lint`` command.
 
-Rules: KL001 determinism, KL002 module contracts, KL003 knowledge-label
-flow, KL004 packet schemas, KL005 event-bus topics, KL006 unused
-imports, KL007 swallowed exceptions, KL008 no print() outside the CLI
-surface — plus KL000 (syntax failure) and KL099 (stale baseline entry).
+Per-file rules: KL001 determinism, KL002 module contracts, KL003
+knowledge-label flow, KL004 packet schemas, KL005 event-bus topics,
+KL006 unused imports, KL007 swallowed exceptions, KL008 no print()
+outside the CLI surface — plus KL000 (syntax failure) and KL099 (stale
+baseline entry).  Whole-program rules: KL101 knowgget liveness, KL102
+dead knowledge, KL103 orphan bus topics, KL104 module contract drift,
+KL105 determinism taint.
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.engine import Rule, available_rules, register_rule, run_rules
 from repro.analysis.findings import Finding, Severity, sort_findings
+from repro.analysis.knowflow import KnowFlow, derive_knowflow
 from repro.analysis.project import Project, SourceFile
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "Finding",
+    "KnowFlow",
     "Project",
     "Rule",
     "Severity",
     "SourceFile",
     "available_rules",
+    "derive_knowflow",
     "register_rule",
     "run_rules",
     "sort_findings",

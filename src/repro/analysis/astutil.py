@@ -19,6 +19,9 @@ from typing import Callable, List, Optional, Tuple
 StrPattern = Tuple[str, Optional[str]]
 
 Resolver = Callable[[str], Optional[str]]
+#: Resolver for dotted constant references (``alias.CONST``): takes the
+#: attribute chain as a list and returns the constant's value, if known.
+ChainResolver = Callable[[List[str]], Optional[str]]
 
 
 def const_str(node: ast.AST) -> Optional[str]:
@@ -82,13 +85,19 @@ def class_body_assign(node: ast.ClassDef, name: str) -> Optional[ast.expr]:
     return None
 
 
-def string_pattern(node: ast.AST, resolve: Optional[Resolver] = None) -> StrPattern:
+def string_pattern(
+    node: ast.AST,
+    resolve: Optional[Resolver] = None,
+    resolve_chain: Optional[ChainResolver] = None,
+) -> StrPattern:
     """Statically classify a string-valued expression.
 
     Handles literals, names resolvable to module-level string constants
-    (via ``resolve``), ``CONST + tail`` concatenations, and f-strings
-    with a constant head (``f"Multihop.{medium}"`` -> prefix
-    ``"Multihop."``).
+    (via ``resolve``), dotted constant references resolvable through
+    module aliases (via ``resolve_chain``, e.g. ``alerts.ALERT_TOPIC``
+    after ``from repro.core import alerts``), ``CONST + tail``
+    concatenations, and f-strings with a constant head
+    (``f"Multihop.{medium}"`` -> prefix ``"Multihop."``).
     """
     literal = const_str(node)
     if literal is not None:
@@ -98,10 +107,17 @@ def string_pattern(node: ast.AST, resolve: Optional[Resolver] = None) -> StrPatt
         if resolved is not None:
             return ("exact", resolved)
         return ("dynamic", None)
+    if isinstance(node, ast.Attribute) and resolve_chain is not None:
+        chain = attribute_chain(node)
+        if chain is not None:
+            resolved = resolve_chain(chain)
+            if resolved is not None:
+                return ("exact", resolved)
+        return ("dynamic", None)
     if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
-        head_kind, head = string_pattern(node.left, resolve)
+        head_kind, head = string_pattern(node.left, resolve, resolve_chain)
         if head_kind == "exact" and head is not None:
-            tail_kind, tail = string_pattern(node.right, resolve)
+            tail_kind, tail = string_pattern(node.right, resolve, resolve_chain)
             if tail_kind == "exact" and tail is not None:
                 return ("exact", head + tail)
             return ("prefix", head)

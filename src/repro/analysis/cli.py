@@ -8,6 +8,14 @@ invariant checker over a source tree::
     kalis-lint --select KL001,KL003 …    # a subset of rules
     kalis-lint --write-baseline …        # snapshot current findings
     kalis-lint --format json …           # machine-readable output
+    kalis-lint --changed [REF] …         # only files touched since REF
+                                         # (plus their transitive importers)
+    kalis-lint graph --format dot|json   # export the whole-program
+                                         # knowledge-flow and topic graphs
+
+``--changed`` still parses the *whole* tree (the KL1xx whole-program
+rules are unsound on a partial parse); only the reported findings are
+filtered to the change closure, so it is fast to read, not fast to run.
 
 Exit codes: 0 clean, 1 findings (including stale baseline entries),
 2 usage or baseline-file errors.
@@ -17,9 +25,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.engine import (
@@ -90,13 +99,61 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report only findings in files changed vs. REF (default HEAD)"
+        " and their transitive importers; the whole tree is still parsed",
+    )
+    return parser
+
+
+def build_graph_parser() -> argparse.ArgumentParser:
+    """Build the ``kalis-lint graph`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="kalis-lint graph",
+        description=(
+            "Export the whole-program knowledge-flow and bus-topic graphs"
+            " (deterministic: byte-identical across runs)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root for relative paths",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("dot", "json"),
+        default="json",
+        dest="output_format",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Run kalis-lint; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "graph":
+        return graph_main(arguments[1:])
     parser = build_parser()
-    options = parser.parse_args(argv)
+    options = parser.parse_args(arguments)
 
     if options.list_rules:
         for rule_class in available_rules():
@@ -137,9 +194,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.write_baseline:
         return _write_baseline(baseline_path, baseline, findings)
 
+    scope: Optional[Set[str]] = None
+    if options.changed is not None:
+        try:
+            scope = _changed_scope(project, options.changed)
+        except RuntimeError as error:
+            print(f"kalis-lint: {error}", file=sys.stderr)
+            return 2
+
     suppressed = 0
     reported: List[Finding] = []
     for finding in findings:
+        if scope is not None and finding.path not in scope:
+            continue
         if baseline.suppresses(finding):
             suppressed += 1
         else:
@@ -147,7 +214,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     scanned = {source.relpath for source in project.files}
     scanned.update(failure.relpath for failure in project.failures)
+    if scope is not None:
+        # Out-of-scope files were not (re-)judged; their baseline
+        # entries cannot be called stale.
+        scanned &= scope
     for entry in baseline.stale_entries(scanned):
+        if select is not None and entry.rule not in select:
+            # The entry's rule did not run; it cannot be judged stale.
+            continue
         reported.append(
             Finding(
                 rule=STALE_BASELINE_RULE_ID,
@@ -188,6 +262,94 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{summary} ({', '.join(details)})")
 
     return 1 if reported else 0
+
+
+def _changed_scope(project: Project, ref: str) -> Set[str]:
+    """Relpaths in the change closure: files changed vs. ``ref`` plus
+    every file that (transitively) imports one of them."""
+    changed: Set[str] = set()
+    for command in (
+        ["git", "diff", "--name-only", ref, "--"],
+        # Brand-new files are invisible to diff until tracked.
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            completed = subprocess.run(
+                command,
+                cwd=project.root,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as error:
+            detail = getattr(error, "stderr", "") or str(error)
+            hint = (
+                "; --changed takes an optional git REF, not a path — put"
+                " paths before it (kalis-lint src/repro --changed)"
+                if Path(ref).exists()
+                else ""
+            )
+            raise RuntimeError(
+                f"--changed: {' '.join(command[:2])} failed:"
+                f" {detail.strip()}{hint}"
+            ) from error
+        changed.update(
+            line.strip() for line in completed.stdout.splitlines() if line.strip()
+        )
+
+    by_relpath = {source.relpath: source for source in project.files}
+    frontier = [
+        by_relpath[relpath].module
+        for relpath in changed
+        if relpath in by_relpath
+    ]
+    closure: Set[str] = set(frontier)
+    while frontier:
+        module = frontier.pop()
+        for importer in project.importers_of(module):
+            if importer not in closure:
+                closure.add(importer)
+                frontier.append(importer)
+
+    scope = {
+        source.relpath
+        for source in project.files
+        if source.module in closure
+    }
+    # Changed files that did not parse (or are not modules) stay in
+    # scope so their findings/baseline entries are still judged.
+    scope.update(changed)
+    return scope
+
+
+def graph_main(argv: List[str]) -> int:
+    """Run ``kalis-lint graph``; returns the process exit code."""
+    from repro.analysis.knowflow import derive_knowflow, export_dot, export_json
+
+    parser = build_graph_parser()
+    options = parser.parse_args(argv)
+    paths = [Path(p) for p in options.paths]
+    if not paths:
+        default = Path("src/repro")
+        if not default.exists():
+            parser.error("no paths given and ./src/repro does not exist")
+        paths = [default]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    project = Project.load(paths, root=options.root)
+    flow = derive_knowflow(project)
+    rendered = (
+        export_dot(flow)
+        if options.output_format == "dot"
+        else export_json(flow)
+    )
+    if options.output is not None:
+        options.output.write_text(rendered, encoding="utf-8")
+    else:
+        sys.stdout.write(rendered)
+    return 0
 
 
 def _write_baseline(

@@ -26,6 +26,9 @@ class SourceFile:
     module: str
     tree: ast.Module
     text: str
+    #: True for package ``__init__.py`` files — relative imports resolve
+    #: against the package itself there, not against its parent.
+    is_package: bool = False
 
     def in_package(self, package: str) -> bool:
         """Is this module inside ``package`` (or the package itself)?"""
@@ -56,6 +59,10 @@ class Project:
     imported_names: Dict[Tuple[str, str], Tuple[str, str]] = field(
         default_factory=dict
     )
+    #: (module, local name) -> project-internal module the name is bound
+    #: to (``import repro.core.alerts as alerts`` / ``import repro.core``
+    #: / ``from repro.core import alerts``), for dotted-constant lookup.
+    module_aliases: Dict[Tuple[str, str], str] = field(default_factory=dict)
     #: (module, name) -> module-level string constant.
     str_constants: Dict[Tuple[str, str], str] = field(default_factory=dict)
     #: (module, name) -> module-level tuple/list of string constants.
@@ -99,7 +106,12 @@ class Project:
             return
         module = _module_name(file_path)
         source = SourceFile(
-            path=file_path, relpath=relpath, module=module, tree=tree, text=text
+            path=file_path,
+            relpath=relpath,
+            module=module,
+            tree=tree,
+            text=text,
+            is_package=file_path.name == "__init__.py",
         )
         self.files.append(source)
         self.by_module[module] = source
@@ -113,8 +125,19 @@ class Project:
                 for alias in statement.names:
                     if alias.name in self.by_module:
                         imports.add(alias.name)
+                    if alias.asname is not None:
+                        # ``import repro.core.alerts as alerts`` binds the
+                        # full dotted module to the alias.
+                        self.module_aliases[(source.module, alias.asname)] = (
+                            alias.name
+                        )
+                    else:
+                        # ``import repro.core.alerts`` binds only the head
+                        # segment (``repro``) in the importing namespace.
+                        head = alias.name.split(".", 1)[0]
+                        self.module_aliases[(source.module, head)] = head
             elif isinstance(statement, ast.ImportFrom):
-                origin = self._absolute_import(source.module, statement)
+                origin = self._absolute_import(source, statement)
                 if origin is None:
                     continue
                 if origin in self.by_module:
@@ -125,6 +148,7 @@ class Project:
                     if submodule in self.by_module:
                         # ``from pkg import mod`` pulls in a module.
                         imports.add(submodule)
+                        self.module_aliases[(source.module, local)] = submodule
                     self.imported_names[(source.module, local)] = (
                         origin,
                         alias.name,
@@ -160,15 +184,20 @@ class Project:
                 self.str_tuple_constants[(module, name)] = tuple(elements)
 
     @staticmethod
-    def _absolute_import(module: str, node: ast.ImportFrom) -> Optional[str]:
+    def _absolute_import(source: SourceFile, node: ast.ImportFrom) -> Optional[str]:
         if node.level == 0:
             return node.module
-        # Relative import: strip ``level`` trailing segments from the
-        # importing module's package path.
-        parts = module.split(".")
-        if len(parts) < node.level:
+        # Relative import: level 1 means "this file's package" — for a
+        # plain module that is the dotted path minus the module's own
+        # name, for a package ``__init__.py`` it is the package itself.
+        # Each further level strips one more package segment.
+        parts = source.module.split(".")
+        if not source.is_package:
+            parts = parts[:-1]
+        strip = node.level - 1
+        if strip > len(parts):
             return None
-        base = parts[: len(parts) - node.level]
+        base = parts[: len(parts) - strip]
         if node.module:
             base.append(node.module)
         return ".".join(base) if base else None
@@ -200,6 +229,32 @@ class Project:
         if link is not None:
             return self.resolve_str_tuple(link[0], link[1], _depth + 1)
         return None
+
+    def resolve_module(self, module: str, name: str) -> Optional[str]:
+        """The project-internal module a local name is bound to, if any."""
+        return self.module_aliases.get((module, name))
+
+    def resolve_str_chain(
+        self, module: str, chain: List[str]
+    ) -> Optional[str]:
+        """A dotted name's string-constant value (``alias.CONST``,
+        ``pkg.sub.CONST``), following module aliases segment by segment."""
+        if not chain:
+            return None
+        if len(chain) == 1:
+            return self.resolve_str(module, chain[0])
+        target = self.module_aliases.get((module, chain[0]))
+        if target is None:
+            return None
+        # Walk intermediate attribute segments as submodules
+        # (``repro.core.alerts.ALERT_TOPIC`` after ``import repro.core``).
+        for segment in chain[1:-1]:
+            candidate = f"{target}.{segment}"
+            if candidate in self.by_module:
+                target = candidate
+            else:
+                return None
+        return self.resolve_str(target, chain[-1])
 
     def imports_of(self, module: str) -> Set[str]:
         """Project-internal modules imported by ``module``."""

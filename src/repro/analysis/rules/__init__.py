@@ -9,21 +9,25 @@ Adding a rule = adding a module here that defines a
 from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     contracts,
     determinism,
+    flows,
     imports,
     labels,
     packets,
     prints,
     swallows,
+    taint,
     topics,
 )
 
 __all__ = [
     "contracts",
     "determinism",
+    "flows",
     "imports",
     "labels",
     "packets",
     "prints",
     "swallows",
+    "taint",
     "topics",
 ]

@@ -107,6 +107,9 @@ def _scan_file(project: Project, source: SourceFile, flow: LabelFlow) -> None:
     def resolve(name: str) -> Optional[str]:
         return project.resolve_str(source.module, name)
 
+    def resolve_chain(chain: List[str]) -> Optional[str]:
+        return project.resolve_str_chain(source.module, chain)
+
     for owner, node in _walk_with_class(source.tree):
         if isinstance(node, ast.Constant) and isinstance(node.value, str):
             flow.string_constants.setdefault(node.value, set()).add(
@@ -124,7 +127,7 @@ def _scan_file(project: Project, source: SourceFile, flow: LabelFlow) -> None:
             label_node = call_arg(node, 0, "label")
             if label_node is None:
                 continue
-            kind, value = string_pattern(label_node, resolve)
+            kind, value = string_pattern(label_node, resolve, resolve_chain)
             if kind == "exact" and value is not None:
                 _record(
                     flow.consumers,
@@ -144,7 +147,7 @@ def _scan_file(project: Project, source: SourceFile, flow: LabelFlow) -> None:
         if label_node is None:
             continue
         if method in _PRODUCER_METHODS:
-            kind, value = string_pattern(label_node, resolve)
+            kind, value = string_pattern(label_node, resolve, resolve_chain)
             site = LabelSite(
                 source.relpath, node.lineno, source.module, site_via, owner
             )
@@ -165,7 +168,9 @@ def _consumed_labels(
 ) -> List[str]:
     """Constant labels a consumer argument denotes (str or str-tuple)."""
     kind, value = string_pattern(
-        label_node, lambda name: project.resolve_str(source.module, name)
+        label_node,
+        lambda name: project.resolve_str(source.module, name),
+        lambda chain: project.resolve_str_chain(source.module, chain),
     )
     if kind == "exact" and value is not None:
         return [value]

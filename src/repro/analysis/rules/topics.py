@@ -10,7 +10,9 @@ cross-checks the two sides statically:
   ``*bus.subscribe_prefix(prefix, …)`` call sites.
 
 Topic expressions may be literals, names resolving to module-level
-constants (``ALERT_TOPIC``), concatenations with a constant head
+constants (``ALERT_TOPIC``, including dotted references to constants in
+other modules such as ``alerts.ALERT_TOPIC``), concatenations with a
+constant head
 (``KNOWLEDGE_TOPIC_PREFIX + key`` → prefix ``knowledge.``) or f-strings
 with a constant head.  A subscription whose pattern can never overlap
 any publication pattern is flagged; fully-dynamic expressions on either
@@ -64,6 +66,9 @@ def _scan_file(project: Project, source: SourceFile) -> Iterable[TopicSite]:
     def resolve(name: str) -> Optional[str]:
         return project.resolve_str(source.module, name)
 
+    def resolve_chain(chain: List[str]) -> Optional[str]:
+        return project.resolve_str_chain(source.module, chain)
+
     for node in ast.walk(source.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -80,7 +85,7 @@ def _scan_file(project: Project, source: SourceFile) -> Iterable[TopicSite]:
             continue
         if not node.args:
             continue
-        kind, value = string_pattern(node.args[0], resolve)
+        kind, value = string_pattern(node.args[0], resolve, resolve_chain)
         if method == "subscribe_prefix" and kind == "exact":
             # A prefix subscription matches a topic family by design.
             kind = "prefix"

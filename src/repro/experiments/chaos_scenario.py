@@ -270,4 +270,9 @@ def run(
     result.extra["injected"] = {
         key: injector.injected for key, injector in plan.injectors.items()
     }
+    # Runtime truth for the static topic graph: every topic that crossed
+    # either node's bus (kalis-lint's KL103 pass must cover all of them).
+    result.extra["bus_topics"] = sorted(
+        set(primary.bus.topic_counts()) | set(remote.bus.topic_counts())
+    )
     return result

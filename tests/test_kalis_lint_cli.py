@@ -39,6 +39,9 @@ class TestFlags:
         out = capsys.readouterr().out
         for rule_id in ("KL001", "KL002", "KL003", "KL004", "KL005", "KL006"):
             assert rule_id in out
+        # Whole-program rules ride the same registry.
+        for rule_id in ("KL101", "KL102", "KL103", "KL104", "KL105"):
+            assert rule_id in out
 
     def test_select_unknown_rule_is_usage_error(self, tmp_path, capsys):
         tree = write_tree(tmp_path, _DIRTY_TREE)
@@ -97,6 +100,56 @@ class TestFlags:
         out = capsys.readouterr().out
         assert code == 1
         assert "KL000" in out
+
+
+class TestDottedConstantResolution:
+    """KL005 resolves dotted constant references (``consts.TOPIC``)."""
+
+    def _tree(self, tmp_path, topic):
+        return write_tree(
+            tmp_path,
+            {
+                "repro/core/consts.py": f'TOPIC = "{topic}"\n',
+                "repro/core/user.py": """
+                from repro.core import consts
+
+
+                def wire(bus, handler):
+                    bus.subscribe(consts.TOPIC, handler)
+
+
+                def emit(bus):
+                    bus.publish("alert.raised", {})
+                """,
+            },
+        )
+
+    def test_dotted_constant_subscription_without_publisher(
+        self, tmp_path, capsys
+    ):
+        tree = self._tree(tmp_path, "alert.missing")
+        code = main(
+            [
+                "--root", str(tmp_path), "--no-baseline",
+                "--select", "KL005", str(tree),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "alert.missing" in out
+
+    def test_dotted_constant_subscription_with_publisher_is_clean(
+        self, tmp_path, capsys
+    ):
+        tree = self._tree(tmp_path, "alert.raised")
+        code = main(
+            [
+                "--root", str(tmp_path), "--no-baseline",
+                "--select", "KL005", str(tree),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
 
 
 class TestBaselineWorkflow:
