@@ -37,3 +37,38 @@ def test_bench_e12_scalability(benchmark, report):
     assert points[-1].max_node_work <= points[0].max_node_work * 1.3
     # ...while the site (and IDS fleet) actually grew.
     assert points[-1].kalis_nodes == 3 * points[0].kalis_nodes
+
+
+def test_bench_transmit_fast_path(bench_json, report):
+    """The frame-delivery fast path: transmit cost must scale like
+    O(N * density), not O(N^2), with a provably identical reception set."""
+    points = scalability_scenario.run_transmit_bench(
+        seed=47, sizes=(200, 800), frames=300
+    )
+    report(
+        "Delivery fast path: spatial index vs brute force",
+        scalability_scenario.render_transmit(points),
+    )
+    small, large = points[0], points[-1]
+    bench_json(
+        "transmit_fast_path",
+        sizes=[point.nodes for point in points],
+        frames=small.frames,
+        speedup_small=round(small.speedup, 2),
+        speedup_large=round(large.speedup, 2),
+        candidates_per_frame_small=round(small.candidates_per_frame, 1),
+        candidates_per_frame_large=round(large.candidates_per_frame, 1),
+        indexed_wall_s_large=round(large.indexed_wall_s, 3),
+        brute_wall_s_large=round(large.brute_wall_s, 3),
+        deliveries_large=large.deliveries,
+    )
+
+    # The index must never change what is received (lossless culling).
+    assert all(point.receptions_match for point in points)
+    # >= 3x faster than brute force at the largest size (acceptance bar).
+    assert large.speedup >= 3.0
+    # Constant density => candidate evaluations per frame stay ~flat as
+    # N quadruples; anything worse means the cull stopped being local.
+    assert (
+        large.candidates_per_frame <= small.candidates_per_frame * 1.5
+    ), "transmit cost is scaling worse than O(N * density)"

@@ -14,9 +14,9 @@ proxy in :mod:`repro.metrics.resources` reads
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_left
 from pathlib import Path
-from typing import Callable, Deque, List, Optional
+from typing import Callable, List, Optional
 
 from repro.sim.capture import Capture
 from repro.trace.record import TraceRecord
@@ -49,7 +49,13 @@ class DataStore:
             raise ValueError(f"window_age must be positive, got {window_age}")
         self.window_size = window_size
         self.window_age = window_age
-        self._window: Deque[Capture] = deque()
+        # Ring layout: a list plus a start offset, compacted lazily.
+        # Eviction advances the offset (O(1)); a parallel timestamp
+        # array keeps recent()/age-eviction at O(log W) via bisect
+        # (captures arrive in nondecreasing sim-time order).
+        self._window: List[Capture] = []
+        self._stamps: List[float] = []
+        self._start = 0
         self._log_path = Path(log_to) if log_to else None
         self._log_trace: Optional[Trace] = Trace() if log_to else None
         self.total_captures = 0
@@ -61,17 +67,22 @@ class DataStore:
     def add(self, capture: Capture) -> None:
         """Record one capture, evicting anything outside the window."""
         self._window.append(capture)
+        self._stamps.append(capture.timestamp)
         self.total_captures += 1
         evicted_count = 0
         evicted_age = 0
-        if len(self._window) > self.window_size:
-            self._window.popleft()
+        if len(self._window) - self._start > self.window_size:
+            self._start += 1
             evicted_count += 1
         if self.window_age is not None:
             horizon = capture.timestamp - self.window_age
-            while self._window and self._window[0].timestamp < horizon:
-                self._window.popleft()
-                evicted_age += 1
+            fresh_start = bisect_left(self._stamps, horizon, lo=self._start)
+            evicted_age = fresh_start - self._start
+            self._start = fresh_start
+        if self._start > 1024 and self._start * 2 >= len(self._window):
+            del self._window[: self._start]
+            del self._stamps[: self._start]
+            self._start = 0
         if self._log_trace is not None:
             self._log_trace.append(TraceRecord(capture=capture))
         if self._telemetry is not None:
@@ -86,26 +97,29 @@ class DataStore:
                 metrics.counter("datastore_evicted_total").inc(
                     evicted_age, reason="age", **labels
                 )
-            metrics.gauge("datastore_window_size").set(len(self._window), **labels)
+            metrics.gauge("datastore_window_size").set(len(self), **labels)
 
     # -- queries -------------------------------------------------------------------
 
     def window(self) -> List[Capture]:
         """The current in-memory window, oldest first."""
-        return list(self._window)
+        return self._window[self._start :]
 
     def recent(self, seconds: float) -> List[Capture]:
-        """Captures from the last ``seconds`` of the window."""
-        if not self._window:
+        """Captures from the last ``seconds`` of the window (O(log W))."""
+        if self._start >= len(self._window):
             return []
-        horizon = self._window[-1].timestamp - seconds
-        return [c for c in self._window if c.timestamp >= horizon]
+        horizon = self._stamps[-1] - seconds
+        first = bisect_left(self._stamps, horizon, lo=self._start)
+        return self._window[first:]
 
     def latest_timestamp(self) -> Optional[float]:
-        return self._window[-1].timestamp if self._window else None
+        if self._start >= len(self._window):
+            return None
+        return self._stamps[-1]
 
     def __len__(self) -> int:
-        return len(self._window)
+        return len(self._window) - self._start
 
     # -- disk log and replay ----------------------------------------------------------
 
@@ -129,4 +143,7 @@ class DataStore:
 
     def approximate_bytes(self) -> int:
         """Rough footprint of the in-memory window (packet sizes + overhead)."""
-        return sum(capture.packet.size_bytes + 64 for capture in self._window)
+        return sum(
+            capture.packet.size_bytes + 64
+            for capture in self._window[self._start :]
+        )

@@ -24,15 +24,20 @@ One Kalis node guards each block.  The measurements:
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.kalis import KalisNode
 from repro.devices.commodity import CloudService, LifxBulb, NestThermostat
 from repro.devices.wsn import build_wsn
+from repro.net.packets.base import Medium
+from repro.net.packets.ieee802154 import Ieee802154Frame
 from repro.proto.iphost import IpRouter, LanDirectory
 from repro.sim.engine import Simulator
-from repro.sim.topology import line_positions
+from repro.sim.node import SimNode
+from repro.sim.topology import line_positions, random_positions
 from repro.util.ids import NodeId
 from repro.util.rng import SeededRng
 
@@ -141,5 +146,131 @@ def render(points: List[ScalabilityPoint]) -> str:
         lines.append(
             f"{point.blocks:>7} {point.kalis_nodes:>10} "
             f"{point.mean_node_work:>15,.0f} {point.max_node_work:>14,.0f}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Transmit-cost microbench: the frame-delivery fast path.
+#
+# A flat 802.15.4 site at *constant density* (area grows with the node
+# count), driven with broadcast frames.  With the spatial index, each
+# transmission should only pay for the ~constant number of in-range
+# candidates — O(N * density) total — while the brute-force path pays
+# O(N^2).  The reception sets must match exactly (the index is provably
+# lossless; see DESIGN.md).
+# --------------------------------------------------------------------------
+
+#: Mean spacing of the flat site — the site side is ``sqrt(N) * spacing``,
+#: keeping density constant as N grows.
+NODE_SPACING_M = 40.0
+
+
+@dataclass
+class TransmitCostPoint:
+    """Indexed-vs-brute-force transmit cost at one network size."""
+
+    nodes: int
+    frames: int
+    indexed_wall_s: float
+    brute_wall_s: float
+    indexed_candidates: int
+    brute_candidates: int
+    deliveries: int
+    receptions_match: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.brute_wall_s / self.indexed_wall_s
+
+    @property
+    def candidates_per_frame(self) -> float:
+        return self.indexed_candidates / self.frames if self.frames else 0.0
+
+
+def _build_flat_site(
+    seed: int, node_count: int, use_spatial_index: bool
+) -> Tuple[Simulator, List[SimNode]]:
+    side = math.sqrt(node_count) * NODE_SPACING_M
+    positions = random_positions(
+        node_count, (0.0, 0.0, side, side),
+        rng=SeededRng(seed, "transmit-bench"),
+    )
+    sim = Simulator(seed=seed, use_spatial_index=use_spatial_index)
+    nodes = [
+        sim.add_node(
+            SimNode(
+                NodeId(f"n{index:04d}"), position,
+                mediums=(Medium.IEEE_802_15_4,),
+            )
+        )
+        for index, position in enumerate(positions)
+    ]
+    sim.run_until(0.001)
+    return sim, nodes
+
+
+def _drive(
+    sim: Simulator, nodes: List[SimNode], frames: int
+) -> Tuple[float, List[int]]:
+    """Broadcast ``frames`` frames round-robin; return (wall s, receptions)."""
+    receptions = []
+    started = time.perf_counter()
+    for sequence in range(frames):
+        sender = nodes[sequence % len(nodes)]
+        receptions.append(
+            sender.send(
+                Medium.IEEE_802_15_4,
+                Ieee802154Frame(
+                    pan_id=1, seq=sequence % 256, src=sender.node_id, dst=None
+                ),
+            )
+        )
+        sim.run(0.05)
+    return time.perf_counter() - started, receptions
+
+
+def run_transmit_point(
+    seed: int, node_count: int, frames: int
+) -> TransmitCostPoint:
+    """Measure one network size, indexed and brute-force, same topology."""
+    sim_grid, nodes_grid = _build_flat_site(seed, node_count, True)
+    sim_brute, nodes_brute = _build_flat_site(seed, node_count, False)
+    grid_s, grid_receptions = _drive(sim_grid, nodes_grid, frames)
+    brute_s, brute_receptions = _drive(sim_brute, nodes_brute, frames)
+    return TransmitCostPoint(
+        nodes=node_count,
+        frames=frames,
+        indexed_wall_s=grid_s,
+        brute_wall_s=brute_s,
+        indexed_candidates=sim_grid.candidate_evaluations,
+        brute_candidates=sim_brute.candidate_evaluations,
+        deliveries=sim_grid.deliveries,
+        receptions_match=(
+            grid_receptions == brute_receptions
+            and sim_grid.deliveries == sim_brute.deliveries
+        ),
+    )
+
+
+def run_transmit_bench(
+    seed: int = 47, sizes: Sequence[int] = (200, 800), frames: int = 300
+) -> List[TransmitCostPoint]:
+    """Run the transmit-cost sweep over network sizes."""
+    return [run_transmit_point(seed, node_count, frames) for node_count in sizes]
+
+
+def render_transmit(points: List[TransmitCostPoint]) -> str:
+    """Render the transmit-cost sweep as an aligned text table."""
+    lines = [
+        f"{'nodes':>6} {'frames':>7} {'indexed s':>10} {'brute s':>9} "
+        f"{'speedup':>8} {'cand/frame':>11} {'identical':>10}"
+    ]
+    for point in points:
+        lines.append(
+            f"{point.nodes:>6} {point.frames:>7} {point.indexed_wall_s:>10.3f} "
+            f"{point.brute_wall_s:>9.3f} {point.speedup:>7.1f}x "
+            f"{point.candidates_per_frame:>11.1f} "
+            f"{str(point.receptions_match):>10}"
         )
     return "\n".join(lines)

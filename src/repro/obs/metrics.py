@@ -66,6 +66,27 @@ class Metric:
         return {"value": value}
 
 
+class BoundCounter:
+    """One counter series with its label key pre-resolved.
+
+    Hot paths (the per-frame delivery loop) hoist the name lookup and
+    label-key canonicalisation out of the loop by binding once via
+    :meth:`Counter.labelled`; each ``inc`` is then a plain dict update.
+    """
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Dict[LabelKey, float], key: LabelKey) -> None:
+        self._values = values
+        self._key = key
+
+    def inc(self, amount: float = 1) -> None:
+        self._values[self._key] = self._values.get(self._key, 0) + amount
+
+    def value(self) -> float:
+        return self._values.get(self._key, 0)
+
+
 class Counter(Metric):
     """A monotonically increasing count."""
 
@@ -78,6 +99,10 @@ class Counter(Metric):
     def inc(self, amount: float = 1, **labels: Any) -> None:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0) + amount
+
+    def labelled(self, **labels: Any) -> BoundCounter:
+        """A pre-bound single-series view for hot-path increments."""
+        return BoundCounter(self._values, _label_key(labels))
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0)

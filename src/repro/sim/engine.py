@@ -5,10 +5,21 @@ simulated times and dispatched in time order (FIFO among equal times).
 The engine also owns frame propagation — :meth:`Simulator.transmit`
 asks the medium which nodes can hear a frame and schedules deliveries.
 
-Determinism: node iteration is sorted by node id, tie-breaking in the
-event queue is by insertion sequence, and all randomness comes from the
-seeded generators in :mod:`repro.util.rng` — so a scenario re-run with
-the same seed reproduces every capture, RSSI value and alert exactly.
+Frame delivery runs through a fast path: per-medium receiver
+registries plus a uniform spatial grid (:mod:`repro.sim.spatial`) with
+cells sized to the medium's culling range (mean path loss plus the
+clamped shadowing margin), maintained incrementally on node
+add/remove/move.  A transmission therefore examines only the sender's
+3x3 cell neighborhood instead of re-sorting and scanning the whole
+registry, making transmit cost O(local density) rather than O(N).
+
+Determinism: candidate iteration is sorted by node id, tie-breaking in
+the event queue is by insertion sequence, and RSSI/loss draws are
+order-independent per-(sender, receiver, transmission-sequence) hashed
+substreams (:class:`repro.util.rng.HashedStream`) — so candidate
+culling cannot perturb any surviving receiver's draws, and a scenario
+re-run with the same seed reproduces every capture, RSSI value and
+alert exactly, with or without the spatial index.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.packets.base import Medium, Packet
 from repro.sim.medium import RadioMedium
+from repro.sim.spatial import SpatialGrid
 from repro.util.clock import ManualClock
 from repro.util.ids import NodeId
 from repro.util.rng import SeededRng
@@ -36,19 +48,38 @@ BITS_PER_SECOND = {
 
 
 class Simulator:
-    """Owns simulated time, the node registry and the radio mediums."""
+    """Owns simulated time, the node registry and the radio mediums.
 
-    def __init__(self, seed: int = 0, telemetry=None) -> None:
+    :param use_spatial_index: route transmissions through the spatial
+        grid (the default).  ``False`` falls back to a brute-force scan
+        of the per-medium registry — same reception set, draw for draw,
+        because RSSI/loss draws are keyed per pair; kept as the
+        equivalence oracle for tests and benchmarks.
+    """
+
+    def __init__(
+        self, seed: int = 0, telemetry=None, use_spatial_index: bool = True
+    ) -> None:
         self.clock = ManualClock()
         self.rng = SeededRng(seed, "sim")
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
         self._nodes: Dict[NodeId, "SimNode"] = {}
         self._mediums: Dict[Medium, RadioMedium] = {}
+        #: Per-medium registry of equipped nodes (admin state checked
+        #: at transmit time; equipment is fixed at construction).
+        self._members: Dict[Medium, Dict[NodeId, "SimNode"]] = {}
+        self._grids: Dict[Medium, SpatialGrid] = {}
+        self.use_spatial_index = use_spatial_index
         self.transmissions = 0
         self.deliveries = 0
+        #: (frame, candidate-receiver) pairs examined by transmit; the
+        #: scalability guard checks this stays O(N * density).
+        self.candidate_evaluations = 0
         self._running = False
         self.telemetry = telemetry
+        self._tx_counters: Dict[Medium, object] = {}
+        self._delivery_counters: Dict[Medium, object] = {}
         if telemetry is not None:
             telemetry.bind_clock(self.clock)
 
@@ -70,12 +101,29 @@ class Simulator:
     def set_medium(self, model: RadioMedium) -> None:
         """Install a custom propagation model for its medium."""
         self._mediums[model.medium] = model
+        # Cell size derives from the model's culling range — rebuild.
+        self._grids.pop(model.medium, None)
+
+    def _grid(self, medium: Medium) -> SpatialGrid:
+        """The (lazily built) spatial index for one medium."""
+        grid = self._grids.get(medium)
+        if grid is None:
+            grid = SpatialGrid(cell_size=self.medium(medium).cull_range_m())
+            for node in self._members.get(medium, {}).values():
+                grid.insert(node.node_id, node.position)
+            self._grids[medium] = grid
+        return grid
 
     def add_node(self, node: "SimNode") -> "SimNode":
         """Register a node and schedule its :meth:`SimNode.start`."""
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
+        for medium in node.equipped:
+            self._members.setdefault(medium, {})[node.node_id] = node
+            grid = self._grids.get(medium)
+            if grid is not None:
+                grid.insert(node.node_id, node.position)
         node.attach(self)
         self.schedule_at(self.clock.now, node.start)
         return node
@@ -84,10 +132,28 @@ class Simulator:
         """Remove a node from the world (e.g. after revocation)."""
         node = self._nodes.pop(node_id, None)
         if node is not None:
+            for medium in node.equipped:
+                members = self._members.get(medium)
+                if members is not None:
+                    members.pop(node_id, None)
+                grid = self._grids.get(medium)
+                if grid is not None:
+                    grid.remove(node_id)
             node.detach()
+
+    def notify_moved(self, node: "SimNode") -> None:
+        """Re-index a node after a position change (see SimNode.move_to)."""
+        for medium in node.equipped:
+            grid = self._grids.get(medium)
+            if grid is not None:
+                grid.move(node.node_id, node.position)
 
     def node(self, node_id: NodeId) -> "SimNode":
         return self._nodes[node_id]
+
+    def get_node(self, node_id: NodeId) -> Optional["SimNode"]:
+        """The node, or None if absent — one lookup for has+get."""
+        return self._nodes.get(node_id)
 
     def has_node(self, node_id: NodeId) -> bool:
         return node_id in self._nodes
@@ -152,45 +218,95 @@ class Simulator:
 
     # -- transmission --------------------------------------------------------
 
+    def _candidates(self, sender: "SimNode", medium: Medium) -> List["SimNode"]:
+        """Candidate receivers, sorted by node id.
+
+        The spatial path returns the sender's 3x3 cell neighborhood — a
+        superset of every node within the medium's culling range; the
+        brute-force path returns every equipped node.  Both paths yield
+        the identical reception set because nodes beyond the culling
+        range can never be receivable (clamped shadowing) and draws are
+        keyed per pair, not per scan position.
+        """
+        members = self._members.get(medium)
+        if not members:
+            return []
+        if self.use_spatial_index:
+            keys = self._grid(medium).near(sender.position)
+            keys.sort()
+            return [members[key] for key in keys]
+        return [members[key] for key in sorted(members)]
+
+    def _bound_counter(self, cache: Dict[Medium, object], name: str, medium: Medium):
+        counter = cache.get(medium)
+        if counter is None:
+            counter = cache[medium] = self.telemetry.bound_counter(
+                name, medium=medium.value
+            )
+        return counter
+
     def transmit(self, sender: "SimNode", medium: Medium, packet: Packet) -> int:
         """Broadcast a frame into the world; returns receptions scheduled.
 
-        Every node (other than the sender) equipped with the medium and
-        within radio range hears the frame; addressing is a convention
-        interpreted by receivers, exactly as on a shared wireless medium.
+        Every live node (other than the sender) equipped with the
+        medium and within radio range hears the frame; addressing is a
+        convention interpreted by receivers, exactly as on a shared
+        wireless medium.  ``Simulator.deliveries`` counts *arrivals*:
+        a receiver that crashes, detaches or loses the interface while
+        the frame is in flight never becomes a delivery.
         """
         model = self.medium(medium)
         self.transmissions += 1
+        sequence = self.transmissions
         telemetry = self.telemetry
         trace_id = None
+        delivery_counter = None
         if telemetry is not None:
             trace_id = telemetry.new_trace()
-            telemetry.metrics.counter("sim_transmissions_total").inc(
-                medium=medium.value
+            self._bound_counter(
+                self._tx_counters, "sim_transmissions_total", medium
+            ).inc()
+            delivery_counter = self._bound_counter(
+                self._delivery_counters, "sim_deliveries_total", medium
             )
         airtime = packet.size_bytes * 8.0 / BITS_PER_SECOND[medium]
         arrival = self.clock.now + TRANSMIT_LATENCY_S + airtime
+        cull_range = model.cull_range_m()
+        sender_id = sender.node_id
+        sender_x, sender_y = sender.position
         receptions = 0
-        for receiver in self.nodes():
-            if receiver.node_id == sender.node_id:
+        for receiver in self._candidates(sender, medium):
+            if receiver.node_id == sender_id:
+                continue
+            self.candidate_evaluations += 1
+            if not receiver.alive:
                 continue
             if medium not in receiver.mediums:
                 continue
-            distance = _distance(sender.position, receiver.position)
-            rssi = model.rssi_at(distance)
+            position = receiver.position
+            distance = math.hypot(sender_x - position[0], sender_y - position[1])
+            if distance > cull_range:
+                continue
+            draws = model.pair_sample(sender_id, receiver.node_id, sequence)
+            rssi = model.pair_rssi(distance, draws)
             if not model.receivable(rssi):
                 continue
-            if model.frame_lost():
+            if model.pair_frame_lost(draws):
                 continue
             receptions += 1
-            self.deliveries += 1
-            if telemetry is not None:
-                telemetry.metrics.counter("sim_deliveries_total").inc(
-                    medium=medium.value
-                )
             self.schedule_at(
                 arrival,
-                _Delivery(receiver, packet, medium, rssi, arrival, telemetry, trace_id),
+                _Delivery(
+                    self,
+                    receiver,
+                    packet,
+                    medium,
+                    rssi,
+                    arrival,
+                    telemetry,
+                    trace_id,
+                    delivery_counter,
+                ),
             )
         return receptions
 
@@ -200,9 +316,13 @@ class _Delivery:
 
     Carries the frame's trace id across the event-queue gap so the
     receiving node's pipeline spans stay linked to the transmission.
+    Delivery accounting happens here, at arrival: a receiver that is
+    detached, crashed, or has the interface administratively down when
+    the frame lands is not a delivery and gets no ``sim.deliver`` span.
     """
 
     __slots__ = (
+        "sim",
         "receiver",
         "packet",
         "medium",
@@ -210,11 +330,22 @@ class _Delivery:
         "timestamp",
         "telemetry",
         "trace_id",
+        "delivery_counter",
     )
 
     def __init__(
-        self, receiver, packet, medium, rssi, timestamp, telemetry=None, trace_id=None
+        self,
+        sim,
+        receiver,
+        packet,
+        medium,
+        rssi,
+        timestamp,
+        telemetry=None,
+        trace_id=None,
+        delivery_counter=None,
     ) -> None:
+        self.sim = sim
         self.receiver = receiver
         self.packet = packet
         self.medium = medium
@@ -222,26 +353,31 @@ class _Delivery:
         self.timestamp = timestamp
         self.telemetry = telemetry
         self.trace_id = trace_id
+        self.delivery_counter = delivery_counter
 
     def __call__(self) -> None:
-        if not self.receiver.attached:
+        receiver = self.receiver
+        if (
+            not receiver.attached
+            or not receiver.alive
+            or self.medium not in receiver.mediums
+        ):
             return
+        self.sim.deliveries += 1
+        if self.delivery_counter is not None:
+            self.delivery_counter.inc()
         if self.telemetry is None:
-            self.receiver.handle_frame(
-                self.packet, self.medium, self.rssi, self.timestamp
-            )
+            receiver.handle_frame(self.packet, self.medium, self.rssi, self.timestamp)
             return
         with self.telemetry.span(
             "sim.deliver",
-            node=str(self.receiver.node_id),
+            node=str(receiver.node_id),
             t=self.timestamp,
             trace_id=self.trace_id,
             medium=self.medium.value,
             kind=type(self.packet).__name__,
         ):
-            self.receiver.handle_frame(
-                self.packet, self.medium, self.rssi, self.timestamp
-            )
+            receiver.handle_frame(self.packet, self.medium, self.rssi, self.timestamp)
 
 
 def _distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:

@@ -20,7 +20,16 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.packets.base import Medium
-from repro.util.rng import SeededRng
+from repro.util.rng import HashedDraws, HashedStream, SeededRng
+
+#: Shadowing draws are clamped to this many sigmas.  The clamp makes
+#: the spatial cull *provably* lossless: beyond the distance where
+#: ``mean_rssi + SHADOWING_CULL_SIGMAS * sigma`` crosses the
+#: sensitivity floor, no draw can ever make a frame receivable, so
+#: culling those candidates cannot change the reception set.  At six
+#: sigmas the truncated tail has probability ~1e-9 per draw — far
+#: below one clamped draw per simulated year of traffic.
+SHADOWING_CULL_SIGMAS = 6.0
 
 
 @dataclass(frozen=True)
@@ -50,10 +59,20 @@ class PathLossParams:
         )
         return self.tx_power_dbm - path_loss
 
-    def max_range_m(self) -> float:
-        """Distance at which mean RSSI crosses the sensitivity floor."""
-        budget = self.tx_power_dbm - self.sensitivity_dbm - self.pl_d0_db
-        return self.d0_m * 10.0 ** (budget / (10.0 * self.exponent))
+    def max_range_m(self, margin_db: float = 0.0) -> float:
+        """Distance at which mean RSSI crosses the sensitivity floor.
+
+        With ``margin_db`` the floor is lowered by that many dB, giving
+        the distance beyond which not even a ``margin_db`` shadowing
+        boost can make a frame receivable.  Near-zero path-loss
+        exponents (the wired pseudo-medium) overflow the exponential —
+        those return ``inf``, meaning "everything is in range".
+        """
+        budget = self.tx_power_dbm - self.sensitivity_dbm - self.pl_d0_db + margin_db
+        try:
+            return self.d0_m * 10.0 ** (budget / (10.0 * self.exponent))
+        except OverflowError:
+            return math.inf
 
 
 #: Defaults per medium, roughly matching commodity hardware:
@@ -110,12 +129,23 @@ class RadioMedium:
         self.medium = medium
         self.params = params
         self._rng = rng if rng is not None else SeededRng(0, "medium", medium.value)
+        #: Order-independent per-(sender, receiver, sequence) draws for
+        #: the delivery fast path; seeded from the medium's stream seed
+        #: so one simulator seed still pins every draw.
+        self._pairwise = HashedStream(self._rng.seed, "pairwise")
+        self._cull_range_m = params.max_range_m(
+            margin_db=SHADOWING_CULL_SIGMAS * params.shadowing_sigma_db
+        )
         self.base_loss_probability = base_loss_probability
         #: Extra loss injected by environment effects (e.g. jamming attack).
         self.interference_loss_probability = 0.0
 
     def rssi_at(self, distance_m: float) -> float:
-        """Sample the RSSI for one reception at the given distance."""
+        """Sample the RSSI for one reception at the given distance.
+
+        Sequential-stream variant (draw order matters); the engine's
+        fast path uses :meth:`pair_rssi` instead.
+        """
         mean = self.params.mean_rssi(distance_m)
         sigma = self.params.shadowing_sigma_db
         if sigma <= 0:
@@ -125,12 +155,55 @@ class RadioMedium:
     def receivable(self, rssi_dbm: float) -> bool:
         return rssi_dbm >= self.params.sensitivity_dbm
 
+    def cull_range_m(self) -> float:
+        """Distance beyond which reception is impossible even with the
+        maximum (clamped) shadowing boost; ``inf`` for wired media."""
+        return self._cull_range_m
+
     def frame_lost(self) -> bool:
-        """Sample whether an otherwise-receivable frame is dropped."""
+        """Sample whether an otherwise-receivable frame is dropped.
+
+        Sequential-stream variant; the fast path uses
+        :meth:`pair_frame_lost`.
+        """
         loss = self.base_loss_probability + self.interference_loss_probability
         if loss <= 0.0:
             return False
-        return self._rng.chance(min(loss, 0.999))
+        if loss >= 1.0:
+            # A saturating jammer is a certain drop: no RNG draw, and
+            # no ~0.1% leak from clamping the probability below 1.
+            return True
+        return self._rng.chance(loss)
+
+    # -- order-independent per-pair sampling (delivery fast path) ------------
+
+    def pair_sample(
+        self, sender_id, receiver_id, sequence: int
+    ) -> HashedDraws:
+        """The draw budget for one (sender, receiver, transmission)."""
+        return self._pairwise.sample(str(sender_id), str(receiver_id), sequence)
+
+    def pair_rssi(self, distance_m: float, draws: HashedDraws) -> float:
+        """RSSI for one reception, shadowing clamped to the cull margin."""
+        mean = self.params.mean_rssi(distance_m)
+        sigma = self.params.shadowing_sigma_db
+        if sigma <= 0:
+            return mean
+        shadowing = draws.normal(0.0, 1.0)
+        if shadowing > SHADOWING_CULL_SIGMAS:
+            shadowing = SHADOWING_CULL_SIGMAS
+        elif shadowing < -SHADOWING_CULL_SIGMAS:
+            shadowing = -SHADOWING_CULL_SIGMAS
+        return mean + shadowing * sigma
+
+    def pair_frame_lost(self, draws: HashedDraws) -> bool:
+        """Loss decision for one reception; certain loss consumes no draw."""
+        loss = self.base_loss_probability + self.interference_loss_probability
+        if loss <= 0.0:
+            return False
+        if loss >= 1.0:
+            return True
+        return draws.chance(loss)
 
     def set_interference(self, loss_probability: float) -> None:
         """Set environment-induced loss (used by the jamming attack)."""

@@ -86,9 +86,9 @@ class RandomWaypointMobility(MobilityModel):
     def tick(self, sim) -> None:
         step = self.speed * self.update_interval
         for node_id in self.node_ids:
-            if not sim.has_node(node_id):
+            node = sim.get_node(node_id)
+            if node is None:
                 continue
-            node = sim.node(node_id)
             waypoint = self._waypoints.get(node_id)
             if waypoint is None:
                 waypoint = self._pick_waypoint()

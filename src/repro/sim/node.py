@@ -55,8 +55,16 @@ class SimNode:
         self.received_count = 0
 
     @property
+    def equipped(self) -> frozenset:
+        """Mediums physically fitted at construction (never changes);
+        the simulator's per-medium registries index on this."""
+        return self._equipped
+
+    @property
     def mediums(self) -> frozenset:
         """Mediums currently usable: equipped minus administratively down."""
+        if not self._disabled_mediums:
+            return self._equipped
         return self._equipped - self._disabled_mediums
 
     # -- lifecycle -----------------------------------------------------------
@@ -100,7 +108,12 @@ class SimNode:
     # -- movement ------------------------------------------------------------
 
     def move_to(self, position: Tuple[float, float]) -> None:
-        self.position = (float(position[0]), float(position[1]))
+        new_position = (float(position[0]), float(position[1]))
+        if new_position == self.position:
+            return
+        self.position = new_position
+        if self.attached and self.sim is not None:
+            self.sim.notify_moved(self)
 
     # -- IO ------------------------------------------------------------------
 

@@ -1,0 +1,123 @@
+"""Uniform spatial grid index for neighbor queries.
+
+The frame-delivery fast path needs, per transmission, the set of nodes
+that could conceivably receive the frame.  A :class:`SpatialGrid` bins
+members into square cells at least as wide as the radio's culling range
+(mean path loss plus the shadowing margin — see
+:meth:`repro.sim.medium.RadioMedium.cull_range_m`), so every node
+within that range of a sender lies in the 3x3 cell neighborhood around
+the sender's cell.  Membership is maintained incrementally on
+add/remove/move instead of re-scanning the whole registry per query.
+
+When the culling range is unbounded (wired "mediums" whose path-loss
+exponent is ~0), the grid degenerates to a single bucket: queries
+return every member, and the per-medium registry still avoids touching
+nodes without the interface.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+Position = Tuple[float, float]
+Cell = Tuple[int, int]
+
+#: Cull ranges beyond this are treated as "everything is in range":
+#: a grid that coarse would put all members in one cell anyway.
+UNBOUNDED_RANGE_M = 1.0e7
+
+
+class SpatialGrid:
+    """Square-cell spatial index over objects with stable keys.
+
+    :param cell_size: cell edge length in metres, or None/inf/huge for
+        an unbounded (single-bucket) grid.
+    """
+
+    def __init__(self, cell_size: Optional[float] = None) -> None:
+        if cell_size is not None and cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        if cell_size is None or not math.isfinite(cell_size) or cell_size > UNBOUNDED_RANGE_M:
+            cell_size = None
+        self.cell_size = cell_size
+        self._cells: Dict[Cell, Set[Hashable]] = {}
+        self._where: Dict[Hashable, Cell] = {}
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._where
+
+    @property
+    def unbounded(self) -> bool:
+        return self.cell_size is None
+
+    def cell_of(self, position: Position) -> Cell:
+        if self.cell_size is None:
+            return (0, 0)
+        return (
+            int(math.floor(position[0] / self.cell_size)),
+            int(math.floor(position[1] / self.cell_size)),
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def insert(self, key: Hashable, position: Position) -> None:
+        if key in self._where:
+            raise ValueError(f"duplicate grid member {key!r}")
+        cell = self.cell_of(position)
+        self._cells.setdefault(cell, set()).add(key)
+        self._where[key] = cell
+
+    def remove(self, key: Hashable) -> None:
+        cell = self._where.pop(key, None)
+        if cell is None:
+            return
+        members = self._cells.get(cell)
+        if members is not None:
+            members.discard(key)
+            if not members:
+                del self._cells[cell]
+
+    def move(self, key: Hashable, position: Position) -> None:
+        """Update a member's cell; a no-op while it stays in its cell."""
+        old_cell = self._where.get(key)
+        if old_cell is None:
+            self.insert(key, position)
+            return
+        new_cell = self.cell_of(position)
+        if new_cell == old_cell:
+            return
+        members = self._cells.get(old_cell)
+        if members is not None:
+            members.discard(key)
+            if not members:
+                del self._cells[old_cell]
+        self._cells.setdefault(new_cell, set()).add(key)
+        self._where[key] = new_cell
+
+    # -- queries -------------------------------------------------------------
+
+    def near(self, position: Position) -> List[Hashable]:
+        """Members of the 3x3 cell neighborhood around ``position``.
+
+        With ``cell_size >= cull_range`` this is a superset of every
+        member within ``cull_range`` of ``position``.  Order is
+        unspecified; callers needing determinism must sort.
+        """
+        if self.cell_size is None:
+            bucket = self._cells.get((0, 0))
+            return list(bucket) if bucket else []
+        cx, cy = self.cell_of(position)
+        out: List[Hashable] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                members = self._cells.get((cx + dx, cy + dy))
+                if members:
+                    out.extend(members)
+        return out
+
+    def members(self) -> Iterable[Hashable]:
+        return self._where.keys()

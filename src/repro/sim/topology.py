@@ -95,12 +95,24 @@ def random_positions(
 def connectivity_graph(
     placements: Dict[NodeId, Position], radio_range: float
 ) -> nx.Graph:
-    """Build the graph whose edges are pairs within ``radio_range``."""
+    """Build the graph whose edges are pairs within ``radio_range``.
+
+    Uses the same uniform-grid neighbor lookup as the delivery fast
+    path (:mod:`repro.sim.spatial`), so connectivity checks on large
+    placements cost O(N * density) instead of O(N^2).
+    """
+    from repro.sim.spatial import SpatialGrid
+
     graph = nx.Graph()
     graph.add_nodes_from(placements)
-    items = sorted(placements.items())
-    for index, (node_a, pos_a) in enumerate(items):
-        for node_b, pos_b in items[index + 1 :]:
+    grid = SpatialGrid(cell_size=radio_range if radio_range > 0 else None)
+    for node, position in sorted(placements.items()):
+        grid.insert(node, position)
+    for node_a, pos_a in sorted(placements.items()):
+        for node_b in sorted(grid.near(pos_a)):
+            if node_b <= node_a:
+                continue
+            pos_b = placements[node_b]
             if math.hypot(pos_a[0] - pos_b[0], pos_a[1] - pos_b[1]) <= radio_range:
                 graph.add_edge(node_a, node_b)
     return graph

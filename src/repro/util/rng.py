@@ -11,11 +11,15 @@ perturb existing ones.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence, TypeVar
+import math
+from typing import List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
 
 T = TypeVar("T")
+
+#: One digest yields this many independent 8-byte uniform draws.
+DRAWS_PER_DIGEST = 4
 
 
 def derive_seed(root_seed: int, *labels: str) -> int:
@@ -99,3 +103,92 @@ class SeededRng:
     def maybe(self, probability: float, value: T, default: Optional[T] = None):
         """Return ``value`` with the given probability, else ``default``."""
         return value if self.chance(probability) else default
+
+
+class HashedDraws:
+    """A fixed budget of independent draws derived from one digest.
+
+    Successive calls consume successive 8-byte chunks of a SHA-256
+    digest, so one :meth:`HashedStream.sample` supports up to
+    :data:`DRAWS_PER_DIGEST` uniform draws (a normal consumes two).
+    The consumption order is fixed by the calling code path, which is
+    itself deterministic — no hidden generator state is involved.
+    """
+
+    __slots__ = ("_digest", "_offset")
+
+    def __init__(self, digest: bytes) -> None:
+        self._digest = digest
+        self._offset = 0
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Next uniform draw in ``[low, high)``."""
+        if self._offset + 8 > len(self._digest):
+            raise RuntimeError("hashed draw budget exhausted for this key")
+        raw = int.from_bytes(self._digest[self._offset : self._offset + 8], "big")
+        self._offset += 8
+        # 53-bit mantissa -> uniform in [0, 1) with full double precision.
+        unit = (raw >> 11) * (2.0**-53)
+        return low + (high - low) * unit
+
+    def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
+        """Next normal draw, via Box-Muller (consumes two uniforms)."""
+        # 1 - u maps [0, 1) onto (0, 1], keeping log() finite.
+        radius = math.sqrt(-2.0 * math.log(1.0 - self.uniform()))
+        angle = 2.0 * math.pi * self.uniform()
+        return mean + std * radius * math.cos(angle)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability (consumes one uniform)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return self.uniform() < probability
+
+
+class HashedStream:
+    """Order-independent keyed randomness.
+
+    Unlike :class:`SeededRng`, whose draws advance internal generator
+    state (so *which* consumers draw, and in what order, perturbs every
+    later draw), a :class:`HashedStream` draw is a pure function of
+    ``(seed, labels, key)``.  Skipping a key, adding a consumer, or
+    reordering the iteration cannot change any other key's draws —
+    exactly the property the frame-delivery fast path needs so that
+    spatial culling of candidate receivers leaves the surviving
+    receivers' RSSI/loss draws byte-identical to a brute-force scan.
+    """
+
+    def __init__(self, seed: int, *labels: str) -> None:
+        self._seed = derive_seed(seed, *labels) if labels else int(seed)
+        self._labels = tuple(labels)
+        prefix = hashlib.sha256()
+        prefix.update(self._seed.to_bytes(8, "big"))
+        self._prefix = prefix
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def sample(self, *key: Union[str, int]) -> HashedDraws:
+        """The draw budget for one key (a pure function of the key)."""
+        hasher = self._prefix.copy()
+        for part in key:
+            hasher.update(b"\x1f")
+            part_bytes = (
+                part.encode("utf-8") if isinstance(part, str) else str(part).encode("utf-8")
+            )
+            hasher.update(part_bytes)
+        return HashedDraws(hasher.digest())
+
+    # -- one-shot conveniences (each re-hashes the key) ----------------------
+
+    def uniform(self, key: Tuple[Union[str, int], ...], low: float = 0.0,
+                high: float = 1.0) -> float:
+        return self.sample(*key).uniform(low, high)
+
+    def normal(self, key: Tuple[Union[str, int], ...], mean: float = 0.0,
+               std: float = 1.0) -> float:
+        return self.sample(*key).normal(mean, std)
+
+    def chance(self, key: Tuple[Union[str, int], ...], probability: float) -> bool:
+        return self.sample(*key).chance(probability)

@@ -74,6 +74,25 @@ class TestJammingNode:
 
         assert delivered(with_jammer=True) < delivered(with_jammer=False) * 0.7
 
+    def test_saturating_jammer_is_a_total_blackout(self):
+        """loss_probability=1.0 is a certain drop — zero frames land
+        during the burst, with no ~0.1% clamp leak."""
+        sim = Simulator(seed=75)
+        base, motes = build_wsn(sim, line_positions(3, 20.0))
+        sim.add_node(
+            JammingNode(NodeId("jam"), (20.0, 5.0), loss_probability=1.0,
+                        burst_duration=30.0, burst_interval=120.0,
+                        start_delay=30.0, max_bursts=1, rng=SeededRng(5))
+        )
+        sim.run(30.0)
+        deliveries_before = sim.deliveries
+        collected_before = len(base.collected)
+        sim.run(30.0)  # the entire burst window
+        assert sim.deliveries == deliveries_before
+        assert len(base.collected) == collected_before
+        sim.run(30.0)  # burst over: traffic resumes
+        assert sim.deliveries > deliveries_before
+
     def test_validation(self):
         with pytest.raises(ValueError):
             JammingNode(NodeId("j"), (0, 0), loss_probability=0.0)

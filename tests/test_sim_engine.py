@@ -172,6 +172,113 @@ class TestTransmission:
             node.send(Medium.IEEE_802_15_4, self._frame(node.node_id, node.node_id))
 
 
+class TestDeliveryAccounting:
+    """`deliveries` counts arrivals, not schedules: receivers that die
+    between the two never inflate the count, and the three surfaces
+    (sim.deliveries, received_count, sim_deliveries_total) agree."""
+
+    @staticmethod
+    def _frame(src, dst):
+        return Ieee802154Frame(pan_id=1, seq=0, src=src, dst=dst)
+
+    def _pair(self, telemetry=None):
+        sim = Simulator(seed=5, telemetry=telemetry)
+        sender = sim.add_node(
+            SimNode(NodeId("s"), (0, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        receiver = sim.add_node(
+            SimNode(NodeId("r"), (10, 0), mediums=(Medium.IEEE_802_15_4,))
+        )
+        sim.run_until(0.01)
+        return sim, sender, receiver
+
+    def _assert_agreement(self, sim, receiver, telemetry, expected):
+        assert sim.deliveries == expected
+        assert receiver.received_count == expected
+        assert (
+            telemetry.metrics.counter("sim_deliveries_total").value(
+                medium=Medium.IEEE_802_15_4.value
+            )
+            == expected
+        )
+
+    def test_crash_while_frame_in_flight(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        sim, sender, receiver = self._pair(telemetry)
+        scheduled = sender.send(
+            Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id)
+        )
+        assert scheduled == 1  # alive at schedule time
+        sim.schedule_in(1e-5, receiver.crash)  # before the ~2e-4 s arrival
+        sim.run(1.0)
+        self._assert_agreement(sim, receiver, telemetry, expected=0)
+
+    def test_revocation_while_frame_in_flight(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        sim, sender, receiver = self._pair(telemetry)
+        assert (
+            sender.send(
+                Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id)
+            )
+            == 1
+        )
+        sim.schedule_in(1e-5, lambda: sim.remove_node(receiver.node_id))
+        sim.run(1.0)
+        self._assert_agreement(sim, receiver, telemetry, expected=0)
+
+    def test_interface_flap_between_schedule_and_arrival(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        sim, sender, receiver = self._pair(telemetry)
+        assert (
+            sender.send(
+                Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id)
+            )
+            == 1
+        )
+        sim.schedule_in(
+            1e-5, lambda: receiver.disable_medium(Medium.IEEE_802_15_4)
+        )
+        sim.run(1.0)
+        self._assert_agreement(sim, receiver, telemetry, expected=0)
+        # Flap ends; the next frame is a real delivery on every surface.
+        receiver.enable_medium(Medium.IEEE_802_15_4)
+        sender.send(
+            Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id)
+        )
+        sim.run(1.0)
+        self._assert_agreement(sim, receiver, telemetry, expected=1)
+
+    def test_dead_receiver_skipped_at_schedule_time(self):
+        sim, sender, receiver = self._pair()
+        receiver.crash()
+        assert (
+            sender.send(
+                Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id)
+            )
+            == 0
+        )
+        sim.run(1.0)
+        assert sim.deliveries == 0
+        assert receiver.received_count == 0
+
+    def test_delivery_counts_on_the_happy_path(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        sim, sender, receiver = self._pair(telemetry)
+        sender.send(
+            Medium.IEEE_802_15_4, self._frame(sender.node_id, receiver.node_id)
+        )
+        sim.run(1.0)
+        self._assert_agreement(sim, receiver, telemetry, expected=1)
+
+
 class TestDeterminism:
     @staticmethod
     def _run_once(seed):

@@ -37,6 +37,59 @@ class TestPathLossParams:
         assert wifi > wpan
 
 
+class TestPairSampling:
+    """Order-independent per-(sender, receiver, sequence) draws."""
+
+    def test_same_key_same_rssi(self):
+        medium = RadioMedium(Medium.IEEE_802_15_4, rng=SeededRng(4))
+        first = medium.pair_rssi(20.0, medium.pair_sample("a", "b", 7))
+        again = medium.pair_rssi(20.0, medium.pair_sample("a", "b", 7))
+        assert first == again
+
+    def test_distinct_keys_distinct_draws(self):
+        medium = RadioMedium(Medium.IEEE_802_15_4, rng=SeededRng(4))
+        values = {
+            medium.pair_rssi(20.0, medium.pair_sample(s, r, q))
+            for s, r, q in [("a", "b", 1), ("a", "b", 2), ("a", "c", 1), ("b", "a", 1)]
+        }
+        assert len(values) == 4
+
+    def test_pair_rssi_clamped_to_cull_margin(self):
+        from repro.sim.medium import SHADOWING_CULL_SIGMAS
+
+        medium = RadioMedium(Medium.IEEE_802_15_4, rng=SeededRng(4))
+        params = medium.params
+        bound = SHADOWING_CULL_SIGMAS * params.shadowing_sigma_db
+        for sequence in range(2000):
+            rssi = medium.pair_rssi(20.0, medium.pair_sample("a", "b", sequence))
+            assert abs(rssi - params.mean_rssi(20.0)) <= bound + 1e-9
+
+    def test_pair_frame_lost_matches_probability(self):
+        medium = RadioMedium(
+            Medium.WIFI, rng=SeededRng(4), base_loss_probability=0.5
+        )
+        losses = sum(
+            medium.pair_frame_lost(medium.pair_sample("a", "b", sequence))
+            for sequence in range(500)
+        )
+        assert 150 < losses < 350
+
+    def test_pair_certain_loss_and_zero_loss_skip_draws(self):
+        medium = RadioMedium(Medium.WIFI, rng=SeededRng(4))
+        draws = medium.pair_sample("a", "b", 1)
+        assert not medium.pair_frame_lost(draws)  # loss == 0, no draw
+        medium.set_interference(1.0)
+        assert medium.pair_frame_lost(draws)  # loss >= 1, no draw
+        # The full budget is still available afterwards.
+        draws.normal()
+        draws.uniform()
+        draws.uniform()
+
+    def test_cull_range_exceeds_mean_range(self):
+        medium = RadioMedium(Medium.IEEE_802_15_4, rng=SeededRng(4))
+        assert medium.cull_range_m() > medium.params.max_range_m()
+
+
 class TestRadioMedium:
     def test_shadowing_varies_samples(self):
         medium = RadioMedium(Medium.WIFI, rng=SeededRng(1))
@@ -67,9 +120,22 @@ class TestRadioMedium:
     def test_interference_injection(self):
         medium = RadioMedium(Medium.WIFI, rng=SeededRng(1))
         medium.set_interference(1.0)
-        # Total loss is clamped just below certainty.
-        losses = sum(medium.frame_lost() for _ in range(100))
-        assert losses >= 95
+        # A saturating jammer is a certain drop — no ~0.1% leak.
+        assert all(medium.frame_lost() for _ in range(100))
+
+    def test_certain_loss_consumes_no_draw(self):
+        """loss >= 1.0 must not advance the RNG: draws made during a
+        total blackout cannot perturb draws made after it."""
+        def draws_after_blackout(blackout_frames):
+            medium = RadioMedium(Medium.WIFI, rng=SeededRng(9),
+                                 base_loss_probability=0.5)
+            medium.set_interference(1.0)
+            for _ in range(blackout_frames):
+                assert medium.frame_lost()
+            medium.set_interference(0.0)
+            return [medium.frame_lost() for _ in range(50)]
+
+        assert draws_after_blackout(0) == draws_after_blackout(137)
 
     def test_invalid_loss_rejected(self):
         with pytest.raises(ValueError):

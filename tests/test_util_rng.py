@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.rng import SeededRng, derive_seed
+from repro.util.rng import HashedStream, SeededRng, derive_seed
 
 
 class TestDeriveSeed:
@@ -98,3 +98,76 @@ class TestSeededRng:
 @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=10))
 def test_derive_seed_always_in_range(seed, label):
     assert 0 <= derive_seed(seed, label) < 2**63
+
+
+class TestHashedStream:
+    """Order-independent keyed draws for the delivery fast path."""
+
+    def test_pure_function_of_key(self):
+        stream = HashedStream(7, "pairs")
+        assert stream.sample("a", "b", 1).uniform() == stream.sample("a", "b", 1).uniform()
+
+    def test_key_sensitivity(self):
+        stream = HashedStream(7, "pairs")
+        baseline = stream.sample("a", "b", 1).uniform()
+        assert stream.sample("a", "b", 2).uniform() != baseline
+        assert stream.sample("b", "a", 1).uniform() != baseline
+        assert stream.sample("a", "c", 1).uniform() != baseline
+
+    def test_seed_and_label_sensitivity(self):
+        assert (
+            HashedStream(7, "pairs").sample("k").uniform()
+            != HashedStream(8, "pairs").sample("k").uniform()
+        )
+        assert (
+            HashedStream(7, "a").sample("k").uniform()
+            != HashedStream(7, "b").sample("k").uniform()
+        )
+
+    def test_order_independence(self):
+        """Draw order and draw *set* cannot perturb other keys."""
+        stream = HashedStream(7, "pairs")
+        forward = [stream.sample("k", index).uniform() for index in range(10)]
+        shuffled_stream = HashedStream(7, "pairs")
+        backward = [
+            shuffled_stream.sample("k", index).uniform()
+            for index in reversed(range(10))
+        ]
+        assert forward == list(reversed(backward))
+        sparse = HashedStream(7, "pairs")
+        assert sparse.sample("k", 5).uniform() == forward[5]
+
+    def test_uniform_bounds_and_distribution(self):
+        stream = HashedStream(3, "u")
+        values = [stream.sample(index).uniform(10.0, 20.0) for index in range(2000)]
+        assert all(10.0 <= value < 20.0 for value in values)
+        mean = sum(values) / len(values)
+        assert 14.5 < mean < 15.5
+
+    def test_normal_moments(self):
+        stream = HashedStream(3, "n")
+        values = [stream.sample(index).normal(5.0, 2.0) for index in range(4000)]
+        mean = sum(values) / len(values)
+        variance = sum((value - mean) ** 2 for value in values) / len(values)
+        assert abs(mean - 5.0) < 0.15
+        assert 3.4 < variance < 4.6
+
+    def test_chance_rate_and_validation(self):
+        stream = HashedStream(3, "c")
+        hits = sum(stream.sample(index).chance(0.25) for index in range(4000))
+        assert 850 < hits < 1150
+        with pytest.raises(ValueError):
+            stream.sample(0).chance(1.5)
+
+    def test_draw_budget_exhaustion(self):
+        draws = HashedStream(3, "b").sample("k")
+        for _ in range(4):
+            draws.uniform()
+        with pytest.raises(RuntimeError):
+            draws.uniform()
+
+    def test_one_shot_conveniences(self):
+        stream = HashedStream(3, "s")
+        assert stream.uniform(("k", 1)) == stream.sample("k", 1).uniform()
+        assert stream.normal(("k", 1)) == stream.sample("k", 1).normal()
+        assert stream.chance(("k", 1), 0.5) == stream.sample("k", 1).chance(0.5)
