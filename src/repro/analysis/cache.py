@@ -1,0 +1,249 @@
+"""The kalis-lint incremental cache.
+
+Whole-tree linting re-parses ~160 files and re-runs every rule on every
+invocation; as the tree and the rule count grow, the warm path must stay
+fast enough to run on every save.  The cache keyes everything on
+``(relpath, size, sha1(text))`` plus a fingerprint of the analysis code
+itself, under ``<root>/.kalis-lint-cache/``:
+
+- **ASTs** — pickled per file (unpickling a tree measures ~2x faster
+  than re-parsing it), keyed additionally on the Python version so an
+  interpreter upgrade invalidates cleanly;
+- **per-file rule results** — findings of file-scoped rules
+  (``Rule.SCOPE == "file"``) serialized per file, so only changed files
+  re-run those rules;
+- **whole-program rule results** — findings of program-scoped rules
+  keyed on a digest of the *entire* tree, so any file change re-runs
+  them (they are unsound on partial recomputation by definition).
+
+Every read is guarded: a corrupt, truncated or stale entry is a miss,
+never an error.  The cache directory starts with a dot, which
+:class:`~repro.analysis.project.Project` already skips while scanning —
+the cache can never lint itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.findings import Finding, Severity
+
+#: Directory created under the project root.
+CACHE_DIR_NAME = ".kalis-lint-cache"
+
+
+def _sha1(data: bytes) -> str:
+    return hashlib.sha1(data).hexdigest()
+
+
+def analysis_fingerprint() -> str:
+    """A digest of the analysis package's own source code.
+
+    Editing any rule, the engine, or this module invalidates every
+    cached finding (but not the cached ASTs, which depend only on the
+    interpreter).
+    """
+    package_dir = Path(__file__).resolve().parent
+    hasher = hashlib.sha1()
+    for path in sorted(package_dir.rglob("*.py")):
+        hasher.update(path.name.encode("utf-8"))
+        try:
+            hasher.update(path.read_bytes())
+        except OSError:
+            continue
+    return hasher.hexdigest()
+
+
+def _finding_from_dict(payload: Dict) -> Finding:
+    return Finding(
+        rule=payload["rule"],
+        severity=Severity(payload["severity"]),
+        path=payload["path"],
+        line=payload["line"],
+        message=payload["message"],
+        key=payload["key"],
+        column=payload.get("column"),
+    )
+
+
+class LintCache:
+    """On-disk AST and findings cache for one project root."""
+
+    def __init__(
+        self, root: Path, fingerprint: Optional[str] = None
+    ) -> None:
+        self.directory = Path(root) / CACHE_DIR_NAME
+        self.fingerprint = fingerprint or analysis_fingerprint()
+        self._file_docs: Dict[str, Dict] = {}
+        self._dirty: set = set()
+        self._program_doc: Optional[Dict] = None
+        self._program_dirty = False
+        #: Hit/miss counters, exposed for tests and ``--no-cache`` A/B.
+        self.ast_hits = 0
+        self.ast_misses = 0
+        self.finding_hits = 0
+        self.finding_misses = 0
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def content_key(text: str) -> str:
+        data = text.encode("utf-8")
+        return f"{len(data)}:{_sha1(data)}"
+
+    def _findings_key(self, text: str) -> str:
+        return f"{self.content_key(text)}:{self.fingerprint}"
+
+    def _entry_path(self, kind: str, relpath: str) -> Path:
+        return self.directory / kind / f"{_sha1(relpath.encode('utf-8'))}"
+
+    # -- ASTs ------------------------------------------------------------------
+
+    def get_ast(self, relpath: str, text: str):
+        """The cached parse tree for this exact file content, or None."""
+        path = self._entry_path("asts", relpath).with_suffix(".pkl")
+        wanted = (self.content_key(text), sys.version)
+        try:
+            with open(path, "rb") as handle:
+                key, version, tree = pickle.load(handle)
+        except Exception:
+            self.ast_misses += 1
+            return None
+        if (key, version) != wanted:
+            self.ast_misses += 1
+            return None
+        self.ast_hits += 1
+        return tree
+
+    def put_ast(self, relpath: str, text: str, tree) -> None:
+        path = self._entry_path("asts", relpath).with_suffix(".pkl")
+        payload = (self.content_key(text), sys.version, tree)
+        try:
+            self._atomic_write_bytes(path, pickle.dumps(payload))
+        except (OSError, pickle.PicklingError, RecursionError):
+            pass  # a cache that cannot write is just slow, not broken
+
+    # -- per-file findings -----------------------------------------------------
+
+    def _file_doc(self, relpath: str, text: str) -> Dict:
+        doc = self._file_docs.get(relpath)
+        wanted = self._findings_key(text)
+        if doc is None:
+            path = self._entry_path("findings", relpath).with_suffix(".json")
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except Exception:
+                doc = {}
+        if doc.get("key") != wanted:
+            doc = {"key": wanted, "rules": {}}
+        self._file_docs[relpath] = doc
+        return doc
+
+    def get_file_findings(
+        self, relpath: str, text: str, rule_id: str
+    ) -> Optional[List[Finding]]:
+        doc = self._file_doc(relpath, text)
+        cached = doc["rules"].get(rule_id)
+        if cached is None:
+            self.finding_misses += 1
+            return None
+        self.finding_hits += 1
+        try:
+            return [_finding_from_dict(entry) for entry in cached]
+        except Exception:
+            self.finding_misses += 1
+            return None
+
+    def put_file_findings(
+        self, relpath: str, text: str, rule_id: str, findings: List[Finding]
+    ) -> None:
+        doc = self._file_doc(relpath, text)
+        doc["rules"][rule_id] = [finding.to_dict() for finding in findings]
+        self._dirty.add(relpath)
+
+    # -- whole-program findings ------------------------------------------------
+
+    def tree_digest(self, files) -> str:
+        """A digest of every file's identity and content in the project."""
+        hasher = hashlib.sha1()
+        for source in sorted(files, key=lambda s: s.relpath):
+            hasher.update(source.relpath.encode("utf-8"))
+            hasher.update(self.content_key(source.text).encode("utf-8"))
+        hasher.update(self.fingerprint.encode("utf-8"))
+        return hasher.hexdigest()
+
+    def _program(self, digest: str) -> Dict:
+        doc = self._program_doc
+        if doc is None:
+            path = self.directory / "program.json"
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+            except Exception:
+                doc = {}
+        if doc.get("key") != digest:
+            doc = {"key": digest, "rules": {}}
+        self._program_doc = doc
+        return doc
+
+    def get_program_findings(
+        self, digest: str, rule_id: str
+    ) -> Optional[List[Finding]]:
+        doc = self._program(digest)
+        cached = doc["rules"].get(rule_id)
+        if cached is None:
+            self.finding_misses += 1
+            return None
+        self.finding_hits += 1
+        try:
+            return [_finding_from_dict(entry) for entry in cached]
+        except Exception:
+            self.finding_misses += 1
+            return None
+
+    def put_program_findings(
+        self, digest: str, rule_id: str, findings: List[Finding]
+    ) -> None:
+        doc = self._program(digest)
+        doc["rules"][rule_id] = [finding.to_dict() for finding in findings]
+        self._program_dirty = True
+
+    # -- persistence -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write every dirty findings document back to disk."""
+        for relpath in sorted(self._dirty):
+            doc = self._file_docs.get(relpath)
+            if doc is None:
+                continue
+            path = self._entry_path("findings", relpath).with_suffix(".json")
+            try:
+                self._atomic_write_bytes(
+                    path, json.dumps(doc, sort_keys=True).encode("utf-8")
+                )
+            except OSError:
+                pass  # unwritable cache: stay correct, just slower
+        self._dirty.clear()
+        if self._program_dirty and self._program_doc is not None:
+            try:
+                self._atomic_write_bytes(
+                    self.directory / "program.json",
+                    json.dumps(self._program_doc, sort_keys=True).encode(
+                        "utf-8"
+                    ),
+                )
+            except OSError:
+                pass  # unwritable cache: stay correct, just slower
+            self._program_dirty = False
+
+    @staticmethod
+    def _atomic_write_bytes(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_suffix(path.suffix + ".tmp")
+        temp.write_bytes(data)
+        os.replace(temp, path)

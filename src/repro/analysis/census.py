@@ -1,0 +1,143 @@
+"""Runtime state census — the live counterpart of the static state graph.
+
+The state graph (:mod:`repro.analysis.stategraph`) claims to know every
+field of every checkpoint-relevant class.  That claim is only credible
+if it is checked against ground truth: this module walks the *live*
+object graph of a real scenario run (E1's Simulator/KalisNode, E14's
+chaos world) and reports every ``repro.*`` object attribute the static
+inventory does not know about.  The tier-1 suite asserts the report is
+empty — so the inventory is validated against reality, not just against
+planted fixtures (the same pattern as PR 4's ``bus_topics`` runtime
+cross-check).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import types
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: Packages whose objects the census inspects.
+CENSUS_PACKAGE_PREFIX = "repro."
+#: Analysis/taxonomy objects are tooling, never checkpointed.
+CENSUS_EXCLUDED_PREFIXES = ("repro.analysis", "repro.taxonomy")
+
+#: Scalar types that carry no object graph.
+_SCALARS = (type(None), bool, int, float, complex, str, bytes, bytearray)
+
+
+@dataclass
+class CensusReport:
+    """What the walker saw, versus what the static inventory knows."""
+
+    #: Objects visited (post-dedup).
+    objects: int = 0
+    #: Distinct repro classes encountered live.
+    classes: Set[Tuple[str, str]] = field(default_factory=set)
+    #: "module.Class.field" seen live but absent from the inventory.
+    missing: List[str] = field(default_factory=list)
+    #: (module, class) seen live but absent from the inventory entirely.
+    missing_classes: List[str] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.missing and not self.missing_classes
+
+
+def run_census(
+    roots: Iterable[object],
+    index: Dict[Tuple[str, str], Set[str]],
+    injected: Set[str] = frozenset(),
+) -> CensusReport:
+    """Walk the live object graph; compare against the static inventory.
+
+    :param roots: live objects to start from (a Simulator, KalisNodes…).
+    :param index: ``(module, class name) -> known field names``, from
+        :meth:`~repro.analysis.stategraph.StateGraph.inventory_index`.
+    :param injected: attribute names assigned onto foreign objects at a
+        statically-known site (monkey-patch seams like the fault plan's
+        ``module.handle`` wrap), from
+        :meth:`~repro.analysis.stategraph.StateGraph.injected_attribute_names`
+        — counted as known on any class.
+    """
+    report = CensusReport()
+    seen: Set[int] = set()
+    missing: Set[str] = set()
+    missing_classes: Set[str] = set()
+    stack: List[object] = list(roots)
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, _SCALARS):
+            continue
+        identity = id(obj)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        report.objects += 1
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+            continue
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+            continue
+        if isinstance(obj, types.FunctionType):
+            for cell in obj.__closure__ or ():
+                try:
+                    stack.append(cell.cell_contents)
+                except ValueError:
+                    continue  # empty cell
+            continue
+        if isinstance(obj, types.MethodType):
+            stack.append(obj.__self__)
+            continue
+        if isinstance(obj, functools.partial):
+            stack.append(obj.func)
+            stack.extend(obj.args)
+            stack.extend(obj.keywords.values())
+            continue
+        if isinstance(obj, enum.Enum) or isinstance(obj, type):
+            continue
+        cls = type(obj)
+        module = getattr(cls, "__module__", "") or ""
+        if not module.startswith(CENSUS_PACKAGE_PREFIX):
+            continue
+        if any(module.startswith(p) for p in CENSUS_EXCLUDED_PREFIXES):
+            continue
+        mro_keys = [
+            (base.__module__, base.__name__)
+            for base in cls.__mro__
+            if getattr(base, "__module__", "").startswith(
+                CENSUS_PACKAGE_PREFIX
+            )
+        ]
+        report.classes.add((module, cls.__name__))
+        if not any(key in index for key in mro_keys):
+            missing_classes.add(f"{module}.{cls.__name__}")
+            continue
+        for name, value in _live_attributes(obj):
+            known = name in injected or any(
+                name in index.get(key, ()) for key in mro_keys
+            )
+            if not known:
+                missing.add(f"{module}.{cls.__name__}.{name}")
+            stack.append(value)
+    report.missing = sorted(missing)
+    report.missing_classes = sorted(missing_classes)
+    return report
+
+
+def _live_attributes(obj: object) -> Iterable[Tuple[str, object]]:
+    """An object's instance attributes, covering __dict__ and __slots__."""
+    attributes = getattr(obj, "__dict__", None)
+    if attributes is not None:
+        yield from list(attributes.items())
+    for base in type(obj).__mro__:
+        for slot in getattr(base, "__slots__", ()):
+            if slot in ("__dict__", "__weakref__"):
+                continue
+            try:
+                yield slot, getattr(obj, slot)
+            except AttributeError:
+                continue

@@ -10,8 +10,13 @@ invariant checker over a source tree::
     kalis-lint --format json …           # machine-readable output
     kalis-lint --changed [REF] …         # only files touched since REF
                                          # (plus their transitive importers)
+    kalis-lint --fix [--dry-run] …       # rewrite autofixable findings
+                                         # (KL006 unused imports)
+    kalis-lint --no-cache …              # skip the .kalis-lint-cache
     kalis-lint graph --format dot|json   # export the whole-program
                                          # knowledge-flow and topic graphs
+    kalis-lint graph --view state        # export the state graph
+                                         # (checkpoint-safety inventory)
 
 ``--changed`` still parses the *whole* tree (the KL1xx whole-program
 rules are unsound on a partial parse); only the reported findings are
@@ -108,6 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="report only findings in files changed vs. REF (default HEAD)"
         " and their transitive importers; the whole tree is still parsed",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite autofixable findings in place (KL006 unused imports)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --fix: print the diff instead of writing files",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse and run every rule from scratch, ignoring"
+        " .kalis-lint-cache",
+    )
     return parser
 
 
@@ -136,6 +157,14 @@ def build_graph_parser() -> argparse.ArgumentParser:
         choices=("dot", "json"),
         default="json",
         dest="output_format",
+    )
+    parser.add_argument(
+        "--view",
+        choices=("flow", "state"),
+        default="flow",
+        help="flow: knowledge-flow and bus-topic graphs (default);"
+        " state: the whole-program state inventory (checkpoint roots,"
+        " field classification, rebuild hooks)",
     )
     parser.add_argument(
         "--output",
@@ -170,13 +199,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         parser.error(f"no such path: {', '.join(missing)}")
 
-    project = Project.load(paths, root=options.root)
+    cache = None
+    if not options.no_cache:
+        from repro.analysis.cache import LintCache
+        from repro.analysis.project import _find_root
+
+        cache_root = (
+            options.root
+            or _find_root([path.resolve() for path in paths])
+        ).resolve()
+        cache = LintCache(cache_root)
+    project = Project.load(paths, root=options.root, cache=cache)
 
     select = None
     if options.select:
         select = [r.strip() for r in options.select.split(",") if r.strip()]
     try:
-        findings = run_rules(project, select=select)
+        findings = run_rules(project, select=select, cache=cache)
     except KeyError as error:
         # str(KeyError) wraps the message in quotes; unwrap it.
         parser.error(error.args[0] if error.args else str(error))
@@ -236,6 +275,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
     reported = sort_findings(reported)
+
+    if options.fix:
+        from repro.analysis.fixes import apply_fixes, fixable
+
+        changed, diff = apply_fixes(
+            project, reported, dry_run=options.dry_run
+        )
+        fixed = {
+            (finding.path, finding.line, finding.key)
+            for finding in fixable(reported)
+            if finding.path in set(changed)
+        }
+        if options.dry_run:
+            sys.stdout.write(diff)
+        else:
+            # Fixed findings are gone from the tree; don't re-report them.
+            reported = [
+                finding
+                for finding in reported
+                if (finding.path, finding.line, finding.key) not in fixed
+            ]
+        verb = "would fix" if options.dry_run else "fixed"
+        print(
+            f"kalis-lint: {verb} {len(fixed)} finding(s) in"
+            f" {len(changed)} file(s)"
+        )
 
     if options.output_format == "json":
         print(
@@ -324,8 +389,6 @@ def _changed_scope(project: Project, ref: str) -> Set[str]:
 
 def graph_main(argv: List[str]) -> int:
     """Run ``kalis-lint graph``; returns the process exit code."""
-    from repro.analysis.knowflow import derive_knowflow, export_dot, export_json
-
     parser = build_graph_parser()
     options = parser.parse_args(argv)
     paths = [Path(p) for p in options.paths]
@@ -339,12 +402,28 @@ def graph_main(argv: List[str]) -> int:
         parser.error(f"no such path: {', '.join(missing)}")
 
     project = Project.load(paths, root=options.root)
-    flow = derive_knowflow(project)
-    rendered = (
-        export_dot(flow)
-        if options.output_format == "dot"
-        else export_json(flow)
-    )
+    if options.view == "state":
+        from repro.analysis import stategraph
+
+        state = stategraph.derive_stategraph(project)
+        rendered = (
+            stategraph.export_dot(state)
+            if options.output_format == "dot"
+            else stategraph.export_json(state)
+        )
+    else:
+        from repro.analysis.knowflow import (
+            derive_knowflow,
+            export_dot,
+            export_json,
+        )
+
+        flow = derive_knowflow(project)
+        rendered = (
+            export_dot(flow)
+            if options.output_format == "dot"
+            else export_json(flow)
+        )
     if options.output is not None:
         options.output.write_text(rendered, encoding="utf-8")
     else:

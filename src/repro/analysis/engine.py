@@ -14,10 +14,13 @@ Two pseudo-rules are reserved and always on:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Type
 
 from repro.analysis.findings import Finding, Severity, sort_findings
-from repro.analysis.project import Project
+from repro.analysis.project import Project, SourceFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.cache import LintCache
 
 #: Rule id used for files that fail to parse.
 SYNTAX_RULE_ID = "KL000"
@@ -26,10 +29,17 @@ STALE_BASELINE_RULE_ID = "KL099"
 
 
 class Rule:
-    """Base class for kalis-lint rules."""
+    """Base class for kalis-lint rules.
+
+    ``SCOPE`` declares what a rule's findings depend on: ``"program"``
+    rules see the whole tree (any file change invalidates their cached
+    results), ``"file"`` rules (see :class:`FileRule`) judge each file
+    in isolation and cache per file.
+    """
 
     ID = "KL???"
     TITLE = "untitled rule"
+    SCOPE = "program"
 
     def check(self, project: Project) -> Iterable[Finding]:
         raise NotImplementedError
@@ -53,6 +63,26 @@ class Rule:
             key=key,
             column=column,
         )
+
+
+class FileRule(Rule):
+    """A rule whose findings for a file depend only on that file.
+
+    Subclasses implement :meth:`check_file`; the engine caches its
+    results per ``(path, size, sha1)`` so a warm lint re-runs it only
+    on changed files.
+    """
+
+    SCOPE = "file"
+
+    def check_file(
+        self, project: Project, source: SourceFile
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for source in project.files:
+            yield from self.check_file(project, source)
 
 
 _RULES: Dict[str, Type[Rule]] = {}
@@ -79,9 +109,16 @@ def available_rules() -> List[Type[Rule]]:
 
 
 def run_rules(
-    project: Project, select: Optional[Iterable[str]] = None
+    project: Project,
+    select: Optional[Iterable[str]] = None,
+    cache: Optional["LintCache"] = None,
 ) -> List[Finding]:
-    """Run the selected rules (default: all) over a parsed project."""
+    """Run the selected rules (default: all) over a parsed project.
+
+    With a :class:`~repro.analysis.cache.LintCache`, file-scoped rules
+    re-run only on files whose content changed, and program-scoped
+    rules re-run only when any file (or the analysis code) changed.
+    """
     _ensure_rules_loaded()
     findings: List[Finding] = [
         Finding(
@@ -102,10 +139,32 @@ def run_rules(
                 f"unknown rule ids: {', '.join(sorted(unknown))};"
                 f" known: {', '.join(sorted(_RULES))}"
             )
+    tree_digest = cache.tree_digest(project.files) if cache is not None else ""
     for rule_id in sorted(_RULES):
         if chosen is not None and rule_id not in chosen:
             continue
-        findings.extend(_RULES[rule_id]().check(project))
+        rule = _RULES[rule_id]()
+        if cache is None:
+            findings.extend(rule.check(project))
+        elif rule.SCOPE == "file":
+            for source in project.files:
+                cached = cache.get_file_findings(
+                    source.relpath, source.text, rule_id
+                )
+                if cached is None:
+                    cached = list(rule.check_file(project, source))
+                    cache.put_file_findings(
+                        source.relpath, source.text, rule_id, cached
+                    )
+                findings.extend(cached)
+        else:
+            cached = cache.get_program_findings(tree_digest, rule_id)
+            if cached is None:
+                cached = list(rule.check(project))
+                cache.put_program_findings(tree_digest, rule_id, cached)
+            findings.extend(cached)
+    if cache is not None:
+        cache.flush()
     return sort_findings(findings)
 
 

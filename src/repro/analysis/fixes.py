@@ -1,0 +1,124 @@
+"""``kalis-lint --fix`` — mechanical rewrites for autofixable findings.
+
+Only KL006 (unused module-level imports) is autofixable today: the
+rule's finding carries the exact statement line and the unused local
+name, so the fix is a pure line-level rewrite — drop the dead alias,
+regenerate the statement if other aliases survive, delete the lines if
+none do.  The rewrite is idempotent (a fixed tree re-lints clean and a
+second ``--fix`` changes nothing) and ``--fix --dry-run`` prints the
+unified diff instead of writing.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+
+#: Rules --fix knows how to rewrite.
+FIXABLE_RULES = frozenset({"KL006"})
+
+
+def fixable(findings: Iterable[Finding]) -> List[Finding]:
+    """The subset of findings ``--fix`` can rewrite."""
+    return [f for f in findings if f.rule in FIXABLE_RULES]
+
+
+def apply_fixes(
+    project: Project, findings: Iterable[Finding], dry_run: bool = False
+) -> Tuple[List[str], str]:
+    """Rewrite the files behind fixable findings.
+
+    Returns ``(changed relpaths, unified diff)``; with ``dry_run`` the
+    diff is computed but nothing is written.
+    """
+    by_path: Dict[str, Set[Tuple[int, str]]] = {}
+    for finding in fixable(findings):
+        by_path.setdefault(finding.path, set()).add(
+            (finding.line, finding.key)
+        )
+    changed: List[str] = []
+    diffs: List[str] = []
+    by_relpath = {source.relpath: source for source in project.files}
+    for relpath in sorted(by_path):
+        source = by_relpath.get(relpath)
+        if source is None:
+            continue
+        rewritten = _remove_unused_imports(source.text, by_path[relpath])
+        if rewritten == source.text:
+            continue
+        changed.append(relpath)
+        diffs.append(
+            "".join(
+                difflib.unified_diff(
+                    source.text.splitlines(keepends=True),
+                    rewritten.splitlines(keepends=True),
+                    fromfile=f"a/{relpath}",
+                    tofile=f"b/{relpath}",
+                )
+            )
+        )
+        if not dry_run:
+            Path(source.path).write_text(rewritten, encoding="utf-8")
+    return changed, "".join(diffs)
+
+
+def _remove_unused_imports(
+    text: str, unused: Set[Tuple[int, str]]
+) -> str:
+    """Drop the named aliases from the import statements at those lines."""
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return text
+    unused_by_line: Dict[int, Set[str]] = {}
+    for line, name in unused:
+        unused_by_line.setdefault(line, set()).add(name)
+    lines = text.splitlines(keepends=True)
+    # Collect edits bottom-up so earlier line numbers stay valid.
+    edits: List[Tuple[int, int, List[str]]] = []
+    for statement in tree.body:
+        dead = unused_by_line.get(statement.lineno)
+        if not dead:
+            continue
+        if not isinstance(statement, (ast.Import, ast.ImportFrom)):
+            continue
+        if isinstance(statement, ast.Import):
+            local_of = lambda a: a.asname or a.name.split(".", 1)[0]
+        else:
+            local_of = lambda a: a.asname or a.name
+        kept = [
+            alias for alias in statement.names if local_of(alias) not in dead
+        ]
+        if len(kept) == len(statement.names):
+            continue
+        start = statement.lineno - 1
+        end = statement.end_lineno or statement.lineno
+        if not kept:
+            replacement: List[str] = []
+        else:
+            replacement = [_render_import(statement, kept) + "\n"]
+        edits.append((start, end, replacement))
+    if not edits:
+        return text
+    for start, end, replacement in sorted(edits, reverse=True):
+        lines[start:end] = replacement
+    return "".join(lines)
+
+
+def _render_import(statement: ast.stmt, kept: List[ast.alias]) -> str:
+    def render_alias(alias: ast.alias) -> str:
+        return (
+            f"{alias.name} as {alias.asname}" if alias.asname else alias.name
+        )
+
+    parts = ", ".join(render_alias(alias) for alias in kept)
+    if isinstance(statement, ast.Import):
+        return f"import {parts}"
+    dots = "." * statement.level
+    module = statement.module or ""
+    return f"from {dots}{module} import {parts}"

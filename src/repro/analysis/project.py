@@ -73,8 +73,17 @@ class Project:
     # -- loading ---------------------------------------------------------------
 
     @classmethod
-    def load(cls, paths: Iterable[Path], root: Optional[Path] = None) -> "Project":
-        """Parse every ``.py`` file under the given paths."""
+    def load(
+        cls,
+        paths: Iterable[Path],
+        root: Optional[Path] = None,
+        cache=None,
+    ) -> "Project":
+        """Parse every ``.py`` file under the given paths.
+
+        With a :class:`~repro.analysis.cache.LintCache`, parse trees of
+        unchanged files are unpickled from disk instead of re-parsed.
+        """
         resolved_paths = [Path(p).resolve() for p in paths]
         project_root = (root or _find_root(resolved_paths)).resolve()
         project = cls(root=project_root)
@@ -84,26 +93,30 @@ class Project:
                 if file_path in seen:
                     continue
                 seen.add(file_path)
-                project._load_file(file_path)
+                project._load_file(file_path, cache)
         for source in project.files:
             project._index_module(source)
         return project
 
-    def _load_file(self, file_path: Path) -> None:
+    def _load_file(self, file_path: Path, cache=None) -> None:
         relpath = _relative(file_path, self.root)
         text = file_path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(text, filename=str(file_path))
-        except SyntaxError as error:
-            self.failures.append(
-                SyntaxFailure(
-                    path=file_path,
-                    relpath=relpath,
-                    line=error.lineno or 0,
-                    message=f"syntax error: {error.msg}",
+        tree = cache.get_ast(relpath, text) if cache is not None else None
+        if tree is None:
+            try:
+                tree = ast.parse(text, filename=str(file_path))
+            except SyntaxError as error:
+                self.failures.append(
+                    SyntaxFailure(
+                        path=file_path,
+                        relpath=relpath,
+                        line=error.lineno or 0,
+                        message=f"syntax error: {error.msg}",
+                    )
                 )
-            )
-            return
+                return
+            if cache is not None:
+                cache.put_ast(relpath, text, tree)
         module = _module_name(file_path)
         source = SourceFile(
             path=file_path,

@@ -14,6 +14,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     labels,
     packets,
     prints,
+    state,
     swallows,
     taint,
     topics,
@@ -27,6 +28,7 @@ __all__ = [
     "labels",
     "packets",
     "prints",
+    "state",
     "swallows",
     "taint",
     "topics",

@@ -19,7 +19,7 @@ import ast
 from typing import Dict, Iterable, Iterator
 
 from repro.analysis.astutil import attribute_chain
-from repro.analysis.engine import Rule, register_rule
+from repro.analysis.engine import FileRule, register_rule
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.project import Project, SourceFile
 
@@ -47,16 +47,16 @@ _FIX_HINT = (
 
 
 @register_rule
-class DeterminismRule(Rule):
+class DeterminismRule(FileRule):
     """KL001: ban ambient time/randomness in the deterministic substrate."""
 
     ID = "KL001"
     TITLE = "no ambient time or randomness in sim/core/proto/attacks"
 
-    def check(self, project: Project) -> Iterable[Finding]:
-        for source in project.files:
-            if not self._guarded(source):
-                continue
+    def check_file(
+        self, project: Project, source: SourceFile
+    ) -> Iterable[Finding]:
+        if self._guarded(source):
             yield from self._check_file(source)
 
     @staticmethod

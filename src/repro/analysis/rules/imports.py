@@ -18,22 +18,22 @@ import ast
 import re
 from typing import Dict, Iterable, Set, Tuple
 
-from repro.analysis.engine import Rule, register_rule
+from repro.analysis.engine import FileRule, register_rule
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.project import Project, SourceFile
 
 
 @register_rule
-class UnusedImportRule(Rule):
+class UnusedImportRule(FileRule):
     """KL006: flag module-level imports nothing in the file references."""
 
     ID = "KL006"
     TITLE = "module-level imports that nothing references"
 
-    def check(self, project: Project) -> Iterable[Finding]:
-        for source in project.files:
-            if source.path.name == "__init__.py":
-                continue
+    def check_file(
+        self, project: Project, source: SourceFile
+    ) -> Iterable[Finding]:
+        if source.path.name != "__init__.py":
             yield from self._check_file(source)
 
     def _check_file(self, source: SourceFile) -> Iterable[Finding]:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
-from repro.analysis.engine import Rule, register_rule
+from repro.analysis.engine import FileRule, register_rule
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.project import Project, SourceFile
 
@@ -37,16 +37,16 @@ _FIX_HINT = (
 
 
 @register_rule
-class PrintRule(Rule):
+class PrintRule(FileRule):
     """KL008: ``print()`` is reserved for the CLI surface."""
 
     ID = "KL008"
     TITLE = "no print() outside cli/__main__/analysis"
 
-    def check(self, project: Project) -> Iterable[Finding]:
-        for source in project.files:
-            if self._exempt(source):
-                continue
+    def check_file(
+        self, project: Project, source: SourceFile
+    ) -> Iterable[Finding]:
+        if not self._exempt(source):
             yield from self._check_file(source)
 
     @staticmethod

@@ -22,7 +22,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator, Optional
 
-from repro.analysis.engine import Rule, register_rule
+from repro.analysis.engine import FileRule, register_rule
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.project import Project, SourceFile
 
@@ -62,15 +62,16 @@ def _is_inert(body: Iterable[ast.stmt]) -> bool:
 
 
 @register_rule
-class SwallowedExceptionRule(Rule):
+class SwallowedExceptionRule(FileRule):
     """KL007: no bare ``except:`` and no inert catch-all handlers."""
 
     ID = "KL007"
     TITLE = "no swallowed exceptions (bare or inert catch-all handlers)"
 
-    def check(self, project: Project) -> Iterable[Finding]:
-        for source in project.files:
-            yield from self._check_file(source)
+    def check_file(
+        self, project: Project, source: SourceFile
+    ) -> Iterable[Finding]:
+        yield from self._check_file(source)
 
     def _check_file(self, source: SourceFile) -> Iterator[Finding]:
         scopes: list = []

@@ -62,6 +62,15 @@ class DataStore:
         self._telemetry = telemetry
         self._telemetry_node = telemetry_node
 
+    def rebuild_derived_state(self) -> None:
+        """Recompute the timestamp ring from the capture window.
+
+        Restore hook for snapshot/migration: ``_stamps`` is a pure
+        function of ``_window``, so a restored store rebuilds it rather
+        than trusting a possibly-stale serialized copy.
+        """
+        self._stamps = [capture.timestamp for capture in self._window]
+
     # -- intake ------------------------------------------------------------------
 
     def add(self, capture: Capture) -> None:

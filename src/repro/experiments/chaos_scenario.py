@@ -275,4 +275,12 @@ def run(
     result.extra["bus_topics"] = sorted(
         set(primary.bus.topic_counts()) | set(remote.bus.topic_counts())
     )
+    # Runtime truth for the static state graph: the live roots of the
+    # chaos world, for the kalis-lint runtime state census.
+    result.extra["world"] = {
+        "sim": sim,
+        "primary": primary,
+        "remote": remote,
+        "network": network,
+    }
     return result

@@ -18,7 +18,7 @@ ICMP Echo Replies — the symptom a Smurf would also produce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.attacks.icmp_flood import IcmpFloodAttacker
 from repro.devices.commodity import (
@@ -48,13 +48,19 @@ PAPER_SYMPTOM_INSTANCES = 50
 
 @dataclass
 class BuiltScenario:
-    """The recorded world: trace + ground truth + key identities."""
+    """The recorded world: trace + ground truth + key identities.
+
+    ``sim`` is the live simulator after the run — kept so debug tooling
+    (the kalis-lint runtime state census) can walk the real object
+    graph of a finished scenario.
+    """
 
     trace: "Trace"
     instances: list
     attacker: NodeId
     victim: NodeId
     duration_s: float
+    sim: Optional[Simulator] = None
 
 
 def build(
@@ -125,6 +131,7 @@ def build(
         attacker=attacker.node_id,
         victim=victim.node_id,
         duration_s=duration,
+        sim=sim,
     )
 
 

@@ -104,6 +104,19 @@ class Simulator:
         # Cell size derives from the model's culling range — rebuild.
         self._grids.pop(model.medium, None)
 
+    def rebuild_derived_state(self) -> None:
+        """Drop every derived cache; each rebuilds lazily on next use.
+
+        Restore hook for snapshot/migration: the spatial grids are a
+        pure function of member positions and medium cull ranges, and
+        the bound telemetry counters hold handles into the (process-
+        local) telemetry sink, so none of them should survive a
+        checkpoint boundary.
+        """
+        self._grids.clear()
+        self._tx_counters.clear()
+        self._delivery_counters.clear()
+
     def _grid(self, medium: Medium) -> SpatialGrid:
         """The (lazily built) spatial index for one medium."""
         grid = self._grids.get(medium)

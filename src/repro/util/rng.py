@@ -161,9 +161,22 @@ class HashedStream:
     def __init__(self, seed: int, *labels: str) -> None:
         self._seed = derive_seed(seed, *labels) if labels else int(seed)
         self._labels = tuple(labels)
+        self._rebuild_prefix()
+
+    def _rebuild_prefix(self) -> None:
         prefix = hashlib.sha256()
         prefix.update(self._seed.to_bytes(8, "big"))
         self._prefix = prefix
+
+    def __getstate__(self) -> dict:
+        # The live hashlib object cannot cross pickle; it is a pure
+        # function of the seed, so snapshot only the seed and labels.
+        return {"_seed": self._seed, "_labels": self._labels}
+
+    def __setstate__(self, state: dict) -> None:
+        self._seed = state["_seed"]
+        self._labels = state["_labels"]
+        self._rebuild_prefix()
 
     @property
     def seed(self) -> int:

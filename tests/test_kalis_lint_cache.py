@@ -1,0 +1,188 @@
+"""The kalis-lint incremental cache: hits, invalidation, and speed."""
+
+import textwrap
+import time
+from pathlib import Path
+
+from repro.analysis.cache import CACHE_DIR_NAME, LintCache
+from repro.analysis.cli import main
+from repro.analysis.engine import run_rules
+from repro.analysis.project import Project
+
+ROOT = Path(__file__).resolve().parent.parent
+
+FILES = {
+    "repro/core/widget.py": """
+    import os
+
+
+    def cwd():
+        return os.getcwd()
+    """,
+    "repro/core/gadget.py": """
+    import json
+    import sys
+
+
+    def dump(x):
+        return json.dumps(x)
+    """,
+}
+
+
+def write_tree(tmp_path, files):
+    for relpath, content in files.items():
+        path = tmp_path / "src" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    for directory in sorted((tmp_path / "src").rglob("*")):
+        if directory.is_dir():
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+    return tmp_path / "src" / "repro"
+
+
+def load_and_run(tmp_path, cache):
+    project = Project.load(
+        [tmp_path / "src" / "repro"], root=tmp_path, cache=cache
+    )
+    findings = run_rules(project, cache=cache)
+    return project, findings
+
+
+class TestAstCache:
+    def test_second_load_hits(self, tmp_path):
+        write_tree(tmp_path, FILES)
+        cache = LintCache(tmp_path, fingerprint="f1")
+        load_and_run(tmp_path, cache)
+        assert cache.ast_hits == 0
+
+        warm = LintCache(tmp_path, fingerprint="f1")
+        project, _ = load_and_run(tmp_path, warm)
+        assert warm.ast_misses == 0
+        assert warm.ast_hits == len(project.files)
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        tree = write_tree(tmp_path, FILES)
+        cache = LintCache(tmp_path, fingerprint="f1")
+        load_and_run(tmp_path, cache)
+
+        widget = tree / "core" / "widget.py"
+        widget.write_text(
+            widget.read_text(encoding="utf-8") + "\n\nEXTRA = 1\n",
+            encoding="utf-8",
+        )
+        warm = LintCache(tmp_path, fingerprint="f1")
+        load_and_run(tmp_path, warm)
+        assert warm.ast_misses == 1  # only the edited file re-parses
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
+        write_tree(tmp_path, FILES)
+        cache = LintCache(tmp_path, fingerprint="f1")
+        load_and_run(tmp_path, cache)
+        for entry in (tmp_path / CACHE_DIR_NAME / "asts").iterdir():
+            entry.write_bytes(b"garbage")
+        warm = LintCache(tmp_path, fingerprint="f1")
+        project, findings = load_and_run(tmp_path, warm)
+        assert warm.ast_hits == 0
+        assert len(project.files) == len(FILES) + 2  # __init__.py files
+
+
+class TestFindingsCache:
+    def test_warm_run_reuses_every_rule_result(self, tmp_path):
+        write_tree(tmp_path, FILES)
+        cold = LintCache(tmp_path, fingerprint="f1")
+        _, cold_findings = load_and_run(tmp_path, cold)
+        assert cold.finding_hits == 0
+
+        warm = LintCache(tmp_path, fingerprint="f1")
+        _, warm_findings = load_and_run(tmp_path, warm)
+        assert warm.finding_misses == 0
+        assert warm.finding_hits > 0
+        assert warm_findings == cold_findings
+
+    def test_unused_import_findings_survive_the_cache(self, tmp_path):
+        """Cached findings deserialize identically (KL006 has some)."""
+        write_tree(tmp_path, FILES)
+        cold = LintCache(tmp_path, fingerprint="f1")
+        _, cold_findings = load_and_run(tmp_path, cold)
+        kl006 = [f for f in cold_findings if f.rule == "KL006"]
+        assert {f.key for f in kl006} == {"sys"}
+
+        warm = LintCache(tmp_path, fingerprint="f1")
+        _, warm_findings = load_and_run(tmp_path, warm)
+        assert [f for f in warm_findings if f.rule == "KL006"] == kl006
+
+    def test_content_change_reruns_program_rules(self, tmp_path):
+        tree = write_tree(tmp_path, FILES)
+        cache = LintCache(tmp_path, fingerprint="f1")
+        load_and_run(tmp_path, cache)
+
+        gadget = tree / "core" / "gadget.py"
+        gadget.write_text(
+            gadget.read_text(encoding="utf-8").replace(
+                "import sys\n", ""
+            ),
+            encoding="utf-8",
+        )
+        warm = LintCache(tmp_path, fingerprint="f1")
+        _, findings = load_and_run(tmp_path, warm)
+        # The edited file's file-scoped rules re-ran; the finding is gone.
+        assert [f for f in findings if f.rule == "KL006"] == []
+        # Program-scoped rules re-ran too (tree digest changed).
+        assert warm.finding_misses > 0
+
+    def test_analysis_code_change_invalidates_findings(self, tmp_path):
+        """A different fingerprint (edited rule code) is a cold start."""
+        write_tree(tmp_path, FILES)
+        cold = LintCache(tmp_path, fingerprint="f1")
+        load_and_run(tmp_path, cold)
+
+        changed = LintCache(tmp_path, fingerprint="f2")
+        load_and_run(tmp_path, changed)
+        assert changed.finding_hits == 0
+        # ASTs do not depend on rule code; they still hit.
+        assert changed.ast_misses == 0
+
+
+class TestCliCacheIntegration:
+    def test_cli_warm_run_is_faster_and_identical(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, FILES)
+        argv = ["--root", str(tmp_path), "--no-baseline", str(tree)]
+
+        start = time.perf_counter()
+        cold_code = main(argv)
+        cold_s = time.perf_counter() - start
+        cold_out = capsys.readouterr().out
+
+        start = time.perf_counter()
+        warm_code = main(argv)
+        warm_s = time.perf_counter() - start
+        warm_out = capsys.readouterr().out
+
+        assert (cold_code, cold_out) == (warm_code, warm_out)
+        assert (tmp_path / CACHE_DIR_NAME).is_dir()
+        # Tiny tree, so just sanity-check the warm path is not slower by
+        # much; the CI lint job asserts warm <= cold/2 on the real tree.
+        assert warm_s < cold_s * 1.5
+
+    def test_no_cache_flag_skips_the_cache_dir(self, tmp_path):
+        tree = write_tree(tmp_path, FILES)
+        main(
+            ["--root", str(tmp_path), "--no-baseline", "--no-cache", str(tree)]
+        )
+        assert not (tmp_path / CACHE_DIR_NAME).exists()
+
+    def test_cache_dir_is_never_linted(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, FILES)
+        argv = ["--root", str(tmp_path), "--no-baseline", str(tree)]
+        main(argv)
+        capsys.readouterr()
+        # Plant a syntax-broken python file inside the cache directory;
+        # a scan that descended into it would emit KL000.
+        bad = tmp_path / CACHE_DIR_NAME / "planted.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        code = main(["--root", str(tmp_path), "--no-baseline", str(tmp_path / "src")])
+        out = capsys.readouterr().out
+        assert "KL000" not in out

@@ -1,0 +1,128 @@
+"""``kalis-lint --fix``: the KL006 unused-import autofixer."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+ROOT = Path(__file__).resolve().parent.parent
+
+MESSY = '''"""A module with dead imports."""
+
+import os
+import sys, json
+from pathlib import Path, PurePath
+from typing import (
+    Dict,
+    List,
+)
+
+
+def use() -> Path:
+    return Path(os.getcwd())
+'''
+
+FIXED = '''"""A module with dead imports."""
+
+import os
+from pathlib import Path
+
+
+def use() -> Path:
+    return Path(os.getcwd())
+'''
+
+
+def write_tree(tmp_path, body=MESSY):
+    tree = tmp_path / "src" / "repro"
+    tree.mkdir(parents=True)
+    (tree / "__init__.py").write_text("", encoding="utf-8")
+    mod = tree / "mod.py"
+    mod.write_text(textwrap.dedent(body).lstrip(), encoding="utf-8")
+    return tree, mod
+
+
+def lint(tmp_path, *extra):
+    return main(
+        [
+            "--root",
+            str(tmp_path),
+            "--no-baseline",
+            "--select",
+            "KL006",
+            *extra,
+            str(tmp_path / "src" / "repro"),
+        ]
+    )
+
+
+class TestFix:
+    def test_fix_rewrites_and_tree_lints_clean(self, tmp_path, capsys):
+        _, mod = write_tree(tmp_path)
+        assert lint(tmp_path) == 1  # findings before
+
+        code = lint(tmp_path, "--fix")
+        out = capsys.readouterr().out
+        assert "fixed 5 finding(s) in 1 file(s)" in out
+        assert code == 0  # nothing unfixable remained
+        assert mod.read_text(encoding="utf-8") == FIXED
+
+        # Round trip: the fixed tree lints clean.
+        assert lint(tmp_path) == 0
+
+    def test_fix_is_idempotent(self, tmp_path, capsys):
+        _, mod = write_tree(tmp_path)
+        lint(tmp_path, "--fix")
+        capsys.readouterr()
+        first = mod.read_text(encoding="utf-8")
+
+        code = lint(tmp_path, "--fix")
+        out = capsys.readouterr().out
+        assert "fixed 0 finding(s) in 0 file(s)" in out
+        assert code == 0
+        assert mod.read_text(encoding="utf-8") == first
+
+    def test_dry_run_prints_diff_and_writes_nothing(self, tmp_path, capsys):
+        _, mod = write_tree(tmp_path)
+        before = mod.read_text(encoding="utf-8")
+
+        code = lint(tmp_path, "--fix", "--dry-run")
+        out = capsys.readouterr().out
+        assert code == 1  # findings still present
+        assert "would fix 5 finding(s)" in out
+        assert "-import sys, json" in out
+        assert "+from pathlib import Path" in out
+        assert mod.read_text(encoding="utf-8") == before
+
+    def test_partial_statement_keeps_used_aliases(self, tmp_path, capsys):
+        body = """
+        import os as operating, sys
+
+
+        def use():
+            return operating.getcwd()
+        """
+        _, mod = write_tree(tmp_path, body)
+        lint(tmp_path, "--fix")
+        capsys.readouterr()
+        assert (
+            mod.read_text(encoding="utf-8")
+            == "import os as operating\n\n\ndef use():\n"
+            "    return operating.getcwd()\n"
+        )
+
+    def test_noqa_and_init_imports_untouched(self, tmp_path, capsys):
+        tree = tmp_path / "src" / "repro"
+        tree.mkdir(parents=True)
+        (tree / "__init__.py").write_text(
+            "from repro.mod import use\n", encoding="utf-8"
+        )
+        (tree / "mod.py").write_text(
+            "import sys  # noqa: F401\n\n\ndef use():\n    return 1\n",
+            encoding="utf-8",
+        )
+        code = lint(tmp_path, "--fix")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fixed 0 finding(s)" in out
+        assert "noqa" in (tree / "mod.py").read_text(encoding="utf-8")
