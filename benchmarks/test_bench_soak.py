@@ -1,0 +1,70 @@
+"""E15 — kill/restore soak: throughput and checkpoint latency.
+
+Measures the cost of operating Kalis as a resumable service: sustained
+packet throughput under repeated kill/restore cycles, and the wall-time
+of one checkpoint write and one restore at a realistic deployment size.
+The headline numbers land in ``BENCH_soak.json``.
+"""
+
+import time
+
+from repro.ckpt import SnapshotStore, capture, restore
+from repro.experiments import soak_scenario
+
+
+def test_bench_e15_soak(benchmark, report, bench_json, tmp_path):
+    def run_soak():
+        return soak_scenario.run(
+            tmp_path / "soak",
+            seeds=(7,),
+            workloads=("e1", "chaos"),
+            symptom_instances=20,
+            kills=3,
+            checkpoint_interval=10.0,
+        )
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(run_soak, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+    packets_per_sec = result.total_packets / elapsed if elapsed else 0.0
+
+    # Checkpoint write / restore latency at mid-run E1 size.
+    deployment = soak_scenario.build_e1_deployment(
+        seed=7, symptom_instances=20
+    )
+    deployment.run_to(deployment.end_time / 2)
+    store = SnapshotStore(tmp_path / "latency")
+
+    write_started = time.perf_counter()
+    payload = capture(deployment)
+    path = store.save(payload, deployment.meta())
+    write_ms = (time.perf_counter() - write_started) * 1000.0
+
+    restore_started = time.perf_counter()
+    restored = restore(store.latest()[1])
+    restore_ms = (time.perf_counter() - restore_started) * 1000.0
+    assert restored.now == deployment.now
+
+    report(
+        "E15: Kill/restore soak (service-mode durability)",
+        result.summary()
+        + f"\n  sustained: {packets_per_sec:,.0f} packets/s wall "
+        + f"(incl. {result.total_cycles} restores)"
+        + f"\n  checkpoint: write {write_ms:.1f} ms, restore "
+        + f"{restore_ms:.1f} ms, {len(payload):,} bytes ({path.name})",
+    )
+
+    bench_json(
+        "soak",
+        packets=result.total_packets,
+        cycles=result.total_cycles,
+        violations=len(result.violations),
+        packets_per_sec=round(packets_per_sec, 1),
+        checkpoint_write_ms=round(write_ms, 2),
+        checkpoint_restore_ms=round(restore_ms, 2),
+        snapshot_bytes=len(payload),
+    )
+
+    assert result.completed, result.summary()
+    assert result.total_cycles == 6  # 3 kills x 2 workloads
+    assert result.total_packets > 0

@@ -52,6 +52,7 @@ EXCLUDED_PACKAGES = ("repro.analysis", "repro.taxonomy")
 CHECKPOINT_ROOTS = (
     "CollectiveKnowledgeNetwork",
     "DataStore",
+    "Deployment",
     "EventBus",
     "KalisNode",
     "KnowledgeBase",

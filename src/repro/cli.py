@@ -9,7 +9,10 @@ without writing Python:
   knowledge requirements;
 - ``kalis-repro taxonomy {target,feature}`` — Table I / Figure 3;
 - ``kalis-repro demo`` — a 60-second live scenario with a flood,
-  narrated end to end.
+  narrated end to end;
+- ``kalis-repro serve`` — service mode: run a deployment under the
+  checkpointing loop, resumable from its snapshot store after a kill
+  (SIGTERM checkpoints and exits cleanly).
 """
 
 from __future__ import annotations
@@ -30,7 +33,10 @@ EXPERIMENT_CHOICES = (
     "ablation-modules",
     "ablation-window",
     "chaos",
+    "soak",
 )
+
+SERVE_WORKLOADS = ("e1", "chaos")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +95,46 @@ def build_parser() -> argparse.ArgumentParser:
     demo = subparsers.add_parser("demo", help="run a narrated live demo")
     demo.add_argument("--seed", type=int, default=42)
     demo.add_argument("--duration", type=float, default=60.0)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a resumable deployment under the checkpointing service",
+    )
+    serve.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="snapshot store directory; a restart pointed here resumes",
+    )
+    source = serve.add_mutually_exclusive_group()
+    source.add_argument(
+        "--workload", choices=SERVE_WORKLOADS, default="e1",
+        help="live workload to serve (default e1)",
+    )
+    source.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream a recorded trace (JSONL, .gz ok) instead of a live workload",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--instances", type=int, default=20,
+        help="symptom instances for live workloads (scales the run length)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=float, default=10.0, metavar="SECONDS",
+        help="simulated seconds between snapshots (default 10)",
+    )
+    serve.add_argument(
+        "--kill-at", type=float, default=None, metavar="SECONDS",
+        help="crash drill: raise ProcessKilled at this simulated time "
+             "(skipped when resuming past it)",
+    )
+    serve.add_argument(
+        "--keep", type=int, default=5,
+        help="snapshots to retain in the store (default 5)",
+    )
+    serve.add_argument(
+        "--telemetry", action="store_true",
+        help="instrument the deployment (telemetry rides inside snapshots)",
+    )
 
     return parser
 
@@ -159,6 +205,25 @@ def _run_experiment(args) -> int:
         from repro.experiments import chaos_scenario
 
         print(chaos_scenario.run(seed=args.seed, telemetry=telemetry).summary())
+    elif args.id == "soak":
+        import tempfile
+
+        from repro.experiments import soak_scenario
+
+        telemetry_factory = None
+        if getattr(args, "telemetry", None):
+            from repro.obs import Telemetry as telemetry_factory  # noqa: N813
+        with tempfile.TemporaryDirectory(prefix="kalis-soak-") as store_dir:
+            result = soak_scenario.run(
+                store_dir,
+                seeds=(args.seed, args.seed + 16, args.seed + 40),
+                symptom_instances=args.instances,
+                telemetry_factory=telemetry_factory,
+            )
+        print(result.summary())
+        # E15 instruments each cell internally; the per-run --telemetry
+        # export does not apply here.
+        return 0 if result.completed else 1
     if telemetry is not None:
         path = telemetry.export_jsonl(args.telemetry)
         print(f"telemetry written to {path}")
@@ -246,6 +311,44 @@ def _run_demo(seed: int, duration: float) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from repro.ckpt import KILLED, build_trace_deployment, serve
+
+    telemetry_factory = None
+    if args.telemetry:
+        from repro.obs import Telemetry as telemetry_factory  # noqa: N813
+
+    if args.trace is not None:
+        def builder():
+            telemetry = telemetry_factory() if telemetry_factory else None
+            return build_trace_deployment(args.trace, telemetry=telemetry)
+    else:
+        from repro.experiments.soak_scenario import WORKLOAD_BUILDERS
+
+        build = WORKLOAD_BUILDERS[args.workload]
+
+        def builder():
+            telemetry = telemetry_factory() if telemetry_factory else None
+            return build(
+                seed=args.seed,
+                symptom_instances=args.instances,
+                telemetry=telemetry,
+            )
+
+    report = serve(
+        args.store,
+        builder,
+        checkpoint_interval=args.checkpoint_interval,
+        kill_at=args.kill_at,
+        handle_signals=True,
+        keep=args.keep,
+    )
+    print(report.summary())
+    # Exit 3 mimics the crashed process so restart loops (and the
+    # cross-process tests) can tell a drill kill from a clean finish.
+    return 3 if report.outcome == KILLED else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -259,6 +362,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_taxonomy(args.which)
     if args.command == "demo":
         return _run_demo(args.seed, args.duration)
+    if args.command == "serve":
+        return _run_serve(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

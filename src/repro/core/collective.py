@@ -38,6 +38,48 @@ from repro.util.ids import NodeId
 from repro.util.rng import SeededRng
 
 
+class _ScheduledDelivery:
+    """A queued knowgget hand-off (callable; keeps the queue picklable)."""
+
+    __slots__ = ("link", "knowgget", "trace_id")
+
+    def __init__(self, link, knowgget, trace_id=None) -> None:
+        self.link = link
+        self.knowgget = knowgget
+        self.trace_id = trace_id
+
+    def __call__(self) -> None:
+        self.link._deliver(self.knowgget, self.trace_id)
+
+
+class _ScheduledRetry:
+    """A queued retry attempt (callable; keeps the queue picklable)."""
+
+    __slots__ = ("link", "knowgget", "attempt", "trace_id")
+
+    def __init__(self, link, knowgget, attempt, trace_id=None) -> None:
+        self.link = link
+        self.knowgget = knowgget
+        self.attempt = attempt
+        self.trace_id = trace_id
+
+    def __call__(self) -> None:
+        self.link._attempt(self.knowgget, self.attempt, self.trace_id)
+
+
+class _ShareListener:
+    """A member's collective-change hook (picklable KB listener)."""
+
+    __slots__ = ("network", "owner")
+
+    def __init__(self, network, owner: NodeId) -> None:
+        self.network = network
+        self.owner = owner
+
+    def __call__(self, knowgget: Knowgget) -> None:
+        self.network._broadcast(self.owner, knowgget)
+
+
 class PeerLink:
     """The encrypted one-way channel from one Kalis node to a peer.
 
@@ -144,8 +186,7 @@ class PeerLink:
                 self._deliver(knowgget, trace_id)
             else:
                 self.sim.schedule_in(
-                    self.latency,
-                    lambda item=knowgget, trace=trace_id: self._deliver(item, trace),
+                    self.latency, _ScheduledDelivery(self, knowgget, trace_id)
                 )
             return
         self.lost += 1
@@ -175,10 +216,7 @@ class PeerLink:
             self._attempt(knowgget, attempt + 1, trace_id)
         else:
             self.sim.schedule_in(
-                delay,
-                lambda item=knowgget, index=attempt + 1, trace=trace_id: (
-                    self._attempt(item, index, trace)
-                ),
+                delay, _ScheduledRetry(self, knowgget, attempt + 1, trace_id)
             )
 
     def _deliver(self, knowgget: Knowgget, trace_id: Optional[int] = None) -> None:
@@ -267,9 +305,7 @@ class CollectiveKnowledgeNetwork:
                 self._make_link(existing_owner, kb, kb.owner)
             )
         self._members[kb.owner] = kb
-        kb.add_collective_listener(
-            lambda knowgget, owner=kb.owner: self._broadcast(owner, knowgget)
-        )
+        kb.add_collective_listener(_ShareListener(self, kb.owner))
         if self.sim is not None:
             self.sim.schedule_every(
                 self.beacon_interval, self._count_beacon, first_delay=0.5

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.net.packets.base import Medium
 from repro.sim.capture import Capture
 from repro.sim.node import SnifferNode
+from repro.util.naming import callable_name
 
 CaptureListener = Callable[[Capture], None]
 IntakeErrorListener = Callable[[CaptureListener, Capture, BaseException], None]
@@ -94,7 +95,7 @@ class CommunicationSystem:
             try:
                 listener(capture)
             except Exception as error:
-                name = getattr(listener, "__qualname__", repr(listener))
+                name = callable_name(listener)
                 self.intake_errors.append((name, error))
                 if self._error_listener is not None:
                     self._error_listener(listener, capture, error)

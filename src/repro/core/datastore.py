@@ -62,6 +62,11 @@ class DataStore:
         self._telemetry = telemetry
         self._telemetry_node = telemetry_node
 
+    def bind_telemetry(self, telemetry, node: Optional[str] = None) -> None:
+        """Attach a :class:`repro.obs.Telemetry` for window metrics."""
+        self._telemetry = telemetry
+        self._telemetry_node = node
+
     def rebuild_derived_state(self) -> None:
         """Recompute the timestamp ring from the capture window.
 

@@ -38,6 +38,7 @@ from repro.sim.node import SnifferNode
 from repro.trace.replay import TraceReplayer
 from repro.trace.trace import Trace
 from repro.util.ids import NodeId
+from repro.util.naming import callable_name
 
 #: The prototype's three sensing modules (§V).
 DEFAULT_SENSING_MODULES = (
@@ -132,10 +133,9 @@ class KalisNode:
         self.bus.subscribe(DEADLETTER_TOPIC, self._on_deadletter)
         self.comm.set_error_listener(self._on_intake_error)
         self.comm.add_listener(self._on_capture)
+        self._quarantine_dump_sub = None
         if telemetry is not None:
-            self.bus.bind_telemetry(telemetry, node_id.value)
-            self.comm.bind_telemetry(telemetry, node_id.value)
-            self.bus.subscribe(TOPIC_MODULE_QUARANTINE, self._on_quarantine_dump)
+            self.attach_telemetry(telemetry)
 
         if isinstance(config, str):
             config = parse_config(config)
@@ -143,6 +143,44 @@ class KalisNode:
 
         self._register_library(module_names)
         self._apply_static_knowledge()
+
+    # -- restore seams ---------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """(Re)bind a telemetry sink across every layer of this node.
+
+        Called at construction when ``telemetry`` is passed, and again
+        by the checkpoint/restore path when a node snapshotted without
+        instrumentation is restored into a process that wants it: the
+        bus, intake, data-store and supervisor bindings are refreshed
+        and the flight-recorder quarantine-dump trigger is subscribed
+        exactly once (re-attaching is idempotent).  Listeners that were
+        already subscribed ride along inside the snapshot — they are
+        bound methods, which pickle — so a restored node needs no other
+        re-registration.
+        """
+        self.telemetry = telemetry
+        self.bus.bind_telemetry(telemetry, self.node_id.value)
+        self.comm.bind_telemetry(telemetry, self.node_id.value)
+        self.datastore.bind_telemetry(telemetry, self.node_id.value)
+        self.manager.telemetry = telemetry
+        if self.manager.supervisor.telemetry is None:
+            self.manager.supervisor.bind_telemetry(telemetry, str(self.node_id))
+        if self._quarantine_dump_sub is None or not self._quarantine_dump_sub.active:
+            self._quarantine_dump_sub = self.bus.subscribe(
+                TOPIC_MODULE_QUARANTINE, self._on_quarantine_dump
+            )
+
+    def rebuild_derived_state(self) -> None:
+        """Restore hook: recompute this node's derived caches.
+
+        The node's own layers keep almost no derived state — the data
+        store's timestamp ring is the one cache rebuilt here; the rest
+        (knowledge base, manager tables, supervisor breaker state,
+        alert sink, dead letters) is primary state carried verbatim by
+        the snapshot.
+        """
+        self.datastore.rebuild_derived_state()
 
     # -- construction helpers -------------------------------------------------------
 
@@ -227,7 +265,7 @@ class KalisNode:
             DeadLetter(
                 topic="comm.capture",
                 event=Event(topic="comm.capture", payload=capture),
-                handler=getattr(listener, "__qualname__", repr(listener)),
+                handler=callable_name(listener),
                 error=error,
             ),
         )

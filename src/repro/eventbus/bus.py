@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.util.naming import callable_name
+
 Handler = Callable[["Event"], None]
 
 #: Topic on which handler failures are re-published as DeadLetter events.
@@ -260,8 +262,4 @@ class EventBus:
 
 def _handler_name(handler: Handler) -> str:
     """A stable, human-readable name for a subscribed callable."""
-    qualname = getattr(handler, "__qualname__", None)
-    if qualname:
-        module = getattr(handler, "__module__", None)
-        return f"{module}.{qualname}" if module else qualname
-    return repr(handler)
+    return callable_name(handler)

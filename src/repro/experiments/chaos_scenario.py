@@ -62,6 +62,77 @@ def default_plan(seed: int) -> FaultPlan:
     ))
 
 
+class AlertSharer:
+    """Shares every alert as a uniquely-labelled collective knowgget.
+
+    A module-level class (not a closure) so a chaos world with this
+    subscriber on the bus stays picklable for checkpoint/restore; the
+    running count is carried in the snapshot, so labels keep
+    incrementing seamlessly across a restore.
+    """
+
+    def __init__(self, kb) -> None:
+        self.kb = kb
+        self.count = 0
+
+    def __call__(self, event) -> None:
+        label = f"SharedAlert{self.count}"
+        self.count += 1
+        self.kb.put(label, event.payload.attack, collective=True)
+
+
+class FlakyDashboard:
+    """A dashboard subscriber whose first ``failures`` deliveries raise.
+
+    Exercises the bus dead-letter path (and, with telemetry on, the
+    flight-recorder dump) deterministically on every run.  Picklable:
+    the remaining-failure budget survives a checkpoint, so a restored
+    run fails exactly as many times as an uninterrupted one.
+    """
+
+    def __init__(self, failures: int = 2) -> None:
+        self.failures_left = failures
+
+    def __call__(self, event) -> None:
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise RuntimeError("dashboard connector not ready")
+
+
+class ModuleEventLog:
+    """Appends each module event's module name to a list (picklable)."""
+
+    def __init__(self) -> None:
+        self.items: List[str] = []
+
+    def __call__(self, event) -> None:
+        self.items.append(event.payload.module)
+
+
+@dataclass
+class ChaosWorld:
+    """The live chaos deployment, before (or during) its run.
+
+    Everything here is picklable mid-run — the substrate the E15
+    kill/restore soak checkpoints.  ``collect(world)`` turns a finished
+    world into a :class:`ChaosResult`.
+    """
+
+    seed: int
+    duration_s: float
+    sim: Simulator
+    primary: KalisNode
+    remote: KalisNode
+    network: CollectiveKnowledgeNetwork
+    attacker: IcmpFloodAttacker
+    sharer: AlertSharer
+    dashboard: FlakyDashboard
+    quarantine_log: ModuleEventLog
+    restore_log: ModuleEventLog
+    plan: FaultPlan
+    telemetry: Optional[object] = None
+
+
 @dataclass
 class ChaosResult:
     """Everything the chaos benchmark asserts on and reports."""
@@ -133,15 +204,20 @@ def alert_log_lines(alerts: List[Alert]) -> List[str]:
     ]
 
 
-def run(
+def build_world(
     seed: int = 23,
     symptom_instances: int = 20,
     link_loss: float = 0.3,
     max_retries: int = 8,
     plan: Optional[FaultPlan] = None,
     telemetry=None,
-) -> ChaosResult:
-    """Run the chaos scenario live and collect every robustness metric.
+) -> ChaosWorld:
+    """Build the chaos deployment without running it.
+
+    Construction order (hence every RNG draw) is identical to what
+    :func:`run` always did; :func:`run` is now ``collect(build_world()
+    .sim.run(...))``.  The returned world is fully picklable, so the
+    E15 soak can checkpoint it at arbitrary points mid-run.
 
     :param link_loss: peer-link per-attempt loss probability.
     :param max_retries: the links' retry budget (0 = fire-and-forget).
@@ -199,46 +275,52 @@ def run(
 
     # Share every detection with the group: one uniquely-labelled
     # collective knowgget per alert, so delivery is countable.
-    shared = {"count": 0}
-
-    def share_alert(event) -> None:
-        label = f"SharedAlert{shared['count']}"
-        shared["count"] += 1
-        primary.kb.put(label, event.payload.attack, collective=True)
-
-    primary.bus.subscribe(ALERT_TOPIC, share_alert)
+    sharer = AlertSharer(primary.kb)
+    primary.bus.subscribe(ALERT_TOPIC, sharer)
 
     # A deliberately flaky "dashboard" subscriber: its first two alert
     # deliveries raise, exercising the bus dead-letter path (and, with
     # telemetry on, the flight-recorder dump) on every run.  Dispatch is
     # exception-safe, so the alert log is unaffected.
-    dashboard = {"failures_left": 2}
+    dashboard = FlakyDashboard(failures=2)
+    primary.bus.subscribe(ALERT_TOPIC, dashboard)
 
-    def flaky_dashboard(event) -> None:
-        if dashboard["failures_left"] > 0:
-            dashboard["failures_left"] -= 1
-            raise RuntimeError("dashboard connector not ready")
-
-    primary.bus.subscribe(ALERT_TOPIC, flaky_dashboard)
-
-    quarantined: List[str] = []
-    restored: List[str] = []
-    primary.bus.subscribe(
-        TOPIC_MODULE_QUARANTINE, lambda e: quarantined.append(e.payload.module)
-    )
-    primary.bus.subscribe(
-        TOPIC_MODULE_RESTORE, lambda e: restored.append(e.payload.module)
-    )
+    quarantine_log = ModuleEventLog()
+    restore_log = ModuleEventLog()
+    primary.bus.subscribe(TOPIC_MODULE_QUARANTINE, quarantine_log)
+    primary.bus.subscribe(TOPIC_MODULE_RESTORE, restore_log)
 
     if plan is None:
         plan = default_plan(seed)
     plan.apply(sim, kalis_nodes=[primary, remote], network=network)
 
     duration = attacker.start_delay + symptom_instances * 5.0 + 30.0
-    sim.run(duration)
+    return ChaosWorld(
+        seed=seed,
+        duration_s=duration,
+        sim=sim,
+        primary=primary,
+        remote=remote,
+        network=network,
+        attacker=attacker,
+        sharer=sharer,
+        dashboard=dashboard,
+        quarantine_log=quarantine_log,
+        restore_log=restore_log,
+        plan=plan,
+        telemetry=telemetry,
+    )
 
+
+def collect(world: ChaosWorld) -> ChaosResult:
+    """Score a finished (fully-run) chaos world into a ChaosResult."""
+    sim = world.sim
+    primary, remote = world.primary, world.remote
+    attacker, network, plan = world.attacker, world.network, world.plan
+    duration = world.duration_s
+    telemetry = world.telemetry
     received = sum(
-        1 for index in range(shared["count"])
+        1 for index in range(world.sharer.count)
         if remote.kb.get(f"SharedAlert{index}", str, creator=KALIS_PRIMARY)
         is not None
     )
@@ -246,17 +328,17 @@ def run(
         primary.alerts.alerts, attacker.log.instances, detection_slack=20.0
     )
     result = ChaosResult(
-        seed=seed,
+        seed=world.seed,
         duration_s=duration,
         capture_count=primary.comm.total_captures,
         score=score,
         alerts=list(primary.alerts.alerts),
         alert_log=alert_log_lines(primary.alerts.alerts),
         health_table=primary.manager.health_table(),
-        quarantined=quarantined,
-        restored=restored,
+        quarantined=list(world.quarantine_log.items),
+        restored=list(world.restore_log.items),
         module_failures=len(primary.manager.supervisor.failures),
-        shared_total=shared["count"],
+        shared_total=world.sharer.count,
         shared_received=received,
         delivery=network.delivery_stats(),
         convergence_time=network.convergence_time(),
@@ -284,3 +366,28 @@ def run(
         "network": network,
     }
     return result
+
+
+def run(
+    seed: int = 23,
+    symptom_instances: int = 20,
+    link_loss: float = 0.3,
+    max_retries: int = 8,
+    plan: Optional[FaultPlan] = None,
+    telemetry=None,
+) -> ChaosResult:
+    """Run the chaos scenario live and collect every robustness metric.
+
+    See :func:`build_world` for the parameters; this runs the built
+    world to completion in one uninterrupted stretch and scores it.
+    """
+    world = build_world(
+        seed=seed,
+        symptom_instances=symptom_instances,
+        link_loss=link_loss,
+        max_retries=max_retries,
+        plan=plan,
+        telemetry=telemetry,
+    )
+    world.sim.run(world.duration_s)
+    return collect(world)

@@ -7,6 +7,8 @@ from repro.faults.plan import (
     LinkOutage,
     ModuleCrash,
     NodeCrash,
+    ProcessKill,
+    ProcessKilled,
 )
 
 __all__ = [
@@ -16,4 +18,6 @@ __all__ = [
     "LinkOutage",
     "ModuleCrash",
     "NodeCrash",
+    "ProcessKill",
+    "ProcessKilled",
 ]

@@ -36,6 +36,20 @@ class InjectedModuleCrash(RuntimeError):
     """The failure a :class:`ModuleCrash` injects into a module."""
 
 
+class ProcessKilled(Exception):
+    """Raised out of the event loop when a :class:`ProcessKill` fires.
+
+    Models a SIGKILL/SIGTERM of the whole Kalis process: the driver
+    (e.g. :class:`repro.ckpt.CheckpointService` or the E15 soak
+    harness) catches it, snapshots the deployment as of the kill
+    instant, discards the live objects and restores from the snapshot.
+    """
+
+    def __init__(self, at: float) -> None:
+        super().__init__(f"process killed at t={at}")
+        self.at = at
+
+
 @dataclass(frozen=True)
 class NodeCrash:
     """Power a simulation node off at ``at``; back on after ``duration``
@@ -89,6 +103,22 @@ class ModuleCrash:
 
 
 @dataclass(frozen=True)
+class ProcessKill:
+    """Kill the whole Kalis process at ``at`` (checkpoint/restore drill).
+
+    The scheduled callable raises :class:`ProcessKilled` from inside the
+    event loop — by then the kill event itself has been popped from the
+    queue, so a snapshot taken at the kill point resumes *after* it and
+    the kill never re-fires on restore.
+    """
+
+    at: float
+
+    def describe(self) -> str:
+        return f"kill the Kalis process at t={self.at}"
+
+
+@dataclass(frozen=True)
 class LinkOutage:
     """Partition every peer link of the collective network for a window."""
 
@@ -97,6 +127,45 @@ class LinkOutage:
 
     def describe(self) -> str:
         return f"partition peer links in t=[{self.start}, {self.end})"
+
+
+class _NodeAction:
+    """A scheduled fault action on one node (picklable queue entry).
+
+    ``action`` names the :class:`~repro.sim.node.SimNode` fault hook to
+    invoke (``crash`` / ``reboot`` / ``disable_medium`` /
+    ``enable_medium``); a node that has left the world by firing time is
+    skipped, matching the original closure semantics.
+    """
+
+    __slots__ = ("sim", "node", "action", "medium")
+
+    def __init__(self, sim, node: NodeId, action: str, medium=None) -> None:
+        self.sim = sim
+        self.node = node
+        self.action = action
+        self.medium = medium
+
+    def __call__(self) -> None:
+        node = self.sim.get_node(self.node)
+        if node is None:
+            return
+        if self.medium is None:
+            getattr(node, self.action)()
+        else:
+            getattr(node, self.action)(self.medium)
+
+
+class _KillPoint:
+    """The scheduled :class:`ProcessKill` trigger (picklable)."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = at
+
+    def __call__(self) -> None:
+        raise ProcessKilled(self.at)
 
 
 class _ModuleCrashInjector:
@@ -175,6 +244,8 @@ class FaultPlan:
                 self._apply_interface_flap(sim, event)
             elif isinstance(event, ModuleCrash):
                 self._apply_module_crash(kalis_by_id, event)
+            elif isinstance(event, ProcessKill):
+                sim.schedule_at(self._shift(event.at), _KillPoint(event.at))
             elif isinstance(event, LinkOutage):
                 if network is None:
                     raise ValueError(
@@ -186,32 +257,21 @@ class FaultPlan:
 
     def _apply_node_crash(self, sim, event: NodeCrash) -> None:
         at = self._shift(event.at)
-
-        def down() -> None:
-            if sim.has_node(event.node):
-                sim.node(event.node).crash()
-
-        def up() -> None:
-            if sim.has_node(event.node):
-                sim.node(event.node).reboot()
-
-        sim.schedule_at(at, down)
+        sim.schedule_at(at, _NodeAction(sim, event.node, "crash"))
         if event.duration is not None:
-            sim.schedule_at(at + event.duration, up)
+            sim.schedule_at(
+                at + event.duration, _NodeAction(sim, event.node, "reboot")
+            )
 
     def _apply_interface_flap(self, sim, event: InterfaceFlap) -> None:
         at = self._shift(event.at)
-
-        def down() -> None:
-            if sim.has_node(event.node):
-                sim.node(event.node).disable_medium(event.medium)
-
-        def up() -> None:
-            if sim.has_node(event.node):
-                sim.node(event.node).enable_medium(event.medium)
-
-        sim.schedule_at(at, down)
-        sim.schedule_at(at + event.duration, up)
+        sim.schedule_at(
+            at, _NodeAction(sim, event.node, "disable_medium", event.medium)
+        )
+        sim.schedule_at(
+            at + event.duration,
+            _NodeAction(sim, event.node, "enable_medium", event.medium),
+        )
 
     def _apply_module_crash(self, kalis_by_id, event: ModuleCrash) -> None:
         if event.kalis not in kalis_by_id:

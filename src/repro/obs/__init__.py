@@ -15,6 +15,7 @@ and the export contract keeps every wall-derived value under literal
 from repro.obs.export import (
     FORMAT_VERSION,
     canonical_lines,
+    canonical_telemetry_lines,
     export_jsonl,
     export_lines,
     load_export,
@@ -42,6 +43,7 @@ __all__ = [
     "Span",
     "Telemetry",
     "canonical_lines",
+    "canonical_telemetry_lines",
     "export_jsonl",
     "export_lines",
     "load_export",

@@ -100,3 +100,16 @@ def canonical_lines(path) -> List[str]:
         json.dumps(strip_wall(record), separators=(",", ":"), sort_keys=True)
         for record in load_export(path)
     ]
+
+
+def canonical_telemetry_lines(telemetry: Telemetry) -> List[str]:
+    """:func:`canonical_lines` straight off a live sink (no file trip).
+
+    The checkpoint/restore equivalence oracle compares these between an
+    interrupted and an uninterrupted run, so they must match what an
+    export-then-:func:`canonical_lines` round trip would produce.
+    """
+    return [
+        json.dumps(strip_wall(record), separators=(",", ":"), sort_keys=True)
+        for record in export_lines(telemetry)
+    ]

@@ -202,13 +202,7 @@ class Simulator:
         """Run ``callback`` periodically, optionally ending at ``until``."""
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
-
-        def tick() -> None:
-            if until is not None and self.clock.now > until:
-                return
-            callback()
-            self.schedule_in(interval, tick)
-
+        tick = _PeriodicTask(self, interval, callback, until)
         self.schedule_in(first_delay if first_delay is not None else interval, tick)
 
     def run_until(self, end_time: float) -> None:
@@ -322,6 +316,29 @@ class Simulator:
                 ),
             )
         return receptions
+
+
+class _PeriodicTask:
+    """One ``schedule_every`` cadence (callable; keeps the queue picklable).
+
+    Re-schedules itself after each firing, so exactly one copy sits on
+    the queue at any time and a checkpointed queue carries the cadence
+    across a restore without re-installation.
+    """
+
+    __slots__ = ("sim", "interval", "callback", "until")
+
+    def __init__(self, sim, interval, callback, until=None) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.until = until
+
+    def __call__(self) -> None:
+        if self.until is not None and self.sim.clock.now > self.until:
+            return
+        self.callback()
+        self.sim.schedule_in(self.interval, self)
 
 
 class _Delivery:

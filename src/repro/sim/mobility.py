@@ -28,10 +28,16 @@ class MobilityModel:
             raise ValueError(f"update_interval must be positive, got {update_interval}")
         self.node_ids = list(node_ids)
         self.update_interval = update_interval
+        self._sim = None
 
     def install(self, sim, until: Optional[float] = None) -> None:
         """Attach to a simulator: tick every ``update_interval`` seconds."""
-        sim.schedule_every(self.update_interval, lambda: self.tick(sim), until=until)
+        self._sim = sim
+        sim.schedule_every(self.update_interval, self._installed_tick, until=until)
+
+    def _installed_tick(self) -> None:
+        """The scheduled cadence body (bound method: picklable)."""
+        self.tick(self._sim)
 
     def tick(self, sim) -> None:
         """Advance one mobility step; override in subclasses."""

@@ -19,7 +19,7 @@ This package implements that pipeline:
 from repro.trace.inject import SymptomInjector
 from repro.trace.record import TraceRecord
 from repro.trace.recorder import TraceRecorder
-from repro.trace.replay import TraceReplayer
+from repro.trace.replay import TraceReplayer, TraceStreamer
 from repro.trace.trace import Trace
 
 __all__ = [
@@ -28,4 +28,5 @@ __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "TraceReplayer",
+    "TraceStreamer",
 ]

@@ -1,0 +1,25 @@
+"""Stable, human-readable names for callables.
+
+Dead-letter records and telemetry flight dumps carry the name of the
+failing handler.  Plain functions and bound methods expose
+``__qualname__``; callable *instances* (the reified subscriber classes
+the checkpoint layer introduced) do not, and falling back to ``repr``
+would embed a memory address — nondeterministic across processes and
+restore cycles, which the canonical-output oracle would flag.  The
+fallback here names the instance's class instead, which is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def callable_name(handler: Any) -> str:
+    """A deterministic display name for any callable."""
+    qualname = getattr(handler, "__qualname__", None)
+    if qualname:
+        module = getattr(handler, "__module__", None)
+        return f"{module}.{qualname}" if module else qualname
+    cls = type(handler)
+    module = getattr(cls, "__module__", None)
+    return f"{module}.{cls.__qualname__}" if module else cls.__qualname__

@@ -1,0 +1,151 @@
+"""Whole-deployment capture/restore and the canonical-output oracle."""
+
+import pickle
+
+import pytest
+
+from repro.ckpt import (
+    SnapshotCorrupt,
+    canonical_outputs,
+    capture,
+    restore,
+)
+from repro.experiments.soak_scenario import build_e1_deployment
+from repro.obs import Telemetry
+
+
+def _run_plain(seed=7, instances=6):
+    deployment = build_e1_deployment(seed=seed, symptom_instances=instances)
+    deployment.run_to(deployment.end_time)
+    return canonical_outputs(deployment)
+
+
+class TestCaptureRestore:
+    def test_mid_run_round_trip_preserves_outputs(self):
+        baseline = _run_plain()
+
+        deployment = build_e1_deployment(seed=7, symptom_instances=6)
+        deployment.run_to(deployment.end_time / 2)
+        payload = capture(deployment)
+        # Drop the live graph; only the bytes continue.
+        restored = restore(payload)
+        restored.run_to(restored.end_time)
+        assert canonical_outputs(restored) == baseline
+
+    def test_restore_at_every_interval_checkpoint(self):
+        """Restoring from any checkpoint instant reproduces the run."""
+        baseline = _run_plain()
+        deployment = build_e1_deployment(seed=7, symptom_instances=6)
+        payloads = []
+        step = deployment.end_time / 4
+        while not deployment.done:
+            deployment.run_to(deployment.now + step)
+            payloads.append(capture(deployment))
+        assert len(payloads) >= 4
+        for payload in payloads:
+            restored = restore(payload)
+            restored.run_to(restored.end_time)
+            assert canonical_outputs(restored) == baseline
+
+    def test_telemetry_rides_inside_the_snapshot(self):
+        deployment = build_e1_deployment(
+            seed=7, symptom_instances=6, telemetry=Telemetry()
+        )
+        deployment.run_to(deployment.end_time / 2)
+        restored = restore(capture(deployment))
+        assert restored.telemetry is not None
+        restored.run_to(restored.end_time)
+        assert any(
+            line.startswith("telemetry ")
+            for line in canonical_outputs(restored)
+        )
+
+    def test_capture_refuses_inside_event_loop(self):
+        deployment = build_e1_deployment(seed=7, symptom_instances=4)
+        seen = {}
+
+        def probe():
+            try:
+                capture(deployment)
+            except RuntimeError as error:
+                seen["error"] = error
+
+        deployment.sim.schedule_at(1.0, probe)
+        deployment.run_to(2.0)
+        assert "event loop" in str(seen["error"])
+
+    def test_capture_refuses_open_telemetry_span(self):
+        telemetry = Telemetry()
+        deployment = build_e1_deployment(
+            seed=7, symptom_instances=4, telemetry=telemetry
+        )
+        active = telemetry.span("dangling")  # pushed on the span stack
+        with pytest.raises(RuntimeError, match="open telemetry spans"):
+            capture(deployment)
+        with active:
+            pass  # close it so teardown state is clean
+
+    def test_restore_rejects_non_pickle_payload(self):
+        with pytest.raises(SnapshotCorrupt, match="does not unpickle"):
+            restore(b"certainly not a pickle")
+
+    def test_restore_rejects_wrong_object_type(self):
+        payload = pickle.dumps({"not": "a deployment"})
+        with pytest.raises(SnapshotCorrupt, match="expected Deployment"):
+            restore(payload)
+
+
+class TestDeployment:
+    def test_done_tracks_clock(self):
+        deployment = build_e1_deployment(seed=7, symptom_instances=4)
+        assert not deployment.done
+        deployment.run_to(deployment.end_time)
+        assert deployment.done
+        assert deployment.now == pytest.approx(deployment.end_time)
+
+    def test_run_to_is_capped_at_end_time(self):
+        deployment = build_e1_deployment(seed=7, symptom_instances=4)
+        deployment.run_to(deployment.end_time * 100)
+        assert deployment.now == pytest.approx(deployment.end_time)
+
+    def test_meta_is_json_safe(self):
+        import json
+
+        deployment = build_e1_deployment(seed=7, symptom_instances=4)
+        meta = deployment.meta()
+        assert json.loads(json.dumps(meta)) == meta
+        assert meta["nodes"] == ["kalis-1"]
+
+
+class TestRestoredGraphCensus:
+    """The static state inventory covers the *restored* object graph.
+
+    A restore that materialized attributes the state graph does not
+    know about would mean the checkpoint carries (or rebuilds) state
+    outside the audited surface.
+    """
+
+    def test_census_covers_restored_e1_graph(self):
+        from pathlib import Path
+
+        from repro.analysis.census import run_census
+        from repro.analysis.project import Project
+        from repro.analysis.stategraph import derive_stategraph
+
+        root = Path(__file__).resolve().parents[1]
+        project = Project.load([root / "src" / "repro"], root=root)
+        state = derive_stategraph(project)
+        index = state.inventory_index()
+        injected = state.injected_attribute_names()
+
+        deployment = build_e1_deployment(seed=7, symptom_instances=4)
+        deployment.run_to(deployment.end_time / 2)
+        restored = restore(capture(deployment))
+        restored.run_to(restored.end_time)
+
+        report = run_census(
+            [restored.sim] + list(restored.kalis_nodes), index, injected
+        )
+        assert report.objects > 100
+        assert report.missing_classes == []
+        assert report.missing == []

@@ -1,0 +1,131 @@
+"""E15 — the kill/restore soak harness and its equivalence oracle."""
+
+import pytest
+
+from repro.ckpt import SnapshotStore, soak
+from repro.experiments import soak_scenario
+from repro.obs import Telemetry
+
+
+class TestSoakHarness:
+    def test_soak_reports_equivalence_and_activity(self, tmp_path):
+        report = soak(
+            lambda: soak_scenario.build_e1_deployment(
+                seed=7, symptom_instances=6
+            ),
+            tmp_path,
+            kill_times=[20.0, 40.0],
+            checkpoint_interval=8.0,
+            label="unit",
+        )
+        assert report.equivalent, report.summary()
+        assert report.cycles == 2
+        assert report.checkpoints > 0
+        assert report.packets > 0
+        assert report.captures > 0
+        assert report.snapshot_bytes > 0
+        assert "EQUIVALENT" in report.summary()
+
+    def test_soak_detects_a_planted_divergence(self, tmp_path):
+        """The oracle is live: a seed mismatch must be flagged."""
+        seeds = iter((7, 8, 8))  # baseline seed differs from soak builds
+
+        def builder():
+            return soak_scenario.build_e1_deployment(
+                seed=next(seeds), symptom_instances=6
+            )
+
+        report = soak(
+            builder, tmp_path, kill_times=[30.0], label="planted",
+        )
+        assert not report.equivalent
+        assert report.first_divergence is not None
+        assert "DIVERGED" in report.summary()
+
+    def test_sigkill_before_first_checkpoint_is_an_error(self, tmp_path):
+        """An abrupt kill (no snapshot-on-kill) with an empty store."""
+        deployment = soak_scenario.build_e1_deployment(
+            seed=7, symptom_instances=6
+        )
+        with pytest.raises(RuntimeError, match="before any snapshot"):
+            from repro.ckpt import run_with_kills
+
+            run_with_kills(
+                deployment,
+                SnapshotStore(tmp_path),
+                kill_times=[1.0],
+                checkpoint_interval=50.0,
+                snapshot_on_kill=False,
+            )
+
+    def test_scheduled_kill_replays_without_snapshot_on_kill(self, tmp_path):
+        """A *scheduled* kill stays on the restored queue when no
+        snapshot is taken at the kill instant, so it re-fires every
+        cycle — the soak guards that runaway with max_cycles.  (A real
+        SIGKILL is external to the sim and does not replay; that path
+        is exercised process-level in test_ckpt_service.py.)"""
+        from repro.ckpt import run_with_kills
+
+        deployment = soak_scenario.build_e1_deployment(
+            seed=7, symptom_instances=6
+        )
+        with pytest.raises(RuntimeError, match="exceeded 3 kill cycles"):
+            run_with_kills(
+                deployment,
+                SnapshotStore(tmp_path),
+                kill_times=[21.0],
+                checkpoint_interval=8.0,
+                max_cycles=3,
+                snapshot_on_kill=False,
+            )
+
+
+class TestE15Scenario:
+    def test_default_kill_times_are_interior_and_even(self):
+        times = soak_scenario.default_kill_times(100.0, 3)
+        assert times == [25.0, 50.0, 75.0]
+        assert all(0.0 < t < 100.0 for t in times)
+
+    @pytest.mark.parametrize("workload", sorted(soak_scenario.WORKLOAD_BUILDERS))
+    @pytest.mark.parametrize("seed", (7, 23, 47))
+    def test_equivalence_matrix(self, tmp_path, workload, seed):
+        """Acceptance: both workloads, three seeds, >=3 interruptions."""
+        result = soak_scenario.run(
+            tmp_path,
+            seeds=(seed,),
+            workloads=(workload,),
+            symptom_instances=6,
+            kills=3,
+            checkpoint_interval=8.0,
+        )
+        assert result.completed, result.summary()
+        assert result.total_cycles == 3
+
+    def test_matrix_with_telemetry_stays_equivalent(self, tmp_path):
+        result = soak_scenario.run(
+            tmp_path,
+            seeds=(23,),
+            workloads=("chaos",),
+            symptom_instances=6,
+            kills=2,
+            telemetry_factory=Telemetry,
+        )
+        assert result.completed, result.summary()
+        # Telemetry made it into the canonical surface.
+        assert any(
+            line.startswith("telemetry ")
+            for line in result.reports[0].baseline_lines
+        )
+
+    def test_summary_totals(self, tmp_path):
+        result = soak_scenario.run(
+            tmp_path,
+            seeds=(7,),
+            workloads=("e1",),
+            symptom_instances=4,
+            kills=2,
+            checkpoint_interval=8.0,
+        )
+        summary = result.summary()
+        assert "0 equivalence violations" in summary
+        assert result.total_packets == result.reports[0].packets
