@@ -1,0 +1,121 @@
+"""E16 — fleet-scale SIEM aggregation: throughput and merge identity.
+
+The acceptance run for the fleet pipeline (DESIGN.md §10):
+
+- **100 sites** — the merged canonical log must be byte-identical
+  between a 1-worker and a 4-worker pool (scheduling independence);
+- **1,000 sites** — an 8-worker pool must complete, ship at least one
+  million simulated packets through the SIEM, stay byte-identical
+  across a worker kill/resume drill, and surface at least one
+  cross-site correlated fleet alert.
+
+Headline numbers (sites/sec and packets/sec at both scales, aggregator
+batch-latency percentiles, dedup volume) land in ``BENCH_fleet.json``.
+"""
+
+import time
+
+from repro.fleet import FleetConfig, run_fleet
+
+SEED = 16
+INSTANCES = 8  # attack bursts per attacked site (noisy run 3x)
+
+
+def _config(out_dir, sites, workers, kill=None):
+    return FleetConfig(
+        sites=sites,
+        workers=workers,
+        fleet_seed=SEED,
+        out_dir=str(out_dir),
+        symptom_instances=INSTANCES,
+        kill=kill,
+    )
+
+
+def test_bench_e16_fleet(benchmark, report, bench_json, tmp_path):
+    def run_all():
+        results = {}
+        results["100/w1"] = run_fleet(_config(tmp_path / "s100-w1", 100, 1))
+        results["100/w4"] = run_fleet(_config(tmp_path / "s100-w4", 100, 4))
+        results["1000/w8"] = run_fleet(_config(tmp_path / "s1000-w8", 1000, 8))
+        results["1000/kill"] = run_fleet(
+            _config(
+                tmp_path / "s1000-kill",
+                1000,
+                8,
+                kill={"worker": 0, "site_index": 5, "at": 20.0},
+            )
+        )
+        return results
+
+    started = time.perf_counter()
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+
+    # Merge identity: worker counts and kill/resume cycles are invisible.
+    assert (
+        results["100/w1"].canonical_bytes == results["100/w4"].canonical_bytes
+    ), "100-site merge diverged between 1 and 4 workers"
+    assert (
+        results["1000/w8"].canonical_bytes
+        == results["1000/kill"].canonical_bytes
+    ), "1000-site merge diverged across the kill/resume drill"
+    assert results["1000/kill"].respawns >= 1, "kill drill never fired"
+
+    clean = results["1000/w8"]
+    summary = clean.report["summary"]
+    latency = clean.report["latency_ms"]
+    assert summary["sites_done"] == 1000
+    assert summary["total_packets"] >= 1_000_000, (
+        f"acceptance floor is 1M simulated packets, got "
+        f"{summary['total_packets']:,}"
+    )
+    assert summary["fleet_alerts"] >= 1, "no cross-site correlated alert"
+    assert clean.report["noisy_sites"], "report names no noisy sites"
+
+    def rates(result, sites):
+        return {
+            "sites": sites,
+            "workers": result.report["run"]["workers"],
+            "wall_s": round(result.wall_s, 2),
+            "sites_per_sec": round(sites / result.wall_s, 2),
+            "packets": result.report["summary"]["total_packets"],
+            "packets_per_sec": round(
+                result.report["summary"]["total_packets"] / result.wall_s, 1
+            ),
+        }
+
+    lines = [
+        f"fleet merge identity: 100 sites w1==w4 OK, "
+        f"1000 sites clean==kill/resume OK "
+        f"({results['1000/kill'].respawns} respawn)",
+        f"1,000-site fleet: {summary['total_packets']:,} packets, "
+        f"{summary['fleet_alerts']} fleet alerts, "
+        f"{summary['duplicates_dropped']:,} duplicates dropped",
+        f"aggregator batch latency ms: p50={latency['p50']:g} "
+        f"p95={latency['p95']:g} p99={latency['p99']:g}",
+    ]
+    for key in ("100/w1", "100/w4", "1000/w8", "1000/kill"):
+        result = results[key]
+        sites = int(key.split("/")[0])
+        rate = rates(result, sites)
+        lines.append(
+            f"  {key:>9}: {rate['wall_s']:7.1f}s wall, "
+            f"{rate['sites_per_sec']:6.1f} sites/s, "
+            f"{rate['packets_per_sec']:>9,.0f} packets/s"
+        )
+    report("E16: Fleet-scale SIEM aggregation", "\n".join(lines))
+
+    bench_json(
+        "fleet",
+        total_wall_s=round(elapsed, 2),
+        sites_100=rates(results["100/w4"], 100),
+        sites_1000=rates(clean, 1000),
+        kill_resume=rates(results["1000/kill"], 1000),
+        merge_identical_across_workers=True,
+        merge_identical_across_kill_resume=True,
+        respawns=results["1000/kill"].respawns,
+        fleet_alerts=summary["fleet_alerts"],
+        duplicates_dropped=summary["duplicates_dropped"],
+        batch_latency_ms=latency,
+    )

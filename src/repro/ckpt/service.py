@@ -43,6 +43,10 @@ class CheckpointService:
         :class:`ProcessKilled` escapes the event loop (SIGTERM-like);
         ``False`` models an abrupt kill that keeps only the last
         interval checkpoint.
+    :param on_checkpoint: optional callback invoked with the deployment
+        after every snapshot is written (fleet workers stream the
+        events that became visible during the chunk from here, so
+        emission and durability advance together).
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class CheckpointService:
         deployment: Deployment,
         checkpoint_interval: float = 10.0,
         snapshot_on_kill: bool = True,
+        on_checkpoint: Optional[Callable[[Deployment], None]] = None,
     ) -> None:
         if checkpoint_interval <= 0:
             raise ValueError(
@@ -60,6 +65,7 @@ class CheckpointService:
         self.deployment = deployment
         self.checkpoint_interval = checkpoint_interval
         self.snapshot_on_kill = snapshot_on_kill
+        self.on_checkpoint = on_checkpoint
         self.checkpoints_written = 0
         self.last_kill_at: Optional[float] = None
         self._stop_requested = False
@@ -71,6 +77,7 @@ class CheckpointService:
         builder: Callable[[], Deployment],
         checkpoint_interval: float = 10.0,
         snapshot_on_kill: bool = True,
+        on_checkpoint: Optional[Callable[[Deployment], None]] = None,
     ) -> "CheckpointService":
         """Restore the newest valid snapshot, or build a fresh deployment.
 
@@ -89,6 +96,7 @@ class CheckpointService:
             deployment,
             checkpoint_interval=checkpoint_interval,
             snapshot_on_kill=snapshot_on_kill,
+            on_checkpoint=on_checkpoint,
         )
 
     def request_stop(self) -> None:
@@ -99,6 +107,8 @@ class CheckpointService:
         """Snapshot the deployment into the store now."""
         path = self.store.save(capture(self.deployment), self.deployment.meta())
         self.checkpoints_written += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self.deployment)
         return path
 
     def run(self) -> str:

@@ -86,6 +86,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10,
         help="rows per table in the report (default 10)",
     )
+    obs.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text tables (default) or the machine-readable JSON report",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="sharded multi-site fleet runs with SIEM aggregation (E16)",
+    )
+    fleet_actions = fleet.add_subparsers(dest="action", required=True)
+    fleet_run = fleet_actions.add_parser(
+        "run", help="run a fleet and write merged log + report artifacts"
+    )
+    fleet_run.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="output directory (merged.canonical.log, merged.jsonl.gz, "
+             "report.json, fleet-metrics.prom, shard state)",
+    )
+    fleet_run.add_argument("--sites", type=int, default=20)
+    fleet_run.add_argument("--workers", type=int, default=2)
+    fleet_run.add_argument("--seed", type=int, default=16)
+    fleet_run.add_argument(
+        "--instances", type=int, default=4,
+        help="attack bursts per attacked site (noisy sites run 3x)",
+    )
+    fleet_run.add_argument(
+        "--k-sites", type=int, default=3,
+        help="distinct sites sharing a signature for a fleet alert",
+    )
+    fleet_run.add_argument(
+        "--window", type=float, default=30.0, metavar="SECONDS",
+        help="correlation window between chained alerts (default 30)",
+    )
+    fleet_run.add_argument(
+        "--checkpoint-interval", type=float, default=30.0, metavar="SECONDS",
+        help="simulated seconds between shard snapshots (default 30)",
+    )
+    fleet_run.add_argument(
+        "--kill", default=None, metavar="WORKER:SITE:AT",
+        help="kill drill: worker index, site index within its shard, "
+             "sim time (e.g. 0:1:20.0); the worker dies hard and is "
+             "respawned to resume from its shard checkpoint",
+    )
+    fleet_run.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the noisy-site table (default 10)",
+    )
+    fleet_report = fleet_actions.add_parser(
+        "report", help="re-render the report from a fleet run's report.json"
+    )
+    fleet_report.add_argument("path", help="report.json from 'fleet run'")
+    fleet_report.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="text tables (default) or the raw JSON back",
+    )
 
     taxonomy = subparsers.add_parser(
         "taxonomy", help="print the paper's taxonomies"
@@ -231,9 +286,68 @@ def _run_experiment(args) -> int:
 
 
 def _run_obs(args) -> int:
+    if args.format == "json":
+        import json
+
+        from repro.obs import report_data
+
+        print(json.dumps(report_data(args.path, top=args.top), sort_keys=True))
+        return 0
     from repro.obs import render_report
 
     print(render_report(args.path, top=args.top))
+    return 0
+
+
+def _parse_kill(text: Optional[str]):
+    if text is None:
+        return None
+    try:
+        worker, site_index, at = text.split(":")
+        return {
+            "worker": int(worker),
+            "site_index": int(site_index),
+            "at": float(at),
+        }
+    except ValueError:
+        raise SystemExit(
+            f"--kill expects WORKER:SITE:AT (e.g. 0:1:20.0), got {text!r}"
+        )
+
+
+def _run_fleet(args) -> int:
+    if args.action == "run":
+        from repro.experiments import fleet_scenario
+        from repro.siem import render_fleet_report
+
+        result = fleet_scenario.run(
+            args.out,
+            sites=args.sites,
+            workers=args.workers,
+            seed=args.seed,
+            symptom_instances=args.instances,
+            k_sites=args.k_sites,
+            window_s=args.window,
+            checkpoint_interval=args.checkpoint_interval,
+            kill=_parse_kill(args.kill),
+        )
+        print(render_fleet_report(result.report))
+        print()
+        print(f"canonical log: {result.canonical_path}")
+        print(f"merged export: {result.merged_path}")
+        print(f"report: {result.report_path}")
+        print(f"metrics: {result.metrics_path}")
+        return 0
+    import json
+
+    with open(args.path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if args.format == "json":
+        print(json.dumps(report, sort_keys=True))
+    else:
+        from repro.siem import render_fleet_report
+
+        print(render_fleet_report(report))
     return 0
 
 
@@ -358,6 +472,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_modules()
     if args.command == "obs":
         return _run_obs(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "taxonomy":
         return _run_taxonomy(args.which)
     if args.command == "demo":

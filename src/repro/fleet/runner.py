@@ -1,0 +1,251 @@
+"""The fleet runner: shard, spawn, stream, sweep, merge.
+
+:func:`run_fleet` is the tentpole's control loop.  It deals the
+fleet's site specs round-robin across ``workers`` forked processes,
+wires every worker's batch stream through one bounded queue into the
+central :class:`~repro.siem.aggregator.SiemAggregator`, and keeps the
+pipeline honest about failure:
+
+- **backpressure** — the queue is bounded, so a slow aggregator stalls
+  workers rather than ballooning memory; queue depth is sampled into
+  the rollup at every intake;
+- **liveness** — a worker that exits without its ``worker-done``
+  record (the kill drill, or any crash) is respawned against the same
+  shard directory, where the manifest and the site snapshot store turn
+  the rerun into a resume;
+- **durability sweep** — after the last worker exits, every shard's
+  ``stream.ndjson`` is re-ingested (tolerating one mid-write partial
+  tail per file); dedup makes the sweep idempotent, so anything the
+  queue lost to a kill is recovered.
+
+The merged canonical log — sorted by ``(sim_time, site_id, kind,
+seq)`` after content-keyed dedup — is a pure function of ``(fleet
+seed, site count)``: byte-identical across worker counts, scheduling
+orders and kill/resume cycles.  That file is the ``cmp`` surface CI
+holds the pipeline to.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.fleet.sites import SiteSpec, site_specs
+from repro.fleet.worker import (
+    KillSpec,
+    WorkerOptions,
+    stream_path,
+    worker_main,
+)
+from repro.siem.aggregator import SiemAggregator
+from repro.siem.events import WORKER_DONE_TYPE, SiemSchemaError
+from repro.siem.report import fleet_report_data
+
+#: Default bound on the worker -> aggregator queue (batches).
+DEFAULT_QUEUE_SIZE = 64
+
+#: Respawns allowed per worker before the runner gives up on it.
+MAX_RESPAWNS_PER_WORKER = 3
+
+
+@dataclass
+class FleetConfig:
+    """Everything one fleet run needs; picklable and JSON-loggable."""
+
+    sites: int = 20
+    workers: int = 2
+    fleet_seed: int = 16
+    out_dir: str = "fleet-out"
+    symptom_instances: int = 6
+    attacked_fraction: float = 0.45
+    noisy_fraction: float = 0.10
+    k_sites: int = 3
+    window_s: float = 30.0
+    checkpoint_interval: float = 30.0
+    queue_size: int = DEFAULT_QUEUE_SIZE
+    top: int = 10
+    #: Kill drill: (worker_index, site_index_within_shard, sim_time).
+    kill: Optional[Dict[str, Any]] = None
+
+    def specs(self) -> List[SiteSpec]:
+        return site_specs(
+            self.fleet_seed,
+            self.sites,
+            attacked_fraction=self.attacked_fraction,
+            noisy_fraction=self.noisy_fraction,
+            symptom_instances=self.symptom_instances,
+        )
+
+
+@dataclass
+class FleetResult:
+    """What one fleet run produced."""
+
+    aggregator: SiemAggregator
+    report: Dict[str, Any]
+    canonical_path: Path
+    merged_path: Path
+    report_path: Path
+    metrics_path: Path
+    wall_s: float
+    respawns: int
+    worker_exits: List[int] = field(default_factory=list)
+
+    @property
+    def canonical_bytes(self) -> bytes:
+        return self.canonical_path.read_bytes()
+
+
+def shard_specs(specs: List[SiteSpec], workers: int) -> List[List[SiteSpec]]:
+    """Deal sites round-robin: shard ``w`` gets sites w, w+N, w+2N..."""
+    return [specs[worker::workers] for worker in range(workers)]
+
+
+def _spawn(context, worker_index, shard, shard_dir, batch_queue, options):
+    process = context.Process(
+        target=worker_main,
+        args=(worker_index, shard, shard_dir, batch_queue, options),
+        name=f"fleet-worker-{worker_index}",
+        daemon=True,
+    )
+    process.start()
+    return process
+
+
+def run_fleet(config: FleetConfig) -> FleetResult:
+    """Run the whole pipeline; returns the result with artifact paths."""
+    started = time.time()
+    out_dir = Path(config.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    specs = config.specs()
+    shards = shard_specs(specs, config.workers)
+    shard_dirs = [
+        out_dir / "shards" / f"worker-{index:02d}"
+        for index in range(config.workers)
+    ]
+
+    aggregator = SiemAggregator(k_sites=config.k_sites, window_s=config.window_s)
+    context = multiprocessing.get_context("fork")
+    batch_queue = context.Queue(maxsize=config.queue_size)
+
+    processes: Dict[int, Any] = {}
+    respawns_left = {index: MAX_RESPAWNS_PER_WORKER for index in range(config.workers)}
+    done_workers = set()
+    respawns = 0
+    worker_exits: List[int] = []
+
+    for index in range(config.workers):
+        options = WorkerOptions(checkpoint_interval=config.checkpoint_interval)
+        kill = config.kill
+        if kill is not None and kill["worker"] == index:
+            options.kill = KillSpec(
+                site_index=kill["site_index"], at=kill["at"]
+            )
+        processes[index] = _spawn(
+            context, index, shards[index], shard_dirs[index], batch_queue, options
+        )
+
+    def ingest(record: Dict[str, Any]) -> None:
+        try:
+            depth = batch_queue.qsize()
+        except NotImplementedError:
+            depth = None
+        try:
+            aggregator.ingest_batch(record, backlog=depth)
+        except SiemSchemaError:
+            aggregator.stats.schema_errors += 1
+            return
+        if record.get("type") == WORKER_DONE_TYPE:
+            done_workers.add(record.get("worker"))
+
+    while True:
+        try:
+            ingest(batch_queue.get(timeout=0.2))
+            continue
+        except queue_module.Empty:
+            pass
+        alive = False
+        for index, process in list(processes.items()):
+            if process.is_alive():
+                alive = True
+                continue
+            process.join()
+            if index in done_workers or process.exitcode == 0:
+                continue
+            worker_exits.append(process.exitcode)
+            if respawns_left[index] <= 0:
+                continue
+            # Died without worker-done (the kill drill, or a crash):
+            # respawn against the same shard dir — manifest + snapshot
+            # turn the rerun into a resume.  Respawns never re-kill.
+            respawns_left[index] -= 1
+            respawns += 1
+            processes[index] = _spawn(
+                context,
+                index,
+                shards[index],
+                shard_dirs[index],
+                batch_queue,
+                WorkerOptions(checkpoint_interval=config.checkpoint_interval),
+            )
+            alive = True
+        if not alive:
+            break
+
+    # Drain whatever landed between the last get and the last exit.
+    while True:
+        try:
+            ingest(batch_queue.get_nowait())
+        except queue_module.Empty:
+            break
+    batch_queue.close()
+    batch_queue.join_thread()
+
+    # Durability sweep: re-read every shard's stream file.
+    for index, shard_dir in enumerate(shard_dirs):
+        path = stream_path(shard_dir)
+        if path.is_file():
+            aggregator.ingest_stream(path, worker=index)
+
+    aggregator.finalize()
+    wall_s = time.time() - started
+
+    canonical_path = aggregator.write_canonical(out_dir / "merged.canonical.log")
+    merged_path = aggregator.write_merged(out_dir / "merged.jsonl.gz")
+    metrics_path = out_dir / "fleet-metrics.prom"
+    metrics_path.write_text(aggregator.rollup.prometheus_text(), encoding="utf-8")
+
+    run_info = {
+        "sites": config.sites,
+        "workers": config.workers,
+        "seed": config.fleet_seed,
+        "wall_s": round(wall_s, 3),
+        "sites_per_sec": round(config.sites / wall_s, 3) if wall_s else 0.0,
+        "packets_per_sec": (
+            round(aggregator.total_packets / wall_s, 1) if wall_s else 0.0
+        ),
+        "respawns": respawns,
+        "worker_exits": worker_exits,
+    }
+    report = fleet_report_data(aggregator, run=run_info, top=config.top)
+    report_path = out_dir / "report.json"
+    report_path.write_text(
+        json.dumps(report, indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+    return FleetResult(
+        aggregator=aggregator,
+        report=report,
+        canonical_path=canonical_path,
+        merged_path=merged_path,
+        report_path=report_path,
+        metrics_path=metrics_path,
+        wall_s=wall_s,
+        respawns=respawns,
+        worker_exits=worker_exits,
+    )

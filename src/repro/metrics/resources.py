@@ -27,6 +27,7 @@ not tuning.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 #: Microseconds of CPU per work unit (one module pass over one packet).
 UNIT_COST_US = 50.0
@@ -124,3 +125,57 @@ def resource_report(
         metrics.gauge("resource_ram_kb").set(report.ram_kb, engine=engine)
         metrics.gauge("resource_work_units").set(report.work_units, engine=engine)
     return report
+
+
+# -- multi-process (fleet worker) gauges ------------------------------------
+#
+# Unlike the proxies above — which model the paper's Odroid board and are
+# deterministic functions of simulated work — these measure the *actual*
+# worker process running a fleet shard.  They are inherently
+# nondeterministic, so they register as wall gauges: exported under
+# ``"wall"`` keys and stripped before any byte-identity comparison.
+
+
+def process_rss_kb() -> Optional[float]:
+    """Resident set size of *this* process, in kB (None if unreadable).
+
+    Prefers ``/proc/self/status`` (Linux, current RSS); falls back to
+    ``resource.getrusage`` (peak RSS) elsewhere.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1])
+    except OSError:
+        pass
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kB, macOS bytes.
+        return rss / 1024.0 if rss > 1 << 32 else float(rss)
+    except Exception:
+        return None
+
+
+def worker_gauges(
+    metrics,
+    site_id: str,
+    worker: int,
+    rss_kb: Optional[float] = None,
+    queue_depth: Optional[int] = None,
+) -> None:
+    """Record one fleet worker's live resource sample into a registry.
+
+    Each worker reports under the ``site_id`` it was processing when the
+    sample was taken (plus its worker index), feeding the fleet report's
+    straggler table.  Both series are wall gauges — see module note.
+    """
+    labels = {"site": site_id, "worker": str(worker)}
+    if rss_kb is not None:
+        metrics.gauge("fleet_worker_rss_kb", wall=True).set(rss_kb, **labels)
+    if queue_depth is not None:
+        metrics.gauge("fleet_worker_queue_depth", wall=True).set(
+            queue_depth, **labels
+        )

@@ -14,11 +14,14 @@ and the export contract keeps every wall-derived value under literal
 
 from repro.obs.export import (
     FORMAT_VERSION,
+    ExportFormatError,
     canonical_lines,
     canonical_telemetry_lines,
     export_jsonl,
     export_lines,
     load_export,
+    load_export_with_stats,
+    read_jsonl,
     strip_wall,
 )
 from repro.obs.metrics import (
@@ -29,7 +32,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.recorder import FlightRecorder
-from repro.obs.report import render_report
+from repro.obs.report import render_report, report_data
 from repro.obs.telemetry import Span, Telemetry
 
 __all__ = [
@@ -39,6 +42,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ExportFormatError",
     "FlightRecorder",
     "Span",
     "Telemetry",
@@ -47,6 +51,9 @@ __all__ = [
     "export_jsonl",
     "export_lines",
     "load_export",
+    "load_export_with_stats",
+    "read_jsonl",
     "render_report",
+    "report_data",
     "strip_wall",
 ]

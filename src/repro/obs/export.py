@@ -16,6 +16,14 @@ Wall-clock measurements live *only* under keys literally named
 
 is the telemetry determinism oracle for two same-seed runs.  A ``.gz``
 suffix gzips the export, same as :class:`repro.trace.trace.Trace`.
+
+Since format version 2 every record carries a ``"v"`` version field, so
+each line is self-describing and a reader that joins mid-stream (the
+fleet SIEM intake tailing a worker's export while it is still being
+written) can validate records one at a time.  Malformed or unversioned
+records raise :class:`ExportFormatError` with file/line context; a
+malformed *final* line is treated as a partial in-flight write and
+skipped (counted, not raised) — see :func:`read_jsonl`.
 """
 
 from __future__ import annotations
@@ -23,18 +31,82 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Tuple
 
 from repro.obs.telemetry import Telemetry
 
-#: Export format version, bumped on any line-shape change.
-FORMAT_VERSION = 1
+#: Export format version, bumped on any line-shape change.  v2 added the
+#: per-record ``"v"`` field (v1 files, with a bare versioned meta line,
+#: still load).
+FORMAT_VERSION = 2
+
+
+class ExportFormatError(ValueError):
+    """A telemetry/SIEM export file violates the format contract.
+
+    Carries ``path`` and ``line`` (1-based; 0 for whole-file problems)
+    so intake pipelines can point at the offending record.
+    """
+
+    def __init__(self, path, line: int, reason: str) -> None:
+        location = f"{path}:{line}" if line else str(path)
+        super().__init__(f"{location}: {reason}")
+        self.path = str(path)
+        self.line = line
+        self.reason = reason
+
+
+def _open_text(path: Path, mode: str):
+    opener = gzip.open if path.suffix == ".gz" else open
+    return opener(path, mode, encoding="utf-8")
+
+
+def read_jsonl(path, tolerate_partial: bool = True) -> Tuple[List[Tuple[int, Dict[str, Any]]], int]:
+    """Read a JSONL file into ``(line_number, record)`` pairs.
+
+    A line that fails to parse raises :class:`ExportFormatError` —
+    unless it is the *final* line and ``tolerate_partial`` is set, in
+    which case it is counted as an in-flight partial write and skipped
+    (a writer appending NDJSON is mid-line exactly once, at the tail).
+    Returns ``(records, partial_lines_skipped)``.
+    """
+    path = Path(path)
+    records: List[Tuple[int, Dict[str, Any]]] = []
+    pending_error: Tuple[int, str] = (0, "")
+    with _open_text(path, "rt") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if pending_error[0]:
+                raise ExportFormatError(
+                    path, pending_error[0],
+                    f"malformed record: {pending_error[1]}",
+                )
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except ValueError as error:
+                # Defer: only a *non-final* malformed line is fatal.
+                pending_error = (line_number, str(error))
+                continue
+            if not isinstance(record, dict):
+                pending_error = (line_number, "record is not a JSON object")
+                continue
+            records.append((line_number, record))
+    if pending_error[0]:
+        if tolerate_partial:
+            return records, 1
+        raise ExportFormatError(
+            path, pending_error[0], f"malformed record: {pending_error[1]}"
+        )
+    return records, 0
 
 
 def export_lines(telemetry: Telemetry) -> Iterator[Dict[str, Any]]:
     """Yield every export record, in the deterministic file order."""
     yield {
         "type": "meta",
+        "v": FORMAT_VERSION,
         "version": FORMAT_VERSION,
         "sim_end": telemetry.now,
         "spans_finished": telemetry.spans_finished,
@@ -44,11 +116,16 @@ def export_lines(telemetry: Telemetry) -> Iterator[Dict[str, Any]]:
         "dumps_suppressed": telemetry.recorder.dumps_suppressed,
     }
     for entry in telemetry.metrics.snapshot():
-        yield entry
+        yield {"v": FORMAT_VERSION, **entry}
     for dump in telemetry.recorder.dumps:
-        yield dump
+        yield {"v": FORMAT_VERSION, **dump}
     for node in telemetry.recorder.nodes():
-        yield {"type": "ring", "node": node, "entries": telemetry.recorder.ring(node)}
+        yield {
+            "v": FORMAT_VERSION,
+            "type": "ring",
+            "node": node,
+            "entries": telemetry.recorder.ring(node),
+        }
 
 
 def export_jsonl(telemetry: Telemetry, path) -> Path:
@@ -65,24 +142,49 @@ def export_jsonl(telemetry: Telemetry, path) -> Path:
 
 
 def load_export(path) -> List[Dict[str, Any]]:
-    """Parse an export back into its records (report and CI verify)."""
+    """Parse an export back into its records (report and CI verify).
+
+    See :func:`load_export_with_stats`; this keeps the original
+    list-only return shape for existing callers.
+    """
+    return load_export_with_stats(path)[0]
+
+
+def load_export_with_stats(path) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse an export, returning ``(records, partial_lines_skipped)``.
+
+    Format violations raise :class:`ExportFormatError` with file/line
+    context: a missing meta line, a meta line without a version, a v2+
+    record missing its ``"v"`` field, or a version newer than this
+    reader.  A malformed *trailing* line is tolerated — skipped and
+    counted — so the SIEM intake can read a worker's export mid-write.
+    """
     path = Path(path)
-    opener = gzip.open if path.suffix == ".gz" else open
-    records: List[Dict[str, Any]] = []
-    with opener(path, "rt", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except ValueError as error:
-                raise ValueError(
-                    f"{path}:{line_number}: malformed telemetry record: {error}"
-                ) from error
-    if not records or records[0].get("type") != "meta":
-        raise ValueError(f"{path}: not a telemetry export (missing meta line)")
-    return records
+    numbered, partial_skipped = read_jsonl(path, tolerate_partial=True)
+    if not numbered or numbered[0][1].get("type") != "meta":
+        raise ExportFormatError(
+            path, 0, "not a telemetry export (missing meta line)"
+        )
+    meta_line, meta = numbered[0]
+    version = meta.get("v", meta.get("version"))
+    if version is None:
+        raise ExportFormatError(
+            path, meta_line, 'meta record missing the "v" version field'
+        )
+    if not isinstance(version, int) or version > FORMAT_VERSION or version < 1:
+        raise ExportFormatError(
+            path, meta_line,
+            f"unsupported export version {version!r} "
+            f"(this reader supports 1..{FORMAT_VERSION})",
+        )
+    if version >= 2:
+        for line_number, record in numbered[1:]:
+            if "v" not in record:
+                raise ExportFormatError(
+                    path, line_number,
+                    'record missing the "v" version field',
+                )
+    return [record for _, record in numbered], partial_skipped
 
 
 def strip_wall(obj: Any) -> Any:

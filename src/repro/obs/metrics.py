@@ -219,11 +219,14 @@ class MetricsRegistry:
         self._metrics[name] = metric
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(Counter, name, help)
+    def counter(self, name: str, help: str = "", wall: bool = False) -> Counter:
+        return self._get(Counter, name, help, wall=wall)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(Gauge, name, help)
+    def gauge(self, name: str, help: str = "", wall: bool = False) -> Gauge:
+        """``wall=True`` marks a nondeterministic series (RSS, backlog
+        sampled from a live queue): its value exports under a ``"wall"``
+        key and is stripped before byte-identity comparisons."""
+        return self._get(Gauge, name, help, wall=wall)
 
     def histogram(
         self,

@@ -1,0 +1,158 @@
+"""The versioned NDJSON batch schema shared by workers and the SIEM.
+
+One **event** is the unit of SIEM intake: a JSON object with a ``"v"``
+version field, a ``site``, a ``kind``, a sim-time ``t``, a per-``(site,
+kind)`` sequence number ``seq``, and a kind-specific ``body``.  Events
+of one site are a pure function of ``(fleet_seed, site_id)`` — the site
+simulation is deterministic and ``seq`` is assigned in the site's own
+deterministic order — so an event's identity survives re-emission:
+
+- **dedup key** ``(site, kind, seq)`` — a worker that resumed from its
+  shard checkpoint re-streams everything the restored deployment
+  already contained; the aggregator drops the duplicates.  At-least-
+  once delivery from workers plus content-keyed idempotent intake
+  yields exactly-once canonical output.
+- **sort key** ``(t, site, kind_rank, seq)`` — the canonical merge
+  order, independent of worker count and scheduling.
+
+One **batch** is the unit of transport: a JSON object carrying the
+version, the emitting worker, a list of events, and transport ``meta``
+(RSS sample, wall send-time) that never reaches the canonical log.
+Batches cross the bounded queue as dicts and land in each worker's
+``stream.ndjson`` one batch per line — the durable at-least-once
+backstop the aggregator sweeps after the workers exit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Batch/event schema version; readers reject anything newer.
+BATCH_VERSION = 1
+
+#: Known event kinds, in canonical rank order (ties on ``t`` and
+#: ``site`` sort by this rank, then ``seq``).
+EVENT_KINDS = ("alert", "knowgget", "health", "metrics", "site-done", "fleet-alert")
+
+_KIND_RANK = {kind: rank for rank, kind in enumerate(EVENT_KINDS)}
+
+#: Batch record types on the transport.
+BATCH_TYPE = "batch"
+WORKER_DONE_TYPE = "worker-done"
+
+
+class SiemSchemaError(ValueError):
+    """A batch or event violates the versioned schema contract."""
+
+
+def make_event(
+    site: str, kind: str, t: float, seq: int, body: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Build one schema-valid event record."""
+    if kind not in _KIND_RANK:
+        raise SiemSchemaError(f"unknown event kind {kind!r}")
+    return {
+        "v": BATCH_VERSION,
+        "site": site,
+        "kind": kind,
+        "t": t,
+        "seq": seq,
+        "body": body,
+    }
+
+
+def event_dedup_key(event: Dict[str, Any]) -> Tuple[str, str, int]:
+    """The identity under which re-emitted events collapse."""
+    return (event["site"], event["kind"], event["seq"])
+
+
+def event_sort_key(event: Dict[str, Any]) -> Tuple[float, str, int, int]:
+    """The canonical merge order: ``(t, site, kind_rank, seq)``."""
+    return (
+        event["t"],
+        event["site"],
+        _KIND_RANK.get(event["kind"], len(EVENT_KINDS)),
+        event["seq"],
+    )
+
+
+def make_batch(
+    worker: int,
+    site: Optional[str],
+    batch_seq: int,
+    events: List[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one transport batch wrapping ``events``."""
+    return {
+        "v": BATCH_VERSION,
+        "type": BATCH_TYPE,
+        "worker": worker,
+        "site": site,
+        "batch_seq": batch_seq,
+        "events": events,
+        "meta": meta or {},
+    }
+
+
+def make_worker_done(
+    worker: int, sites: int, batches: int, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """The control record a worker emits after its last site."""
+    return {
+        "v": BATCH_VERSION,
+        "type": WORKER_DONE_TYPE,
+        "worker": worker,
+        "sites": sites,
+        "batches": batches,
+        "meta": meta or {},
+    }
+
+
+def validate_batch(batch: Any) -> Dict[str, Any]:
+    """Check one transport record against the schema; return it.
+
+    Raises :class:`SiemSchemaError` naming the violated field — a
+    missing ``"v"``, an unsupported version, a malformed event list —
+    so intake failures point at the producer, not the aggregator.
+    """
+    if not isinstance(batch, dict):
+        raise SiemSchemaError(f"batch is {type(batch).__name__}, expected object")
+    version = batch.get("v")
+    if version is None:
+        raise SiemSchemaError('batch missing the "v" version field')
+    if not isinstance(version, int) or version < 1 or version > BATCH_VERSION:
+        raise SiemSchemaError(
+            f"unsupported batch version {version!r} "
+            f"(this aggregator supports 1..{BATCH_VERSION})"
+        )
+    record_type = batch.get("type")
+    if record_type == WORKER_DONE_TYPE:
+        return batch
+    if record_type != BATCH_TYPE:
+        raise SiemSchemaError(f"unknown batch type {record_type!r}")
+    events = batch.get("events")
+    if not isinstance(events, list):
+        raise SiemSchemaError('batch "events" must be a list')
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise SiemSchemaError(f"event #{index} is not an object")
+        for field in ("v", "site", "kind", "t", "seq"):
+            if field not in event:
+                raise SiemSchemaError(f"event #{index} missing {field!r}")
+        if event["kind"] not in _KIND_RANK:
+            raise SiemSchemaError(
+                f"event #{index} has unknown kind {event['kind']!r}"
+            )
+    return batch
+
+
+def batch_line(batch: Dict[str, Any]) -> str:
+    """One NDJSON line for a batch (sorted keys, compact separators)."""
+    return json.dumps(batch, separators=(",", ":"), sort_keys=True)
+
+
+def canonical_event_line(event: Dict[str, Any]) -> str:
+    """One canonical-log line for an event (byte-deterministic)."""
+    return json.dumps(event, separators=(",", ":"), sort_keys=True)

@@ -1,0 +1,130 @@
+"""Fleet-wide Prometheus-style rollup registry.
+
+One :class:`FleetRollup` lives in the aggregator process and carries
+two families of series on a shared
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+- **deterministic** per-site and aggregate series (events, alerts,
+  packets per site; fleet totals) — pure functions of the simulated
+  fleet, identical across worker counts and kill/resume cycles;
+- **transport** series (duplicates dropped, batches per worker, batch
+  latency, intake backlog, worker RSS) — measurements of the pipeline
+  itself, dependent on scheduling and wall time, registered as *wall*
+  metrics so they are stripped before any byte-identity comparison.
+
+``prometheus_text()`` renders both for scraping; the fleet report's
+straggler table reads the transport side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.resources import worker_gauges
+from repro.obs.metrics import MetricsRegistry
+
+#: Buckets for aggregator batch intake latency, milliseconds.
+BATCH_LATENCY_BUCKETS_MS = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 2000.0)
+
+
+class FleetRollup:
+    """Per-site and aggregate fleet metrics over one registry."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events = self.metrics.counter(
+            "siem_events_total", "unique events accepted per site"
+        )
+        self._alerts = self.metrics.counter(
+            "siem_alerts_total", "unique alert events per site"
+        )
+        self._fleet_alerts = self.metrics.counter(
+            "siem_fleet_alerts_total", "cross-site correlated fleet alerts"
+        )
+        self._packets = self.metrics.gauge(
+            "siem_site_packets", "simulated packets delivered per site"
+        )
+        self._sites_done = self.metrics.counter(
+            "siem_sites_done_total", "sites whose site-done event arrived"
+        )
+        # Transport series: scheduling/wall dependent, hence wall=True.
+        self._duplicates = self.metrics.counter(
+            "siem_duplicates_dropped_total",
+            "re-emitted events dropped by dedup (per site)",
+            wall=True,
+        )
+        self._batches = self.metrics.counter(
+            "siem_batches_total", "batches ingested per worker", wall=True
+        )
+        self._partials = self.metrics.counter(
+            "siem_partial_lines_total",
+            "in-flight partial lines skipped per stream sweep",
+            wall=True,
+        )
+        self._backlog = self.metrics.gauge(
+            "siem_backlog_batches",
+            "queue depth sampled at each intake",
+            wall=True,
+        )
+        self._latency = self.metrics.histogram(
+            "siem_batch_latency_ms",
+            "wall latency from batch send to intake",
+            buckets=BATCH_LATENCY_BUCKETS_MS,
+            wall=True,
+        )
+
+    # -- deterministic side --------------------------------------------------
+
+    def record_event(self, event: Dict[str, Any]) -> None:
+        site, kind = event["site"], event["kind"]
+        self._events.inc(site=site)
+        if kind == "alert":
+            self._alerts.inc(site=site)
+        elif kind == "site-done":
+            self._sites_done.inc()
+            packets = event.get("body", {}).get("packets")
+            if packets is not None:
+                self._packets.set(packets, site=site)
+
+    def record_fleet_alert(self, attack: str) -> None:
+        self._fleet_alerts.inc(attack=attack)
+
+    # -- transport side ------------------------------------------------------
+
+    def record_duplicate(self, site: str) -> None:
+        self._duplicates.inc(site=site)
+
+    def record_batch(
+        self,
+        worker: int,
+        latency_ms: Optional[float] = None,
+        backlog: Optional[int] = None,
+    ) -> None:
+        self._batches.inc(worker=str(worker))
+        if latency_ms is not None:
+            self._latency.observe(latency_ms, worker=str(worker))
+        if backlog is not None:
+            self._backlog.set(backlog)
+
+    def record_partial_lines(self, worker: int, count: int) -> None:
+        if count:
+            self._partials.inc(count, worker=str(worker))
+
+    def record_worker_sample(
+        self,
+        worker: int,
+        site_id: str,
+        rss_kb: Optional[float],
+        queue_depth: Optional[int],
+    ) -> None:
+        worker_gauges(
+            self.metrics, site_id, worker, rss_kb=rss_kb, queue_depth=queue_depth
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return self.metrics.snapshot()
+
+    def prometheus_text(self) -> str:
+        return self.metrics.prometheus_text()

@@ -17,13 +17,17 @@ from repro.core.kalis import KalisNode
 from repro.eventbus.bus import DEADLETTER_TOPIC
 from repro.experiments import icmp_flood_scenario
 from repro.obs import (
+    ExportFormatError,
     FlightRecorder,
     MetricsRegistry,
     Telemetry,
     canonical_lines,
     export_jsonl,
     load_export,
+    load_export_with_stats,
+    read_jsonl,
     render_report,
+    report_data,
     strip_wall,
 )
 from repro.util.clock import ManualClock
@@ -204,8 +208,52 @@ class TestExport:
         path.write_text('{"type":"metric"}\n')
         with pytest.raises(ValueError, match="missing meta line"):
             load_export(path)
+        # A lone malformed line is a tolerated in-flight tail, so the
+        # failure is the absent meta line, not a parse error.
         path.write_text("not json\n")
-        with pytest.raises(ValueError, match="bad.jsonl:1"):
+        with pytest.raises(ValueError, match="missing meta line"):
+            load_export(path)
+
+    def test_malformed_interior_line_raises_with_context(self, tmp_path):
+        path = export_jsonl(self._small_telemetry(), tmp_path / "bad.jsonl")
+        lines = path.read_text().splitlines()
+        lines[1] = "{broken"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExportFormatError, match=r"bad\.jsonl:2"):
+            load_export(path)
+
+    def test_trailing_partial_line_tolerated_and_counted(self, tmp_path):
+        path = export_jsonl(self._small_telemetry(), tmp_path / "t.jsonl")
+        whole = load_export(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"metric","v":2,"na')  # mid-write tail
+        records, skipped = load_export_with_stats(path)
+        assert skipped == 1
+        assert records == whole
+
+    def test_record_missing_version_field_raises(self, tmp_path):
+        path = export_jsonl(self._small_telemetry(), tmp_path / "t.jsonl")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"metric","name":"x"}\n')
+        with pytest.raises(ExportFormatError) as excinfo:
+            load_export(path)
+        assert 'missing the "v" version field' in str(excinfo.value)
+        assert excinfo.value.line > 1
+
+    def test_v1_exports_still_load(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text(
+            '{"type":"meta","version":1,"sim_end":0.0,"spans_finished":0,'
+            '"events_recorded":0,"dumps":0,"dumps_suppressed":0}\n'
+            '{"type":"metric","name":"x","kind":"counter","series":[]}\n'
+        )
+        records = load_export(path)
+        assert len(records) == 2  # v1 records carry no "v"; accepted
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        path.write_text('{"type":"meta","v":99}\n')
+        with pytest.raises(ExportFormatError, match="unsupported export version"):
             load_export(path)
 
 
@@ -300,3 +348,27 @@ class TestReport:
     def test_report_rejects_missing_file(self, tmp_path):
         with pytest.raises((OSError, ValueError)):
             render_report(tmp_path / "absent.jsonl")
+
+    def test_report_data_is_json_safe_and_matches_text(
+        self, flood_built, tmp_path
+    ):
+        telemetry = Telemetry()
+        _replay(flood_built, telemetry)
+        path = export_jsonl(telemetry, tmp_path / "t.jsonl")
+        data = report_data(path, top=5)
+        json.dumps(data)  # machine-readable: must serialize as-is
+        assert data["meta"]["version"] == 2
+        assert data["partial_lines_skipped"] == 0
+        assert data["modules"], "hot-module table should not be empty"
+        text = render_report(path, top=5)
+        for row in data["modules"]:
+            assert row["module"] in text
+
+    def test_read_jsonl_strict_mode_raises_on_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a":1}\n{"b"')
+        records, skipped = read_jsonl(path, tolerate_partial=True)
+        assert [record for _, record in records] == [{"a": 1}]
+        assert skipped == 1
+        with pytest.raises(ExportFormatError, match=r"t\.jsonl:2"):
+            read_jsonl(path, tolerate_partial=False)

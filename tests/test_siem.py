@@ -1,0 +1,279 @@
+"""Tests for repro.siem: schema, dedup, correlation, merge, report.
+
+The aggregator's load-bearing promise: at-least-once intake plus
+content-keyed dedup yields exactly-once canonical output — the merged
+log is a pure function of the event set, independent of arrival order,
+batching, and re-emission.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.siem import (
+    BATCH_VERSION,
+    FleetRollup,
+    SiemAggregator,
+    SiemSchemaError,
+    correlate_alerts,
+    event_dedup_key,
+    event_sort_key,
+    fleet_report_data,
+    make_batch,
+    make_event,
+    render_fleet_report,
+    validate_batch,
+)
+from repro.siem.events import make_worker_done
+
+
+def _alert(site, t, seq=0, attack="icmp_flood"):
+    return make_event(site, "alert", t, seq, {"attack": attack})
+
+
+def _done(site, packets=100, t=60.0):
+    return make_event(site, "site-done", t, 0, {"packets": packets})
+
+
+class TestEvents:
+    def test_make_event_is_versioned(self):
+        event = _alert("site-0001", 5.0)
+        assert event["v"] == BATCH_VERSION
+        assert event_dedup_key(event) == ("site-0001", "alert", 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SiemSchemaError, match="unknown event kind"):
+            make_event("s", "bogus", 0.0, 0, {})
+
+    def test_sort_key_orders_time_site_kind_seq(self):
+        events = [
+            _done("site-0001", t=5.0),
+            _alert("site-0002", 5.0),
+            _alert("site-0001", 5.0, seq=1),
+            _alert("site-0001", 1.0),
+        ]
+        ordered = sorted(events, key=event_sort_key)
+        assert [e["site"] + "/" + e["kind"] for e in ordered] == [
+            "site-0001/alert",  # t=1
+            "site-0001/alert",  # t=5, alert ranks before site-done
+            "site-0001/site-done",
+            "site-0002/alert",
+        ]
+
+    def test_validate_batch_names_the_violation(self):
+        with pytest.raises(SiemSchemaError, match='"v" version field'):
+            validate_batch({"type": "batch"})
+        with pytest.raises(SiemSchemaError, match="unsupported batch version"):
+            validate_batch({"v": 99, "type": "batch"})
+        with pytest.raises(SiemSchemaError, match="unknown batch type"):
+            validate_batch({"v": 1, "type": "wat"})
+        with pytest.raises(SiemSchemaError, match='"events" must be a list'):
+            validate_batch({"v": 1, "type": "batch", "events": 3})
+        with pytest.raises(SiemSchemaError, match="event #0 missing 'seq'"):
+            validate_batch(
+                {
+                    "v": 1,
+                    "type": "batch",
+                    "events": [{"v": 1, "site": "s", "kind": "alert", "t": 0.0}],
+                }
+            )
+
+
+class TestCorrelation:
+    def test_k_sites_threshold(self):
+        events = sorted(
+            [_alert("site-0001", 10.0), _alert("site-0002", 12.0)],
+            key=event_sort_key,
+        )
+        assert correlate_alerts(events, k_sites=3, window_s=30.0) == []
+        events.append(_alert("site-0003", 14.0))
+        alerts = correlate_alerts(
+            sorted(events, key=event_sort_key), k_sites=3, window_s=30.0
+        )
+        assert len(alerts) == 1
+        assert alerts[0].sites == ("site-0001", "site-0002", "site-0003")
+        assert alerts[0].t_first == 10.0 and alerts[0].t_last == 14.0
+
+    def test_window_splits_episodes(self):
+        events = sorted(
+            [
+                _alert("site-0001", 10.0),
+                _alert("site-0002", 15.0),
+                # 100s gap: a second episode, below k at both halves
+                _alert("site-0003", 115.0),
+            ],
+            key=event_sort_key,
+        )
+        assert correlate_alerts(events, k_sites=3, window_s=30.0) == []
+        # but with k=2 the first episode qualifies
+        alerts = correlate_alerts(events, k_sites=2, window_s=30.0)
+        assert len(alerts) == 1
+        assert alerts[0].sites == ("site-0001", "site-0002")
+
+    def test_signatures_do_not_mix(self):
+        events = sorted(
+            [
+                _alert("site-0001", 10.0, attack="icmp_flood"),
+                _alert("site-0002", 11.0, attack="wormhole"),
+                _alert("site-0003", 12.0, attack="icmp_flood"),
+            ],
+            key=event_sort_key,
+        )
+        assert correlate_alerts(events, k_sites=2, window_s=30.0)[0].attack == (
+            "icmp_flood"
+        )
+        assert len(correlate_alerts(events, k_sites=2, window_s=30.0)) == 1
+
+
+class TestAggregator:
+    def test_dedup_collapses_reemission(self):
+        agg = SiemAggregator(k_sites=2)
+        events = [_alert("site-0001", 1.0), _done("site-0001")]
+        agg.ingest_batch(
+            make_batch(0, "site-0001", 0, events), record_latency=False
+        )
+        agg.ingest_batch(
+            make_batch(0, "site-0001", 1, events), record_latency=False
+        )
+        assert agg.stats.duplicates_dropped == 2
+        assert len(agg.finalize()) == 2
+
+    def test_merge_is_arrival_order_independent(self):
+        batches = [
+            make_batch(0, "site-0001", 0, [_alert("site-0001", 3.0)]),
+            make_batch(1, "site-0002", 0, [_alert("site-0002", 1.0)]),
+            make_batch(0, "site-0001", 1, [_done("site-0001")]),
+        ]
+        forward, backward = SiemAggregator(), SiemAggregator()
+        for batch in batches:
+            forward.ingest_batch(batch, record_latency=False)
+        for batch in reversed(batches):
+            backward.ingest_batch(batch, record_latency=False)
+        assert forward.canonical_lines() == backward.canonical_lines()
+
+    def test_finalize_blocks_further_intake(self):
+        agg = SiemAggregator()
+        agg.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            agg.ingest_batch(
+                make_batch(0, "s", 0, []), record_latency=False
+            )
+
+    def test_fleet_alert_lands_in_merged_output(self):
+        agg = SiemAggregator(k_sites=2, window_s=30.0)
+        for index, site in enumerate(("site-0001", "site-0002")):
+            agg.ingest_batch(
+                make_batch(index, site, 0, [_alert(site, 10.0 + index)]),
+                record_latency=False,
+            )
+        merged = agg.merged_events()
+        assert merged[-1]["kind"] == "fleet-alert"
+        assert merged[-1]["site"] == "fleet"
+        assert merged[-1]["body"]["sites"] == ["site-0001", "site-0002"]
+
+    def test_schema_error_names_field(self):
+        agg = SiemAggregator()
+        with pytest.raises(SiemSchemaError):
+            agg.ingest_batch({"type": "batch"})
+
+    def test_worker_done_tracks_liveness(self):
+        agg = SiemAggregator()
+        agg.ingest_batch(make_worker_done(2, sites=5, batches=9))
+        assert agg.stats.workers_done == 1
+        assert agg.stats.workers[2]["done"] is True
+        assert agg.stats.workers[2]["sites_done"] == 5
+
+    def test_stream_sweep_tolerates_partial_tail(self, tmp_path):
+        from repro.siem.events import batch_line
+
+        path = tmp_path / "stream.ndjson"
+        batch = make_batch(0, "site-0001", 0, [_alert("site-0001", 1.0)])
+        path.write_text(batch_line(batch) + "\n" + '{"v":1,"type":"bat')
+        agg = SiemAggregator()
+        assert agg.ingest_stream(path, worker=0) == 1
+        assert agg.stats.partial_lines_skipped == 1
+        assert len(agg.finalize()) == 1
+
+    def test_write_merged_gzip_roundtrip(self, tmp_path):
+        agg = SiemAggregator(k_sites=2)
+        for site in ("site-0001", "site-0002"):
+            agg.ingest_batch(
+                make_batch(0, site, 0, [_alert(site, 5.0), _done(site)]),
+                record_latency=False,
+            )
+        path = agg.write_merged(tmp_path / "merged.jsonl.gz")
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines[0]["type"] == "siem-meta"
+        assert lines[0]["total_packets"] == 200
+        assert len(lines) - 1 == len(agg.merged_events())
+
+    def test_total_packets_sums_site_done(self):
+        agg = SiemAggregator()
+        agg.ingest_batch(
+            make_batch(0, "site-0001", 0, [_done("site-0001", packets=42)]),
+            record_latency=False,
+        )
+        assert agg.total_packets == 42
+        assert agg.sites_done == 1
+
+
+class TestRollup:
+    def test_deterministic_and_wall_series_split(self):
+        rollup = FleetRollup()
+        rollup.record_event(_alert("site-0001", 1.0))
+        rollup.record_event(_done("site-0001", packets=7))
+        rollup.record_duplicate("site-0001")
+        rollup.record_batch(0, latency_ms=3.0, backlog=2)
+        text = rollup.prometheus_text()
+        assert "siem_alerts_total" in text
+        assert "siem_site_packets" in text
+        # wall series must quarantine their values under "wall"
+        latency = [
+            entry for entry in rollup.snapshot()
+            if entry["name"] == "siem_batch_latency_ms"
+        ]
+        assert latency and all("wall" in entry for entry in latency)
+        assert all("buckets" in entry["wall"] for entry in latency)
+
+    def test_worker_sample_reaches_fleet_gauges(self):
+        rollup = FleetRollup()
+        rollup.record_worker_sample(1, "site-0003", 2048.0, 4)
+        text = rollup.prometheus_text()
+        assert 'fleet_worker_rss_kb{site="site-0003",worker="1"}' in text
+        assert 'fleet_worker_queue_depth{site="site-0003",worker="1"}' in text
+
+
+class TestReport:
+    def _populated(self):
+        agg = SiemAggregator(k_sites=2, window_s=30.0)
+        for index, site in enumerate(("site-0001", "site-0002", "site-0003")):
+            events = [
+                _alert(site, 10.0 + index, seq=0),
+                _done(site, packets=100 * (index + 1)),
+            ]
+            if site == "site-0003":  # the noisy one
+                events.insert(1, _alert(site, 12.0 + index, seq=1))
+            agg.ingest_batch(
+                make_batch(index % 2, site, 0, events), record_latency=False
+            )
+        return agg
+
+    def test_report_data_shape(self):
+        data = fleet_report_data(self._populated(), run={"sites": 3}, top=2)
+        json.dumps(data)  # persisted as report.json: must serialize
+        assert data["summary"]["sites_done"] == 3
+        assert data["summary"]["fleet_alerts"] == 1
+        assert len(data["noisy_sites"]) == 2  # top-K honored
+        assert data["noisy_sites"][0]["site"] == "site-0003"
+        assert data["detection"][0]["attack"] == "icmp_flood"
+        assert data["detection"][0]["fleet_alerts"] == 1
+
+    def test_render_names_noisy_sites_and_alerts(self):
+        data = fleet_report_data(self._populated(), top=3)
+        text = render_fleet_report(data)
+        assert "site-0003" in text
+        assert "icmp_flood" in text
+        assert "fleet detection table" in text
+        assert "worker stragglers" in text
