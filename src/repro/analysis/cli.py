@@ -8,6 +8,9 @@ invariant checker over a source tree::
     kalis-lint --select KL001,KL003 …    # a subset of rules
     kalis-lint --write-baseline …        # snapshot current findings
     kalis-lint --format json …           # machine-readable output
+    kalis-lint --format sarif …          # SARIF 2.1.0 (CI annotations)
+    kalis-lint --jobs 4 …                # file rules across 4 processes
+                                         # (output identical to serial)
     kalis-lint --changed [REF] …         # only files touched since REF
                                          # (plus their transitive importers)
     kalis-lint --fix [--dry-run] …       # rewrite autofixable findings
@@ -17,6 +20,11 @@ invariant checker over a source tree::
                                          # knowledge-flow and topic graphs
     kalis-lint graph --view state        # export the state graph
                                          # (checkpoint-safety inventory)
+    kalis-lint graph --view proc         # export the process-boundary
+                                         # graph (serialization, forks,
+                                         # queues, wire schemas)
+    kalis-lint baseline --audit …        # flag stale baseline entries
+    kalis-lint baseline --audit --prune  # …and rewrite without them
 
 ``--changed`` still parses the *whole* tree (the KL1xx whole-program
 rules are unsound on a partial parse); only the reported findings are
@@ -97,9 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         dest="output_format",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run file-scoped rules across N worker processes (default 1"
+        " = serial; output is byte-identical either way)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
@@ -160,11 +176,13 @@ def build_graph_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--view",
-        choices=("flow", "state"),
+        choices=("flow", "state", "proc"),
         default="flow",
         help="flow: knowledge-flow and bus-topic graphs (default);"
         " state: the whole-program state inventory (checkpoint roots,"
-        " field classification, rebuild hooks)",
+        " field classification, rebuild hooks); proc: the"
+        " process-boundary graph (serialization sites, forks, queues,"
+        " exits, wire schemas)",
     )
     parser.add_argument(
         "--output",
@@ -181,6 +199,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "graph":
         return graph_main(arguments[1:])
+    if arguments and arguments[0] == "baseline":
+        return baseline_main(arguments[1:])
     parser = build_parser()
     options = parser.parse_args(arguments)
 
@@ -215,7 +235,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.select:
         select = [r.strip() for r in options.select.split(",") if r.strip()]
     try:
-        findings = run_rules(project, select=select, cache=cache)
+        findings = run_rules(
+            project, select=select, cache=cache, jobs=options.jobs
+        )
     except KeyError as error:
         # str(KeyError) wraps the message in quotes; unwrap it.
         parser.error(error.args[0] if error.args else str(error))
@@ -302,7 +324,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f" {len(changed)} file(s)"
         )
 
-    if options.output_format == "json":
+    if options.output_format == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        sys.stdout.write(render_sarif(reported))
+    elif options.output_format == "json":
         print(
             json.dumps(
                 {
@@ -402,7 +428,16 @@ def graph_main(argv: List[str]) -> int:
         parser.error(f"no such path: {', '.join(missing)}")
 
     project = Project.load(paths, root=options.root)
-    if options.view == "state":
+    if options.view == "proc":
+        from repro.analysis import procgraph
+
+        proc = procgraph.derive_procgraph(project)
+        rendered = (
+            procgraph.export_dot(proc)
+            if options.output_format == "dot"
+            else procgraph.export_json(proc)
+        )
+    elif options.view == "state":
         from repro.analysis import stategraph
 
         state = stategraph.derive_stategraph(project)
@@ -429,6 +464,124 @@ def graph_main(argv: List[str]) -> int:
     else:
         sys.stdout.write(rendered)
     return 0
+
+
+def build_baseline_parser() -> argparse.ArgumentParser:
+    """Build the ``kalis-lint baseline`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="kalis-lint baseline",
+        description=(
+            "Audit the baseline against a full lint run: flag entries"
+            " whose (rule, path, key) no longer matches any current"
+            " finding, and optionally prune them."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None, help="project root"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="report stale entries; exit 1 if any (this is the default"
+        " and only mode, the flag exists for readability in CI)",
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="rewrite the baseline file without the stale entries",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore .kalis-lint-cache for the underlying lint run",
+    )
+    return parser
+
+
+def baseline_main(argv: List[str]) -> int:
+    """Run ``kalis-lint baseline``; returns the process exit code."""
+    parser = build_baseline_parser()
+    options = parser.parse_args(argv)
+    paths = [Path(p) for p in options.paths]
+    if not paths:
+        default = Path("src/repro")
+        if not default.exists():
+            parser.error("no paths given and ./src/repro does not exist")
+        paths = [default]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    cache = None
+    if not options.no_cache:
+        from repro.analysis.cache import LintCache
+        from repro.analysis.project import _find_root
+
+        cache_root = (
+            options.root or _find_root([path.resolve() for path in paths])
+        ).resolve()
+        cache = LintCache(cache_root)
+    project = Project.load(paths, root=options.root, cache=cache)
+    findings = run_rules(project, cache=cache)
+
+    baseline_path = options.baseline or (project.root / BASELINE_FILENAME)
+    try:
+        baseline = Baseline.load(baseline_path)
+    except BaselineError as error:
+        print(f"kalis-lint: {error}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        baseline.suppresses(finding)  # marks matching entries as used
+
+    scanned = {source.relpath for source in project.files}
+    scanned.update(failure.relpath for failure in project.failures)
+    stale = baseline.stale_entries(scanned)
+    unjudged = [
+        entry for entry in baseline.entries() if entry.path not in scanned
+    ]
+    for entry in stale:
+        print(
+            f"{entry.path}: stale {entry.rule} entry {entry.key!r}"
+            f" ({entry.reason})"
+        )
+    if options.prune and stale:
+        stale_ids = {entry.identity for entry in stale}
+        kept = [
+            entry
+            for entry in baseline.entries()
+            if entry.identity not in stale_ids
+        ]
+        baseline_path.write_text(
+            Baseline.render_file(kept), encoding="utf-8"
+        )
+        print(
+            f"kalis-lint: pruned {len(stale)} stale entr"
+            f"{'y' if len(stale) == 1 else 'ies'} from {baseline_path}"
+            f" ({len(kept)} kept)"
+        )
+        return 0
+    summary = (
+        f"kalis-lint: {len(stale)} stale baseline entr"
+        f"{'y' if len(stale) == 1 else 'ies'}"
+        if stale
+        else "kalis-lint: baseline is live"
+    )
+    details = [f"{len(baseline)} entries", f"{len(project.files)} files"]
+    if unjudged:
+        details.append(f"{len(unjudged)} outside the scanned paths")
+    print(f"{summary} ({', '.join(details)})")
+    return 1 if stale else 0
 
 
 def _write_baseline(

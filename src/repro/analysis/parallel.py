@@ -1,0 +1,100 @@
+"""Process-pool execution of file-scoped lint rules.
+
+File-scoped (:class:`~repro.analysis.engine.FileRule`) work is
+embarrassingly parallel — each ``(rule, file)`` task judges one parsed
+file in isolation — so a cold lint of the whole tree can fan out across
+cores.  The design constraints:
+
+- **Byte-identical output.**  Workers return findings as plain dicts;
+  the engine reassembles them in the exact serial iteration order, so
+  ``--jobs N`` output is indistinguishable from ``--jobs 1``.
+- **Cache-aware.**  The engine consults the
+  :class:`~repro.analysis.cache.LintCache` *first* and only ships
+  cache-miss tasks here; a warm lint never pays pool startup (which
+  also keeps the CI ``warm*2 <= cold`` runtime gate honest).
+- **Fail-soft.**  Any pool failure (no fork start method, a worker
+  dying, a pickling surprise) returns ``None`` and the engine falls
+  back to serial execution — parallelism is an optimization, never a
+  correctness dependency.
+
+The parsed :class:`~repro.analysis.project.Project` rides into workers
+via fork copy-on-write (a module global set just before the pool
+spawns), so tasks and results are tiny: ``(rule_id, file_index)`` in,
+finding dicts out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project
+
+#: Below this many pending tasks the pool's startup overhead wins.
+MIN_TASKS = 32
+
+#: The project workers inherit via fork copy-on-write.
+_WORK_PROJECT: Optional[Project] = None
+
+
+def _run_task(task: Tuple[str, int]) -> Tuple[str, int, List[dict]]:
+    """Worker body: run one file-scoped rule over one file."""
+    from repro.analysis.engine import _RULES, _ensure_rules_loaded
+
+    rule_id, index = task
+    _ensure_rules_loaded()
+    assert _WORK_PROJECT is not None, "worker forked without a project"
+    source = _WORK_PROJECT.files[index]
+    findings = list(_RULES[rule_id]().check_file(_WORK_PROJECT, source))
+    return rule_id, index, [finding.to_dict() for finding in findings]
+
+
+def _finding_from_dict(payload: dict) -> Finding:
+    return Finding(
+        rule=payload["rule"],
+        severity=Severity(payload["severity"]),
+        path=payload["path"],
+        line=payload["line"],
+        message=payload["message"],
+        key=payload["key"],
+        column=payload.get("column"),
+    )
+
+
+def run_file_tasks(
+    project: Project, tasks: Sequence[Tuple[str, int]], jobs: int
+) -> Optional[Dict[Tuple[str, int], List[Finding]]]:
+    """Run ``(rule_id, file_index)`` tasks across a fork pool.
+
+    Returns the per-task findings, or ``None`` if the pool could not be
+    used — the caller then runs the same tasks serially.
+    """
+    global _WORK_PROJECT
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return None
+    # An explicit --jobs N wins over os.cpu_count(): oversubscription is
+    # harmless, and containers often report fewer cores than they have.
+    workers = max(1, min(int(jobs), len(tasks)))
+    if workers < 2:
+        return None
+    _WORK_PROJECT = project
+    try:
+        with context.Pool(processes=workers) as pool:
+            rows = pool.map(
+                _run_task,
+                list(tasks),
+                chunksize=max(1, len(tasks) // (workers * 4)),
+            )
+    except Exception:  # fail soft: the serial path is always correct
+        return None
+    finally:
+        _WORK_PROJECT = None
+    results: Dict[Tuple[str, int], List[Finding]] = {}
+    for rule_id, index, payloads in rows:
+        results[(rule_id, index)] = [
+            _finding_from_dict(payload) for payload in payloads
+        ]
+    return results

@@ -7,6 +7,7 @@ Adding a rule = adding a module here that defines a
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imports register rules)
+    boundaries,
     contracts,
     determinism,
     flows,
@@ -21,6 +22,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register rules)
 )
 
 __all__ = [
+    "boundaries",
     "contracts",
     "determinism",
     "flows",

@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 rendering of kalis-lint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format CI forges ingest to render static-analysis
+results as inline annotations.  ``kalis-lint --format sarif`` emits one
+run with the full rule registry as ``tool.driver.rules`` (plus the
+KL000/KL099 pseudo-rules the engine reserves) and one ``result`` per
+reported finding.  Each result carries a ``partialFingerprints`` entry
+built from the finding's *stable key* — the same ``(rule, path, key)``
+identity the baseline uses — so annotation tracking survives line-number
+churn exactly like baseline suppression does.
+
+Output is deterministic: rules sorted by id, findings in
+:func:`~repro.analysis.findings.sort_findings` order, and
+``json.dumps(..., sort_keys=True)`` for the envelope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import (
+    STALE_BASELINE_RULE_ID,
+    SYNTAX_RULE_ID,
+    available_rules,
+)
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "kalis-lint"
+
+#: Titles for the pseudo-rules that have no registered Rule class.
+_PSEUDO_RULES = {
+    SYNTAX_RULE_ID: "file failed to parse",
+    STALE_BASELINE_RULE_ID: "stale baseline entry",
+}
+
+
+def _rule_descriptors() -> List[Dict[str, object]]:
+    """Every rule id the tool can emit, as SARIF reportingDescriptors."""
+    titles = dict(_PSEUDO_RULES)
+    for rule_class in available_rules():
+        titles[rule_class.ID] = rule_class.TITLE
+    return [
+        {"id": rule_id, "shortDescription": {"text": titles[rule_id]}}
+        for rule_id in sorted(titles)
+    ]
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """The findings as a SARIF 2.1.0 log (one run, trailing newline)."""
+    descriptors = _rule_descriptors()
+    rule_index = {
+        descriptor["id"]: position
+        for position, descriptor in enumerate(descriptors)
+    }
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        region: Dict[str, object] = {"startLine": max(1, finding.line)}
+        if finding.column is not None:
+            region["startColumn"] = finding.column
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": finding.severity.value,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": region,
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "kalisLintKey/v1": (
+                    f"{finding.rule}:{finding.path}:{finding.key}"
+                )
+            },
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

@@ -73,26 +73,34 @@ def read_jsonl(path, tolerate_partial: bool = True) -> Tuple[List[Tuple[int, Dic
     path = Path(path)
     records: List[Tuple[int, Dict[str, Any]]] = []
     pending_error: Tuple[int, str] = (0, "")
-    with _open_text(path, "rt") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            if pending_error[0]:
-                raise ExportFormatError(
-                    path, pending_error[0],
-                    f"malformed record: {pending_error[1]}",
-                )
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                record = json.loads(stripped)
-            except ValueError as error:
-                # Defer: only a *non-final* malformed line is fatal.
-                pending_error = (line_number, str(error))
-                continue
-            if not isinstance(record, dict):
-                pending_error = (line_number, "record is not a JSON object")
-                continue
-            records.append((line_number, record))
+    handle = _open_text(path, "rt")  # open errors (ENOENT…) pass through
+    try:
+        with handle:
+            for line_number, line in enumerate(handle, start=1):
+                if pending_error[0]:
+                    raise ExportFormatError(
+                        path, pending_error[0],
+                        f"malformed record: {pending_error[1]}",
+                    )
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except ValueError as error:
+                    # Defer: only a *non-final* malformed line is fatal.
+                    pending_error = (line_number, str(error))
+                    continue
+                if not isinstance(record, dict):
+                    pending_error = (line_number, "record is not a JSON object")
+                    continue
+                records.append((line_number, record))
+    except (EOFError, gzip.BadGzipFile, OSError) as error:
+        # A truncated or corrupt gzip stream surfaces mid-iteration as a
+        # raw decompressor error; report it with file context instead.
+        raise ExportFormatError(
+            path, 0, f"truncated or corrupt stream: {error}"
+        ) from error
     if pending_error[0]:
         if tolerate_partial:
             return records, 1

@@ -272,3 +272,135 @@ class TestBaselineWorkflow:
         )
         assert code == 0
         capsys.readouterr()
+
+
+class TestBaselineAudit:
+    def test_audit_reports_live_baseline(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time -- legacy wall-clock,"
+            " scheduled for removal\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "baseline",
+                "--audit",
+                "--no-cache",
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                str(tree),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline is live" in out
+
+    def test_audit_flags_stale_entry(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path, {"repro/sim/engine.py": '"""Clean module."""\n'}
+        )
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time -- fixed long ago\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "baseline",
+                "--audit",
+                "--no-cache",
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                str(tree),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stale KL001 entry" in out
+        # Audit alone never rewrites the file.
+        assert "fixed long ago" in baseline.read_text(encoding="utf-8")
+
+    def test_prune_drops_only_stale_entries(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, _DIRTY_TREE)
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time -- legacy wall-clock\n"
+            "KL001 src/repro/sim/engine.py time.monotonic -- fixed long ago\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "baseline",
+                "--audit",
+                "--prune",
+                "--no-cache",
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                str(tree),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pruned 1 stale entry" in out
+        text = baseline.read_text(encoding="utf-8")
+        assert "time.time" in text
+        assert "time.monotonic" not in text
+
+    def test_entries_outside_scanned_paths_survive_prune(self, tmp_path, capsys):
+        tree = write_tree(
+            tmp_path,
+            {
+                "repro/sim/engine.py": '"""Clean module."""\n',
+                "repro/core/other.py": '"""Also clean."""\n',
+            },
+        )
+        baseline = tmp_path / "kalis-lint.baseline"
+        baseline.write_text(
+            "KL001 src/repro/sim/engine.py time.time -- not judged here\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "baseline",
+                "--audit",
+                "--prune",
+                "--no-cache",
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                str(tree / "core"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outside the scanned paths" in out
+        assert "time.time" in baseline.read_text(encoding="utf-8")
+
+    def test_real_tree_baseline_is_live(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        code = main(
+            [
+                "baseline",
+                "--audit",
+                "--no-cache",
+                "--root",
+                str(root),
+                "--baseline",
+                str(root / "kalis-lint.baseline"),
+                str(root / "src" / "repro"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "baseline is live" in out

@@ -1,0 +1,68 @@
+"""Process-pool file-rule execution: byte-identity with serial, fail-soft."""
+
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.engine import _RULES, _ensure_rules_loaded, run_rules
+from repro.analysis.parallel import MIN_TASKS, run_file_tasks
+from repro.analysis.project import Project
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _file_rule_ids():
+    _ensure_rules_loaded()
+    return [
+        rule_id
+        for rule_id in sorted(_RULES)
+        if _RULES[rule_id].SCOPE == "file"
+    ]
+
+
+class TestRunFileTasks:
+    def test_pool_results_match_serial(self):
+        project = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        rule_ids = _file_rule_ids()[:3]
+        tasks = [
+            (rule_id, index)
+            for rule_id in rule_ids
+            for index in range(min(len(project.files), 40))
+        ]
+        assert len(tasks) >= MIN_TASKS
+        pooled = run_file_tasks(project, tasks, jobs=4)
+        assert pooled is not None
+        for rule_id, index in tasks:
+            serial = list(
+                _RULES[rule_id]().check_file(project, project.files[index])
+            )
+            assert pooled[(rule_id, index)] == serial
+
+    def test_single_job_declines_the_pool(self):
+        project = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        tasks = [(_file_rule_ids()[0], 0)]
+        assert run_file_tasks(project, tasks, jobs=1) is None
+
+
+class TestRunRulesParallel:
+    def test_output_is_byte_identical_to_serial(self):
+        """The headline contract: --jobs N changes nothing observable."""
+        project_a = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        project_b = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        serial = run_rules(project_a, jobs=1)
+        parallel = run_rules(project_b, jobs=4)
+        assert serial == parallel
+
+    def test_cli_jobs_flag_matches_serial_text(self, capsys):
+        args = [
+            "--root",
+            str(ROOT),
+            "--baseline",
+            str(ROOT / "kalis-lint.baseline"),
+            "--no-cache",
+            str(ROOT / "src" / "repro"),
+        ]
+        code_serial = main(args)
+        out_serial = capsys.readouterr().out
+        code_parallel = main(args + ["--jobs", "4"])
+        out_parallel = capsys.readouterr().out
+        assert (code_serial, out_serial) == (code_parallel, out_parallel)

@@ -1,0 +1,546 @@
+"""Process-boundary rules (KL301–KL306), exports, and the fleet cross-check."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.engine import run_rules
+from repro.analysis.procgraph import (
+    derive_procgraph,
+    export_dot,
+    export_json,
+)
+from repro.analysis.project import Project
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_project(tmp_path, files):
+    """Write a ``src/`` tree from {relpath: source} and parse it."""
+    for relpath, content in files.items():
+        path = tmp_path / "src" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(content), encoding="utf-8")
+    for directory in sorted((tmp_path / "src").rglob("*")):
+        if directory.is_dir():
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+    return Project.load([tmp_path / "src" / "repro"], root=tmp_path)
+
+
+def run(tmp_path, files, rule):
+    return run_rules(make_project(tmp_path, files), select=[rule])
+
+
+class TestKL301SchemaDrift:
+    VIOLATION = {
+        "repro/wire/proto.py": """
+        PROTO_VERSION = 1
+
+        def make_record(body):
+            return {"v": PROTO_VERSION, "body": body}
+
+        def load_record(record):
+            return record["payload"]
+        """,
+    }
+    CLEAN = {
+        "repro/wire/proto.py": """
+        PROTO_VERSION = 1
+
+        def make_record(body):
+            return {"v": PROTO_VERSION, "body": body}
+
+        def load_record(record):
+            return record["body"]
+        """,
+    }
+
+    def test_reader_key_outside_written_set_flagged(self, tmp_path):
+        findings = run(tmp_path, self.VIOLATION, "KL301")
+        errors = [f for f in findings if f.severity.value == "error"]
+        assert [f.key for f in errors] == ["load_record.payload"]
+        assert "no writer" in errors[0].message
+
+    def test_matching_reader_passes_with_digest_pin(self, tmp_path):
+        findings = run(tmp_path, self.CLEAN, "KL301")
+        assert [f.severity.value for f in findings] == ["warning"]
+        assert findings[0].key.startswith("proto@v1:")
+        assert "version bump" in findings[0].message
+
+    def test_digest_key_tracks_the_field_set(self, tmp_path):
+        """Growing the writer's field set changes the baseline key."""
+        grown = {
+            "repro/wire/proto.py": self.CLEAN[
+                "repro/wire/proto.py"
+            ].replace('"body": body}', '"body": body, "extra": 1}')
+        }
+        original = run(tmp_path / "a", self.CLEAN, "KL301")
+        changed = run(tmp_path / "b", grown, "KL301")
+        pins = lambda fs: [f.key for f in fs if "@" in f.key]  # noqa: E731
+        assert pins(original) != pins(changed)
+
+
+class TestKL302AddressFreePayloads:
+    VIOLATION = {
+        "repro/wire/emit.py": """
+        import json
+
+        def handler():
+            return None
+
+        def encode(stream, obj, queue):
+            record = {"v": 1, "who": repr(obj), "cb": handler}
+            stream.write(json.dumps(record))
+            stream.flush()
+            queue.put(record)
+            return id(obj)
+        """,
+    }
+    CLEAN = {
+        "repro/wire/emit.py": """
+        import json
+
+        def encode(stream, obj, queue):
+            record = {"v": 1, "who": str(obj), "cb": "wire.handler"}
+            stream.write(json.dumps(record))
+            stream.flush()
+            queue.put(record)
+            return record
+        """,
+    }
+
+    def test_repr_callable_and_id_flagged(self, tmp_path):
+        findings = run(tmp_path, self.VIOLATION, "KL302")
+        keys = sorted(f.key for f in findings)
+        assert keys == ["encode.handler", "encode.id", "encode.repr"]
+        by_key = {f.key: f for f in findings}
+        assert by_key["encode.id"].severity.value == "error"
+        assert by_key["encode.handler"].severity.value == "error"
+        assert by_key["encode.repr"].severity.value == "warning"
+        assert "callable_name" in by_key["encode.handler"].message
+
+    def test_bang_r_conversion_flagged(self, tmp_path):
+        files = {
+            "repro/wire/emit.py": """
+            import json
+
+            def encode(stream, obj):
+                stream.write(json.dumps({"v": 1, "who": f"{obj!r}"}))
+            """,
+        }
+        findings = run(tmp_path, files, "KL302")
+        assert [f.key for f in findings] == ["encode.conv_r"]
+
+    def test_address_free_payload_passes(self, tmp_path):
+        assert run(tmp_path, self.CLEAN, "KL302") == []
+
+    def test_repr_outside_boundary_context_ignored(self, tmp_path):
+        """repr in a function that never serializes is not this rule's business."""
+        files = {
+            "repro/wire/emit.py": """
+            def describe(obj):
+                return {"v": 1, "who": "x"}
+
+            def debug_label(obj):
+                return repr(obj)
+            """,
+        }
+        findings = run(tmp_path, files, "KL302")
+        assert findings == []
+
+
+class TestKL303ForkSafety:
+    VIOLATION = {
+        "repro/fleetx/spawn.py": """
+        import multiprocessing
+        import threading
+
+        def child(lock):
+            return lock
+
+        def start():
+            context = multiprocessing.get_context("fork")
+            lock = threading.Lock()
+            process = context.Process(target=child, args=(lock,))
+            process.start()
+            return process
+        """,
+    }
+    CLEAN = {
+        "repro/fleetx/spawn.py": """
+        import multiprocessing
+
+        def child(shard):
+            return shard
+
+        def start(shard):
+            context = multiprocessing.get_context("fork")
+            process = context.Process(target=child, args=(shard,))
+            process.start()
+            return process
+        """,
+    }
+
+    def test_local_lock_in_spawn_args_flagged(self, tmp_path):
+        findings = run(tmp_path, self.VIOLATION, "KL303")
+        assert [f.key for f in findings] == ["start.lock"]
+        assert findings[0].severity.value == "error"
+        assert "fork" in findings[0].message
+
+    def test_open_handle_in_spawn_args_flagged(self, tmp_path):
+        files = {
+            "repro/fleetx/spawn.py": """
+            import multiprocessing
+
+            def child(log):
+                return log
+
+            def start():
+                context = multiprocessing.get_context("fork")
+                log = open("log.txt", "a")
+                process = context.Process(target=child, args=(log,))
+                process.start()
+            """,
+        }
+        findings = run(tmp_path, files, "KL303")
+        assert [f.key for f in findings] == ["start.log"]
+
+    def test_live_telemetry_in_spawn_args_warned(self, tmp_path):
+        files = {
+            "repro/fleetx/spawn.py": """
+            import multiprocessing
+            from repro.obs.telemetry import Telemetry
+
+            def child(telemetry):
+                return telemetry
+
+            def start():
+                context = multiprocessing.get_context("fork")
+                telemetry = Telemetry()
+                process = context.Process(target=child, args=(telemetry,))
+                process.start()
+            """,
+        }
+        findings = run(tmp_path, files, "KL303")
+        assert [f.key for f in findings] == ["start.telemetry"]
+        assert findings[0].severity.value == "warning"
+
+    def test_forwarded_params_pass(self, tmp_path):
+        assert run(tmp_path, self.CLEAN, "KL303") == []
+
+
+class TestKL304QueueDiscipline:
+    VIOLATION = {
+        "repro/fleetx/pump.py": """
+        def produce(queue, record):
+            queue.put(record)
+
+        def drain(queue):
+            return queue.get()
+        """,
+    }
+    CLEAN = {
+        "repro/fleetx/pump.py": """
+        def validate_record(record):
+            return record["v"]
+
+        def produce(stream, queue, record):
+            stream.write("x")
+            stream.flush()
+            queue.put(record)
+
+        def drain(queue):
+            record = queue.get()
+            return validate_record(record)
+        """,
+    }
+
+    def test_put_without_flush_and_unvalidated_get_flagged(self, tmp_path):
+        findings = run(tmp_path, self.VIOLATION, "KL304")
+        assert sorted(f.key for f in findings) == ["drain.get", "produce.put"]
+        by_key = {f.key: f for f in findings}
+        assert "flush" in by_key["produce.put"].message
+        assert "validat" in by_key["drain.get"].message
+
+    def test_flush_before_put_and_validated_get_pass(self, tmp_path):
+        assert run(tmp_path, self.CLEAN, "KL304") == []
+
+    def test_flush_after_put_still_flagged(self, tmp_path):
+        """The flush must precede the put — ordering is the contract."""
+        files = {
+            "repro/fleetx/pump.py": """
+            def produce(stream, queue, record):
+                queue.put(record)
+                stream.flush()
+            """,
+        }
+        findings = run(tmp_path, files, "KL304")
+        assert [f.key for f in findings] == ["produce.put"]
+
+    def test_transitively_validating_get_passes(self, tmp_path):
+        """Validation through a helper chain still counts."""
+        files = {
+            "repro/fleetx/pump.py": """
+            def validate_record(record):
+                return record["v"]
+
+            def ingest(record):
+                return validate_record(record)
+
+            def drain(queue):
+                return ingest(queue.get())
+            """,
+        }
+        assert run(tmp_path, files, "KL304") == []
+
+
+class TestKL305ExitHygiene:
+    VIOLATION = {
+        "repro/svc/death.py": """
+        import os
+        import signal
+
+        def _on_signal(signum, frame):
+            return signum
+
+        def run(worker):
+            signal.signal(signal.SIGTERM, _on_signal)
+            if worker:
+                os._exit(3)
+        """,
+    }
+    CLEAN = {
+        "repro/svc/death.py": """
+        import os
+        import signal
+
+        def save(state):
+            return state
+
+        def _on_signal(signum, frame):
+            SERVICE.request_stop()
+
+        def run(service, worker):
+            signal.signal(signal.SIGTERM, _on_signal)
+            save(worker)
+            if worker:
+                os._exit(3)
+        """,
+    }
+
+    def test_exit_without_durable_call_and_bare_handler_flagged(self, tmp_path):
+        findings = run(tmp_path, self.VIOLATION, "KL305")
+        assert sorted(f.key for f in findings) == [
+            "_on_signal.handler",
+            "run._exit",
+        ]
+        for finding in findings:
+            assert finding.severity.value == "error"
+
+    def test_durable_exit_and_stop_requesting_handler_pass(self, tmp_path):
+        assert run(tmp_path, self.CLEAN, "KL305") == []
+
+    def test_durable_call_after_exit_still_flagged(self, tmp_path):
+        files = {
+            "repro/svc/death.py": """
+            import os
+
+            def save(state):
+                return state
+
+            def run(worker):
+                os._exit(3)
+                save(worker)
+            """,
+        }
+        findings = run(tmp_path, files, "KL305")
+        assert [f.key for f in findings] == ["run._exit"]
+
+    def test_unresolvable_handler_is_skipped(self, tmp_path):
+        """A handler bound through a loop variable cannot be judged."""
+        files = {
+            "repro/svc/death.py": """
+            import signal
+
+            def install(handlers):
+                for signum, handler in handlers:
+                    signal.signal(signum, handler)
+            """,
+        }
+        assert run(tmp_path, files, "KL305") == []
+
+
+class TestKL306DedupCompleteness:
+    VIOLATION = {
+        "repro/wire/keys.py": """
+        def record_dedup_key(record):
+            return (record["site"], record["seq"])
+
+        def record_sort_key(record):
+            return (record["t"], record["site"], record["seq"])
+        """,
+    }
+    CLEAN = {
+        "repro/wire/keys.py": """
+        def record_dedup_key(record):
+            return (record["t"], record["site"], record["seq"])
+
+        def record_sort_key(record):
+            return (record["t"], record["site"], record["seq"])
+        """,
+    }
+
+    def test_sort_field_missing_from_dedup_key_flagged(self, tmp_path):
+        findings = run(tmp_path, self.VIOLATION, "KL306")
+        assert [f.key for f in findings] == ["record_sort_key.t"]
+        assert "exactly-once" in findings[0].message
+
+    def test_covering_dedup_key_passes(self, tmp_path):
+        assert run(tmp_path, self.CLEAN, "KL306") == []
+
+    def test_modules_without_both_keys_are_skipped(self, tmp_path):
+        files = {
+            "repro/wire/keys.py": """
+            def record_sort_key(record):
+                return (record["t"], record["seq"])
+            """,
+        }
+        assert run(tmp_path, files, "KL306") == []
+
+
+class TestProcGraphExports:
+    def test_real_tree_exports_are_byte_identical(self):
+        """Two independent derivations render identical JSON and DOT."""
+        first = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        second = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        proc_a = derive_procgraph(first)
+        proc_b = derive_procgraph(second)
+        assert export_json(proc_a) == export_json(proc_b)
+        assert export_dot(proc_a) == export_dot(proc_b)
+
+    def test_json_covers_the_fleet_wire_layer(self):
+        project = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        rendered = export_json(derive_procgraph(project))
+        payload = json.loads(rendered)
+        assert "repro.siem.events" in payload["schemas"]
+        assert payload["schemas"]["repro.siem.events"]["version"] == 1
+        assert any(
+            site["target"] == "worker_main" for site in payload["fork_sites"]
+        )
+        assert any(site["op"] == "put" for site in payload["queue_sites"])
+        assert any(
+            site["path"].endswith("fleet/worker.py")
+            for site in payload["exit_sites"]
+        )
+        assert "validate_batch" in str(payload["schemas"])
+
+    def test_dot_marks_boundary_node_kinds(self):
+        project = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        rendered = export_dot(derive_procgraph(project))
+        assert '"repro.fleet.worker:worker_main" [shape=doubleoctagon];' in rendered
+        assert '"queue" [shape=cds];' in rendered
+        assert '"os._exit" [shape=octagon];' in rendered
+        assert '"repro.siem.events@v1" [shape=note];' in rendered
+        assert rendered.endswith("}\n")
+
+    def test_cli_proc_view(self, tmp_path):
+        code = main(
+            [
+                "graph",
+                "--view",
+                "proc",
+                "--root",
+                str(ROOT),
+                str(ROOT / "src" / "repro"),
+                "--output",
+                str(tmp_path / "proc.json"),
+            ]
+        )
+        assert code == 0
+        rendered = (tmp_path / "proc.json").read_text(encoding="utf-8")
+        assert '"serialization_sites"' in rendered
+        assert '"schemas"' in rendered
+
+
+class TestFleetRuntimeCrossCheck:
+    """A real fleet run's crossings must be a subset of the static graph.
+
+    Mirrors the PR-6 runtime census: the static inventory may know more
+    seams than one run exercises, but a run must never cross a seam the
+    graph missed.
+    """
+
+    def test_fleet_smoke_crossings_subset_of_static_graph(self, tmp_path):
+        from repro.fleet import FleetConfig, run_fleet
+        from repro.fleet.worker import MANIFEST_NAME, STREAM_NAME
+
+        project = Project.load([ROOT / "src" / "repro"], root=ROOT)
+        proc = derive_procgraph(project)
+        run_fleet(
+            FleetConfig(
+                sites=3,
+                workers=1,
+                fleet_seed=16,
+                out_dir=str(tmp_path / "fleet"),
+                symptom_instances=1,
+                k_sites=2,
+            )
+        )
+
+        # Every record observed on the wire uses only statically known keys.
+        transport_keys = set(
+            proc.schema_groups["repro.siem.events"].emitted_keys()
+        )
+        event_records = 0
+        for stream in sorted((tmp_path / "fleet").rglob(STREAM_NAME)):
+            for line in stream.read_text(encoding="utf-8").splitlines():
+                record = json.loads(line)
+                assert set(record) <= transport_keys, record
+                for event in record.get("events", []):
+                    event_records += 1
+                    assert set(event) <= transport_keys, event
+        assert event_records > 0
+
+        manifest_keys = set(
+            proc.schema_groups["repro.fleet.worker"].emitted_keys()
+        )
+        manifests = sorted((tmp_path / "fleet").rglob(MANIFEST_NAME))
+        assert manifests
+        for manifest in manifests:
+            data = json.loads(manifest.read_text(encoding="utf-8"))
+            assert set(data) <= manifest_keys, data
+
+        # The crossings the run exercised exist in the static graph.
+        assert "worker_main" in proc.fork_target_names()
+        assert any(
+            site.op == "put" and site.module == "repro.fleet.worker"
+            for site in proc.queue_sites
+        )
+        assert any(
+            site.op == "get" and site.module == "repro.fleet.runner"
+            for site in proc.queue_sites
+        )
+        assert any(
+            site.module == "repro.fleet.worker" for site in proc.exit_sites
+        )
+
+
+class TestRealTreeBoundaryRules:
+    def test_tree_lints_clean_with_kl3xx(self, capsys):
+        code = main(
+            [
+                "--root",
+                str(ROOT),
+                "--baseline",
+                str(ROOT / "kalis-lint.baseline"),
+                "--select",
+                "KL301,KL302,KL303,KL304,KL305,KL306",
+                "--no-cache",
+                str(ROOT / "src" / "repro"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out

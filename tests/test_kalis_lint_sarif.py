@@ -1,0 +1,133 @@
+"""SARIF 2.1.0 output: structure, determinism, and the CLI surface."""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.sarif import SARIF_VERSION, render_sarif
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _finding(rule="KL001", line=3, key="stable-key", severity=Severity.ERROR):
+    return Finding(
+        rule=rule,
+        severity=severity,
+        path="src/repro/example.py",
+        line=line,
+        message="something crossed a line",
+        key=key,
+    )
+
+
+class TestRenderSarif:
+    def test_envelope_shape(self):
+        log = json.loads(render_sarif([_finding()]))
+        assert log["version"] == SARIF_VERSION
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "kalis-lint"
+        (result,) = run["results"]
+        assert result["ruleId"] == "KL001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/example.py"
+        assert location["region"]["startLine"] == 3
+
+    def test_rules_metadata_covers_registry_and_pseudo_rules(self):
+        log = json.loads(render_sarif([]))
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        ids = [rule["id"] for rule in rules]
+        assert ids == sorted(ids)
+        for expected in ("KL000", "KL001", "KL099", "KL301", "KL306"):
+            assert expected in ids
+        assert log["runs"][0]["results"] == []
+
+    def test_rule_index_points_at_the_descriptor(self):
+        log = json.loads(render_sarif([_finding(rule="KL301")]))
+        run = log["runs"][0]
+        (result,) = run["results"]
+        descriptor = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert descriptor["id"] == "KL301"
+
+    def test_fingerprint_matches_baseline_identity(self):
+        log = json.loads(render_sarif([_finding(key="the-key")]))
+        (result,) = log["runs"][0]["results"]
+        assert result["partialFingerprints"]["kalisLintKey/v1"] == (
+            "KL001:src/repro/example.py:the-key"
+        )
+
+    def test_warning_level_and_zero_line_clamp(self):
+        log = json.loads(
+            render_sarif([_finding(line=0, severity=Severity.WARNING)])
+        )
+        (result,) = log["runs"][0]["results"]
+        assert result["level"] == "warning"
+        assert (
+            result["locations"][0]["physicalLocation"]["region"]["startLine"]
+            == 1
+        )
+
+    def test_rendering_is_deterministic(self):
+        findings = [_finding(), _finding(rule="KL306", key="other")]
+        assert render_sarif(findings) == render_sarif(findings)
+
+
+class TestCliSarif:
+    def test_format_sarif_reports_planted_finding(self, tmp_path, capsys):
+        source = tmp_path / "src" / "repro" / "bad.py"
+        source.parent.mkdir(parents=True)
+        (source.parent / "__init__.py").write_text("", encoding="utf-8")
+        source.write_text(
+            textwrap.dedent(
+                """
+                def record_dedup_key(record):
+                    return (record["site"],)
+
+                def record_sort_key(record):
+                    return (record["t"], record["site"])
+                """
+            ),
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--no-baseline",
+                "--no-cache",
+                "--select",
+                "KL306",
+                "--format",
+                "sarif",
+                str(tmp_path / "src" / "repro"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        log = json.loads(out)
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "KL306"
+        assert "record_sort_key.t" in (
+            result["partialFingerprints"]["kalisLintKey/v1"]
+        )
+
+    def test_clean_tree_renders_empty_results(self, capsys):
+        code = main(
+            [
+                "--root",
+                str(ROOT),
+                "--baseline",
+                str(ROOT / "kalis-lint.baseline"),
+                "--select",
+                "KL306",
+                "--no-cache",
+                "--format",
+                "sarif",
+                str(ROOT / "src" / "repro" / "siem"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert json.loads(out)["runs"][0]["results"] == []

@@ -372,3 +372,56 @@ class TestReport:
         assert skipped == 1
         with pytest.raises(ExportFormatError, match=r"t\.jsonl:2"):
             read_jsonl(path, tolerate_partial=False)
+
+
+class TestExportStrictMode:
+    """Format-contract violations must fail loudly, with file:line."""
+
+    def _export(self, tmp_path, name="t.jsonl"):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("packets_total").inc()
+        return export_jsonl(telemetry, tmp_path / name)
+
+    def test_truncated_gzip_raises_with_context(self, tmp_path):
+        path = self._export(tmp_path, "export.jsonl.gz")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 7])
+        with pytest.raises(ExportFormatError) as excinfo:
+            load_export_with_stats(path)
+        assert "truncated or corrupt stream" in str(excinfo.value)
+        assert excinfo.value.path == str(path)
+        assert excinfo.value.line == 0
+
+    def test_missing_file_is_not_a_format_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_export_with_stats(tmp_path / "absent.jsonl")
+
+    def test_v1_export_loads_without_per_record_version(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        lines = [
+            {"type": "meta", "version": 1, "sim_end": 0.0},
+            {"type": "counter", "name": "packets_total", "value": 3},
+        ]
+        path.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines),
+            encoding="utf-8",
+        )
+        records, skipped = load_export_with_stats(path)
+        assert skipped == 0
+        assert records[1]["name"] == "packets_total"
+
+    def test_mixed_version_record_raises_at_its_line(self, tmp_path):
+        path = self._export(tmp_path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type":"counter","name":"rogue","value":1}\n')
+        line_count = len(path.read_text(encoding="utf-8").splitlines())
+        with pytest.raises(ExportFormatError) as excinfo:
+            load_export_with_stats(path)
+        assert excinfo.value.line == line_count
+        assert 'missing the "v" version field' in excinfo.value.reason
+
+    def test_future_version_is_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"type":"meta","v":99}\n', encoding="utf-8")
+        with pytest.raises(ExportFormatError, match="unsupported export version"):
+            load_export_with_stats(path)
