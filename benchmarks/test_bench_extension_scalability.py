@@ -41,7 +41,9 @@ def test_bench_e12_scalability(benchmark, report):
 
 def test_bench_transmit_fast_path(bench_json, report):
     """The frame-delivery fast path: transmit cost must scale like
-    O(N * density), not O(N^2), with a provably identical reception set."""
+    O(N * density), not O(N^2), with a provably identical reception set —
+    and on top of the indexed path, vectorized delivery must buy >= 3x
+    more at N=8,000 while staying byte-identical to the scalar oracle."""
     points = scalability_scenario.run_transmit_bench(
         seed=47, sizes=(200, 800), frames=300
     )
@@ -49,7 +51,15 @@ def test_bench_transmit_fast_path(bench_json, report):
         "Delivery fast path: spatial index vs brute force",
         scalability_scenario.render_transmit(points),
     )
+    batched_points = scalability_scenario.run_batched_bench(
+        seed=47, sizes=(8000,), frames=400
+    )
+    report(
+        "Vectorized delivery: batched vs scalar link budget (both indexed)",
+        scalability_scenario.render_batched(batched_points),
+    )
     small, large = points[0], points[-1]
+    batched = batched_points[-1]
     bench_json(
         "transmit_fast_path",
         sizes=[point.nodes for point in points],
@@ -61,6 +71,13 @@ def test_bench_transmit_fast_path(bench_json, report):
         indexed_wall_s_large=round(large.indexed_wall_s, 3),
         brute_wall_s_large=round(large.brute_wall_s, 3),
         deliveries_large=large.deliveries,
+        batched_nodes=batched.nodes,
+        batched_frames=batched.frames,
+        batched_speedup=round(batched.speedup, 2),
+        batched_wall_s=round(batched.batched_wall_s, 3),
+        scalar_wall_s=round(batched.scalar_wall_s, 3),
+        batched_deliveries=batched.deliveries,
+        batched_identical=batched.receptions_match,
     )
 
     # The index must never change what is received (lossless culling).
@@ -72,3 +89,7 @@ def test_bench_transmit_fast_path(bench_json, report):
     assert (
         large.candidates_per_frame <= small.candidates_per_frame * 1.5
     ), "transmit cost is scaling worse than O(N * density)"
+    # Vectorized delivery: byte-identical receptions/deliveries/candidate
+    # accounting vs the scalar loop, and >= 3x on top of the indexed path.
+    assert batched.receptions_match
+    assert batched.speedup >= 3.0

@@ -88,6 +88,7 @@ DERIVED_NAME_SUFFIXES = (
     "_grids",
     "_stamps",
     "_memo",
+    "_pool",
 )
 #: Constructors whose value is simulated/wall time.
 CLOCK_CONSTRUCTORS = frozenset({"Clock", "ManualClock"})

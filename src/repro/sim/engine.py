@@ -13,6 +13,14 @@ add/remove/move.  A transmission therefore examines only the sender's
 3x3 cell neighborhood instead of re-sorting and scanning the whole
 registry, making transmit cost O(local density) rather than O(N).
 
+On top of the spatial cull, delivery itself is vectorized (the
+default; see ``use_batched_delivery``): the neighborhood arrives as
+packed position arrays, distances / shadowing / loss are computed with
+numpy over the whole candidate set in one pass, and the surviving
+receivers are scheduled as a single pooled :class:`_DeliveryBatch`
+heap entry per transmission.  The scalar per-candidate loop remains as
+the byte-identity oracle.
+
 Determinism: candidate iteration is sorted by node id, tie-breaking in
 the event queue is by insertion sequence, and RSSI/loss draws are
 order-independent per-(sender, receiver, transmission-sequence) hashed
@@ -28,8 +36,10 @@ import heapq
 import math
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.net.packets.base import Medium, Packet
-from repro.sim.medium import RadioMedium
+from repro.sim.medium import RadioMedium, receiver_tail
 from repro.sim.spatial import SpatialGrid
 from repro.util.clock import ManualClock
 from repro.util.ids import NodeId
@@ -37,6 +47,8 @@ from repro.util.rng import SeededRng
 
 #: Fixed per-frame propagation-plus-processing latency, seconds.
 TRANSMIT_LATENCY_S = 2e-4
+
+_EMPTY_COORDS = np.empty(0, dtype=np.float64)
 
 #: Approximate serialization rate used to add a size-dependent component.
 BITS_PER_SECOND = {
@@ -55,10 +67,21 @@ class Simulator:
         of the per-medium registry — same reception set, draw for draw,
         because RSSI/loss draws are keyed per pair; kept as the
         equivalence oracle for tests and benchmarks.
+    :param use_batched_delivery: run the vectorized delivery path (the
+        default): candidate positions are gathered into packed arrays,
+        the link budget (per-pair digests, shadowing, loss) is computed
+        with numpy over the whole candidate set, and the survivors are
+        scheduled as one :class:`_DeliveryBatch` heap entry.  ``False``
+        keeps the per-candidate scalar loop as the byte-identity oracle
+        — same receptions, same RSSI values, bit for bit.
     """
 
     def __init__(
-        self, seed: int = 0, telemetry=None, use_spatial_index: bool = True
+        self,
+        seed: int = 0,
+        telemetry=None,
+        use_spatial_index: bool = True,
+        use_batched_delivery: bool = True,
     ) -> None:
         self.clock = ManualClock()
         self.rng = SeededRng(seed, "sim")
@@ -70,7 +93,24 @@ class Simulator:
         #: at transmit time; equipment is fixed at construction).
         self._members: Dict[Medium, Dict[NodeId, "SimNode"]] = {}
         self._grids: Dict[Medium, SpatialGrid] = {}
+        #: Sorted member-key lists per medium for the brute-force path;
+        #: invalidated whenever medium membership changes (register /
+        #: unregister).  A crash does *not* change membership — dead
+        #: nodes stay registered and are filtered by ``alive`` at
+        #: transmit time — so no invalidation hook is needed there.
+        self._member_order_cache: Dict[Medium, List[NodeId]] = {}
+        #: Free list of dispatched _DeliveryBatch records, reused to cut
+        #: per-transmission allocation churn on the batched path.
+        self._delivery_pool: List["_DeliveryBatch"] = []
+        #: Per-(medium, sender) in-range candidate snapshots for the
+        #: batched path — (grid, grid version, params, candidate count,
+        #: nodes, RNG tails, mean-RSSI array).  Valid only while the
+        #: grid object, its version stamp, and the model's (frozen)
+        #: path-loss params are all unchanged, so any add/remove/move —
+        #: including the sender's own — or model swap forces a rebuild.
+        self._sender_cache: Dict[Tuple[Medium, NodeId], tuple] = {}
         self.use_spatial_index = use_spatial_index
+        self.use_batched_delivery = use_batched_delivery
         self.transmissions = 0
         self.deliveries = 0
         #: (frame, candidate-receiver) pairs examined by transmit; the
@@ -114,16 +154,28 @@ class Simulator:
         checkpoint boundary.
         """
         self._grids.clear()
+        self._member_order_cache.clear()
+        self._delivery_pool.clear()
+        self._sender_cache.clear()
         self._tx_counters.clear()
         self._delivery_counters.clear()
 
     def _grid(self, medium: Medium) -> SpatialGrid:
-        """The (lazily built) spatial index for one medium."""
+        """The (lazily built) spatial index for one medium.
+
+        Each member's grid payload is ``(node, tail)`` — the node
+        object plus its pre-encoded per-pair RNG tail — so the batched
+        delivery path gets both back aligned with the packed position
+        arrays, with no per-frame dict lookups or key re-encoding.
+        """
         grid = self._grids.get(medium)
         if grid is None:
             grid = SpatialGrid(cell_size=self.medium(medium).cull_range_m())
             for node in self._members.get(medium, {}).values():
-                grid.insert(node.node_id, node.position)
+                grid.insert(
+                    node.node_id, node.position,
+                    (node, receiver_tail(node.node_id)),
+                )
             self._grids[medium] = grid
         return grid
 
@@ -132,11 +184,13 @@ class Simulator:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
+        payload = (node, receiver_tail(node.node_id))
         for medium in node.equipped:
             self._members.setdefault(medium, {})[node.node_id] = node
+            self._member_order_cache.pop(medium, None)
             grid = self._grids.get(medium)
             if grid is not None:
-                grid.insert(node.node_id, node.position)
+                grid.insert(node.node_id, node.position, payload)
         node.attach(self)
         self.schedule_at(self.clock.now, node.start)
         return node
@@ -149,6 +203,7 @@ class Simulator:
                 members = self._members.get(medium)
                 if members is not None:
                     members.pop(node_id, None)
+                self._member_order_cache.pop(medium, None)
                 grid = self._grids.get(medium)
                 if grid is not None:
                     grid.remove(node_id)
@@ -156,10 +211,13 @@ class Simulator:
 
     def notify_moved(self, node: "SimNode") -> None:
         """Re-index a node after a position change (see SimNode.move_to)."""
+        payload = None
         for medium in node.equipped:
             grid = self._grids.get(medium)
             if grid is not None:
-                grid.move(node.node_id, node.position)
+                if payload is None:
+                    payload = (node, receiver_tail(node.node_id))
+                grid.move(node.node_id, node.position, payload)
 
     def node(self, node_id: NodeId) -> "SimNode":
         return self._nodes[node_id]
@@ -225,6 +283,18 @@ class Simulator:
 
     # -- transmission --------------------------------------------------------
 
+    def _member_order(self, medium: Medium) -> List[NodeId]:
+        """The medium's member keys, sorted, cached until membership
+        changes — the brute-force path used to re-sort the full registry
+        on every transmission (O(N log N) per frame)."""
+        order = self._member_order_cache.get(medium)
+        if order is None:
+            members = self._members.get(medium)
+            order = self._member_order_cache[medium] = (
+                sorted(members) if members else []
+            )
+        return order
+
     def _candidates(self, sender: "SimNode", medium: Medium) -> List["SimNode"]:
         """Candidate receivers, sorted by node id.
 
@@ -242,7 +312,31 @@ class Simulator:
             keys = self._grid(medium).near(sender.position)
             keys.sort()
             return [members[key] for key in keys]
-        return [members[key] for key in sorted(members)]
+        return [members[key] for key in self._member_order(medium)]
+
+    def _candidate_arrays(
+        self, sender: "SimNode", medium: Medium
+    ) -> Tuple[List[NodeId], List[tuple], np.ndarray, np.ndarray]:
+        """Candidate keys, (node, tail) payloads, and packed x/y arrays.
+
+        The sender itself is *included* when it is a member — the
+        batched path drops it by identity at the survivor stage, which
+        is cheaper than slicing it out of every cached array.
+        """
+        if self.use_spatial_index:
+            return self._grid(medium).near_arrays(sender.position)
+        members = self._members.get(medium)
+        if not members:
+            return [], [], _EMPTY_COORDS, _EMPTY_COORDS
+        keys = self._member_order(medium)
+        payloads = []
+        xs = np.empty(len(keys), dtype=np.float64)
+        ys = np.empty(len(keys), dtype=np.float64)
+        for index, key in enumerate(keys):
+            node = members[key]
+            payloads.append((node, receiver_tail(key)))
+            xs[index], ys[index] = node.position
+        return keys, payloads, xs, ys
 
     def _bound_counter(self, cache: Dict[Medium, object], name: str, medium: Medium):
         counter = cache.get(medium)
@@ -278,6 +372,11 @@ class Simulator:
             )
         airtime = packet.size_bytes * 8.0 / BITS_PER_SECOND[medium]
         arrival = self.clock.now + TRANSMIT_LATENCY_S + airtime
+        if self.use_batched_delivery:
+            return self._transmit_batched(
+                sender, medium, model, packet, sequence, arrival,
+                telemetry, trace_id, delivery_counter,
+            )
         cull_range = model.cull_range_m()
         sender_id = sender.node_id
         sender_x, sender_y = sender.position
@@ -291,7 +390,12 @@ class Simulator:
             if medium not in receiver.mediums:
                 continue
             position = receiver.position
-            distance = math.hypot(sender_x - position[0], sender_y - position[1])
+            # sqrt(dx² + dy²) rather than math.hypot: hypot's extra
+            # guard arithmetic differs from the vectorized path by an
+            # ulp on some inputs, and the oracle must match bit-for-bit.
+            dx = sender_x - position[0]
+            dy = sender_y - position[1]
+            distance = math.sqrt(dx * dx + dy * dy)
             if distance > cull_range:
                 continue
             draws = model.pair_sample(sender_id, receiver.node_id, sequence)
@@ -316,6 +420,131 @@ class Simulator:
                 ),
             )
         return receptions
+
+    def _transmit_batched(
+        self,
+        sender: "SimNode",
+        medium: Medium,
+        model: RadioMedium,
+        packet: Packet,
+        sequence: int,
+        arrival: float,
+        telemetry,
+        trace_id,
+        delivery_counter,
+    ) -> int:
+        """Vectorized delivery: one link-budget pass over all candidates.
+
+        Byte-identical to the scalar loop — same per-pair digests (the
+        hashed stream is keyed, not sequential), same numpy arithmetic
+        kernels, same check semantics in a different order (distance
+        mask first, alive/equipped checks deferred to the survivors;
+        legitimate because draws are pure per-pair functions and
+        candidate accounting counts every non-sender candidate in both
+        paths).  Survivors are sorted by node id and scheduled as a
+        single :class:`_DeliveryBatch` heap entry that dispatches them
+        in that order at arrival time.
+
+        The topology-dependent prologue — neighborhood gather, distance
+        mask, tail collection and the deterministic mean-RSSI vector —
+        is snapshotted per (medium, sender) in ``_sender_cache`` and
+        replayed while the spatial grid's version stamp holds, so a
+        static stretch of topology pays only the per-frame stochastic
+        work (digests, shadowing, loss).  Liveness and interface state
+        are deliberately *not* part of the snapshot: crashes and admin
+        toggles don't change membership, and both paths defer those
+        checks to the survivor stage.
+        """
+        sender_id = sender.node_id
+        nodes = None
+        grid = self._grid(medium) if self.use_spatial_index else None
+        if grid is not None:
+            entry = self._sender_cache.get((medium, sender_id))
+            if (
+                entry is not None
+                and entry[0] is grid
+                and entry[1] == grid.version
+                and entry[2] is model.params
+            ):
+                count, nodes, tails, mean = entry[3], entry[4], entry[5], entry[6]
+        if nodes is None:
+            if grid is not None:
+                keys, payloads, xs, ys = grid.near_arrays(sender.position)
+            else:
+                keys, payloads, xs, ys = self._candidate_arrays(sender, medium)
+            members = self._members.get(medium)
+            sender_is_member = members is not None and sender_id in members
+            count = len(keys) - (1 if sender_is_member else 0)
+            sender_x, sender_y = sender.position
+            dx = xs - sender_x
+            dy = ys - sender_y
+            distances = np.sqrt(dx * dx + dy * dy)
+            in_range = distances <= model.cull_range_m()
+            nodes = []
+            tails = []
+            if in_range.any():
+                # Hash and budget every in-range candidate (including
+                # the sender and any dead/unequipped node): draws are
+                # pure per-pair functions, so the extra rows cannot
+                # perturb anyone else's, and deferring the attribute
+                # checks to the few survivors is cheaper than
+                # interrogating every candidate up front.
+                for index in np.flatnonzero(in_range).tolist():
+                    payload = payloads[index]
+                    nodes.append(payload[0])
+                    tails.append(payload[1])
+                mean = model.params.mean_rssi_block(distances[in_range])
+            else:
+                mean = None
+            if grid is not None and sender_is_member:
+                self._sender_cache[(medium, sender_id)] = (
+                    grid, grid.version, model.params, count, nodes, tails, mean
+                )
+        if count <= 0:
+            return 0
+        self.candidate_evaluations += count
+        loss = model.base_loss_probability + model.interference_loss_probability
+        if loss >= 1.0:
+            # Saturating jammer: every frame is dropped, no draws burned.
+            return 0
+        if not nodes:
+            return 0
+        block = model.pair_sample_block(sender_id, sequence, encoded_tails=tails)
+        rssis = model.pair_rssi_block(None, block, mean=mean)
+        keep = rssis >= model.params.sensitivity_dbm
+        if loss > 0.0:
+            keep &= ~model.pair_frame_lost_block(block)
+        survivors = np.flatnonzero(keep)
+        if survivors.size == 0:
+            return 0
+        chosen = []
+        for row in survivors.tolist():
+            receiver = nodes[row]
+            if receiver is sender:
+                continue
+            if receiver.alive and medium in receiver.mediums:
+                # NodeId is a single-field ordered dataclass; sorting by
+                # the bare .value string gives the same order without
+                # the dataclass __lt__ tuple machinery.
+                chosen.append((receiver.node_id.value, receiver, float(rssis[row])))
+        if not chosen:
+            return 0
+        chosen.sort()
+        pool = self._delivery_pool
+        batch = pool.pop() if pool else _DeliveryBatch()
+        batch.bind(
+            self,
+            [entry[1] for entry in chosen],
+            [entry[2] for entry in chosen],
+            packet,
+            medium,
+            arrival,
+            telemetry,
+            trace_id,
+            delivery_counter,
+        )
+        self.schedule_at(arrival, batch)
+        return len(chosen)
 
 
 class _PeriodicTask:
@@ -410,5 +639,100 @@ class _Delivery:
             receiver.handle_frame(self.packet, self.medium, self.rssi, self.timestamp)
 
 
+class _DeliveryBatch:
+    """All of one transmission's deliveries as a single heap entry.
+
+    The batched transmit path schedules one of these per transmission
+    instead of one :class:`_Delivery` per receiver, cutting heappush
+    churn to O(1) per frame.  Receivers are dispatched in node-id order
+    — the order the scalar path's individual heap entries would pop in
+    (FIFO among equal timestamps) — and each receiver's liveness /
+    attachment / interface state is re-checked at its own dispatch
+    moment, so an earlier receiver's handler crashing a later one
+    behaves exactly as with individual entries.  Dispatched batches
+    return themselves to the simulator's ``_delivery_pool`` for reuse.
+    """
+
+    __slots__ = (
+        "sim",
+        "receivers",
+        "rssis",
+        "packet",
+        "medium",
+        "timestamp",
+        "telemetry",
+        "trace_id",
+        "delivery_counter",
+    )
+
+    def __init__(self) -> None:
+        self.sim = None
+        self.receivers: List = []
+        self.rssis: List[float] = []
+        self.packet = None
+        self.medium = None
+        self.timestamp = 0.0
+        self.telemetry = None
+        self.trace_id = None
+        self.delivery_counter = None
+
+    def bind(
+        self,
+        sim,
+        receivers,
+        rssis,
+        packet,
+        medium,
+        timestamp,
+        telemetry=None,
+        trace_id=None,
+        delivery_counter=None,
+    ) -> None:
+        self.sim = sim
+        self.receivers = receivers
+        self.rssis = rssis
+        self.packet = packet
+        self.medium = medium
+        self.timestamp = timestamp
+        self.telemetry = telemetry
+        self.trace_id = trace_id
+        self.delivery_counter = delivery_counter
+
+    def __call__(self) -> None:
+        sim = self.sim
+        packet = self.packet
+        medium = self.medium
+        timestamp = self.timestamp
+        telemetry = self.telemetry
+        delivery_counter = self.delivery_counter
+        for receiver, rssi in zip(self.receivers, self.rssis):
+            if (
+                not receiver.attached
+                or not receiver.alive
+                or medium not in receiver.mediums
+            ):
+                continue
+            sim.deliveries += 1
+            if delivery_counter is not None:
+                delivery_counter.inc()
+            if telemetry is None:
+                receiver.handle_frame(packet, medium, rssi, timestamp)
+                continue
+            with telemetry.span(
+                "sim.deliver",
+                node=str(receiver.node_id),
+                t=timestamp,
+                trace_id=self.trace_id,
+                medium=medium.value,
+                kind=type(packet).__name__,
+            ):
+                receiver.handle_frame(packet, medium, rssi, timestamp)
+        # Drop object references and return to the pool for reuse.
+        self.bind(None, [], [], None, None, 0.0)
+        sim._delivery_pool.append(self)
+
+
 def _distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
-    return math.hypot(a[0] - b[0], a[1] - b[1])
+    dx = a[0] - b[0]
+    dy = a[1] - b[1]
+    return math.sqrt(dx * dx + dy * dy)

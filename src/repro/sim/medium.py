@@ -17,10 +17,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.net.packets.base import Medium
-from repro.util.rng import HashedDraws, HashedStream, SeededRng
+from repro.util.rng import (
+    HashedBlock,
+    HashedDraws,
+    HashedStream,
+    SeededRng,
+    encode_key_part,
+)
 
 #: Shadowing draws are clamped to this many sigmas.  The clamp makes
 #: the spatial cull *provably* lossless: beyond the distance where
@@ -30,6 +38,18 @@ from repro.util.rng import HashedDraws, HashedStream, SeededRng
 #: sigmas the truncated tail has probability ~1e-9 per draw — far
 #: below one clamped draw per simulated year of traffic.
 SHADOWING_CULL_SIGMAS = 6.0
+
+
+def receiver_tail(receiver_id) -> bytes:
+    """The pre-encoded hashed-stream tail for one receiver.
+
+    This is exactly the final key part :meth:`RadioMedium.pair_sample`
+    hashes for the receiver; the engine caches it per node (ids are
+    immutable) and hands the bytes back to
+    :meth:`RadioMedium.pair_sample_block` via ``encoded_tails``,
+    skipping per-frame re-encoding on the hot path.
+    """
+    return encode_key_part(str(receiver_id))
 
 
 @dataclass(frozen=True)
@@ -52,11 +72,29 @@ class PathLossParams:
     shadowing_sigma_db: float = 1.5
 
     def mean_rssi(self, distance_m: float) -> float:
-        """Deterministic (shadowing-free) RSSI at a given distance."""
-        clamped = max(distance_m, 0.1)
-        path_loss = self.pl_d0_db + 10.0 * self.exponent * math.log10(
-            clamped / self.d0_m
+        """Deterministic (shadowing-free) RSSI at a given distance.
+
+        Distances below the reference distance ``d0_m`` clamp to it:
+        the log-distance model is only calibrated from ``d0`` outward,
+        and letting ``log10(d/d0)`` go negative would hand sub-``d0``
+        receivers *negative* path loss (RSSI above transmit power).
+        The log goes through numpy's kernel so this stays bit-identical
+        to :meth:`mean_rssi_block` (libm's ``log10`` differs by an ulp
+        on some inputs).
+        """
+        clamped = max(distance_m, self.d0_m)
+        path_loss = self.pl_d0_db + 10.0 * self.exponent * float(
+            np.log10(clamped / self.d0_m)
         )
+        return self.tx_power_dbm - path_loss
+
+    def mean_rssi_block(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`mean_rssi`, bit-identical per element."""
+        clamped = np.maximum(distances_m, self.d0_m)
+        # x / 1.0 == x bit-for-bit; skip the ufunc pass for the common
+        # 1 m reference distance.
+        ratio = clamped if self.d0_m == 1.0 else clamped / self.d0_m
+        path_loss = self.pl_d0_db + (10.0 * self.exponent) * np.log10(ratio)
         return self.tx_power_dbm - path_loss
 
     def max_range_m(self, margin_db: float = 0.0) -> float:
@@ -180,8 +218,39 @@ class RadioMedium:
     def pair_sample(
         self, sender_id, receiver_id, sequence: int
     ) -> HashedDraws:
-        """The draw budget for one (sender, receiver, transmission)."""
-        return self._pairwise.sample(str(sender_id), str(receiver_id), sequence)
+        """The draw budget for one (sender, receiver, transmission).
+
+        Routed through :meth:`~repro.util.rng.HashedStream.sample_block`
+        with the type-tagged key ``(sender, sequence, receiver)`` — the
+        sender and sequence form the shared per-transmission prefix and
+        the receiver is the varying tail, so the scalar oracle and the
+        batched path hash byte-identical messages per pair.
+        """
+        block = self._pairwise.sample_block(
+            (str(sender_id), int(sequence)), (str(receiver_id),)
+        )
+        return block.draws(0)
+
+    def pair_sample_block(
+        self,
+        sender_id,
+        sequence: int,
+        receiver_ids: Optional[Sequence] = None,
+        encoded_tails: Optional[Sequence[bytes]] = None,
+    ) -> HashedBlock:
+        """Draw budgets for every (sender, receiver, transmission) pair,
+        one per receiver, hashed in a single pass over the candidates.
+
+        Pass either ``receiver_ids`` (encoded here) or ``encoded_tails``
+        — bytes from :func:`receiver_tail`, cached by the engine so the
+        hot path skips per-frame key encoding.
+        """
+        common = (str(sender_id), int(sequence))
+        if encoded_tails is not None:
+            return self._pairwise.sample_block(common, encoded_tails, encoded=True)
+        return self._pairwise.sample_block(
+            common, [str(receiver_id) for receiver_id in receiver_ids]
+        )
 
     def pair_rssi(self, distance_m: float, draws: HashedDraws) -> float:
         """RSSI for one reception, shadowing clamped to the cull margin."""
@@ -196,6 +265,39 @@ class RadioMedium:
             shadowing = -SHADOWING_CULL_SIGMAS
         return mean + shadowing * sigma
 
+    def pair_rssi_block(
+        self,
+        distances_m: Optional[np.ndarray],
+        block: HashedBlock,
+        mean: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`pair_rssi` over a whole candidate block.
+
+        Bit-identical per pair to the scalar path: same mean formula,
+        same Box-Muller over draw words 0 and 1 (``HashedDraws.normal``
+        shares the numpy log kernel), same ±``SHADOWING_CULL_SIGMAS``
+        clamp.  With ``sigma <= 0`` no draw words are consumed, exactly
+        like the scalar branch.
+
+        ``mean`` short-circuits the deterministic part: the engine
+        caches ``mean_rssi_block`` per (sender, topology version) since
+        it only changes when something moves.  The returned array must
+        be treated as read-only when ``sigma <= 0`` (it *is* the mean).
+        """
+        if mean is None:
+            mean = self.params.mean_rssi_block(distances_m)
+        sigma = self.params.shadowing_sigma_db
+        if sigma <= 0:
+            return mean
+        u1 = block.uniforms(0)
+        u2 = block.uniforms(1)
+        radius = np.sqrt(-2.0 * np.log(1.0 - u1))
+        shadowing = radius * np.cos(2.0 * math.pi * u2)
+        np.clip(
+            shadowing, -SHADOWING_CULL_SIGMAS, SHADOWING_CULL_SIGMAS, out=shadowing
+        )
+        return mean + shadowing * sigma
+
     def pair_frame_lost(self, draws: HashedDraws) -> bool:
         """Loss decision for one reception; certain loss consumes no draw."""
         loss = self.base_loss_probability + self.interference_loss_probability
@@ -204,6 +306,22 @@ class RadioMedium:
         if loss >= 1.0:
             return True
         return draws.chance(loss)
+
+    def pair_frame_lost_block(self, block: HashedBlock) -> np.ndarray:
+        """Vectorized :meth:`pair_frame_lost` over a candidate block.
+
+        Draw-for-draw with the scalar path: the loss uniform is draw
+        word 2 when shadowing consumed words 0–1, or word 0 when
+        ``sigma <= 0`` left the budget untouched.  ``loss <= 0`` and the
+        certain-drop ``loss >= 1`` branches consume no draw at all.
+        """
+        loss = self.base_loss_probability + self.interference_loss_probability
+        if loss <= 0.0:
+            return np.zeros(len(block), dtype=bool)
+        if loss >= 1.0:
+            return np.ones(len(block), dtype=bool)
+        column = 2 if self.params.shadowing_sigma_db > 0 else 0
+        return block.uniforms(column) < loss
 
     def set_interference(self, loss_probability: float) -> None:
         """Set environment-induced loss (used by the jamming attack)."""

@@ -21,6 +21,33 @@ T = TypeVar("T")
 #: One digest yields this many independent 8-byte uniform draws.
 DRAWS_PER_DIGEST = 4
 
+#: SHA-256 digest width, bytes.
+DIGEST_BYTES = 32
+
+#: Key parts are length-delimited by a separator and *type-tagged* so
+#: that ``"1"`` and ``1`` hash to different digests (they used to
+#: collide because both were encoded via ``str``).
+_KEY_SEPARATOR = b"\x1f"
+_TAG_STR = b"s"
+_TAG_INT = b"i"
+
+
+def encode_key_part(part: Union[str, int]) -> bytes:
+    """Type-tagged wire encoding of one :class:`HashedStream` key part.
+
+    Shared by :meth:`HashedStream.sample` and
+    :meth:`HashedStream.sample_block` so the scalar and batched paths
+    hash byte-identical messages.  ``bool`` is encoded as its integer
+    value (it *is* an ``int`` in Python).
+    """
+    if isinstance(part, str):
+        return _KEY_SEPARATOR + _TAG_STR + part.encode("utf-8")
+    if isinstance(part, int):
+        return _KEY_SEPARATOR + _TAG_INT + str(int(part)).encode("ascii")
+    raise TypeError(
+        f"hashed-stream key parts must be str or int, got {type(part).__name__}"
+    )
+
 
 def derive_seed(root_seed: int, *labels: str) -> int:
     """Derive a stable 63-bit sub-seed from a root seed and a label path.
@@ -132,9 +159,16 @@ class HashedDraws:
         return low + (high - low) * unit
 
     def normal(self, mean: float = 0.0, std: float = 1.0) -> float:
-        """Next normal draw, via Box-Muller (consumes two uniforms)."""
+        """Next normal draw, via Box-Muller (consumes two uniforms).
+
+        The log goes through numpy's kernel (not ``math.log``) because
+        the two differ by an ulp on some inputs: the batched path
+        (:meth:`HashedBlock.uniforms` + vectorized Box-Muller) must
+        reproduce scalar draws bit-for-bit, so both sides use the same
+        kernels.  ``sqrt``/``cos`` agree between libm and numpy.
+        """
         # 1 - u maps [0, 1) onto (0, 1], keeping log() finite.
-        radius = math.sqrt(-2.0 * math.log(1.0 - self.uniform()))
+        radius = math.sqrt(-2.0 * float(np.log(1.0 - self.uniform())))
         angle = 2.0 * math.pi * self.uniform()
         return mean + std * radius * math.cos(angle)
 
@@ -143,6 +177,63 @@ class HashedDraws:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         return self.uniform() < probability
+
+
+class HashedBlock:
+    """Draw budgets for a whole key array, packed for numpy.
+
+    Produced by :meth:`HashedStream.sample_block`: row ``i`` holds the
+    same 32 digest bytes :meth:`HashedStream.sample` would return for
+    key ``common_key + (tails[i],)``, so the scalar and batched delivery
+    paths consume identical bits.  :attr:`words` exposes the digests as
+    an ``(n, DRAWS_PER_DIGEST)`` uint64 array (big-endian chunks, like
+    ``HashedDraws``); :meth:`uniforms` converts one draw column with the
+    exact arithmetic of :meth:`HashedDraws.uniform`.
+    """
+
+    __slots__ = ("digests", "count", "_words")
+
+    def __init__(self, digests: bytes, count: int) -> None:
+        self.digests = digests
+        self.count = count
+        self._words: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def words(self) -> np.ndarray:
+        """The raw 8-byte draw words, shape ``(count, DRAWS_PER_DIGEST)``."""
+        if self._words is None:
+            # Kept big-endian: ufuncs byteswap on the fly, and the
+            # shifted/scaled results are bit-identical to a native copy.
+            self._words = np.frombuffer(self.digests, dtype=">u8").reshape(
+                self.count, DRAWS_PER_DIGEST
+            )
+        return self._words
+
+    def draws(self, index: int) -> HashedDraws:
+        """The scalar draw budget for row ``index`` (same digest bytes)."""
+        start = index * DIGEST_BYTES
+        return HashedDraws(self.digests[start : start + DIGEST_BYTES])
+
+    def uniforms(
+        self, draw_index: int, low: float = 0.0, high: float = 1.0
+    ) -> np.ndarray:
+        """One uniform draw column in ``[low, high)`` across all rows.
+
+        Bit-identical to calling :meth:`HashedDraws.uniform` as the
+        ``draw_index``-th draw of each row's budget.
+        """
+        if draw_index < 0 or draw_index >= DRAWS_PER_DIGEST:
+            raise ValueError(
+                f"draw_index must be in [0, {DRAWS_PER_DIGEST}), got {draw_index}"
+            )
+        unit = (self.words[:, draw_index] >> np.uint64(11)) * (2.0**-53)
+        if low == 0.0 and high == 1.0:
+            # 0.0 + 1.0 * unit == unit bit-for-bit; skip two ufunc passes.
+            return unit
+        return low + (high - low) * unit
 
 
 class HashedStream:
@@ -183,15 +274,48 @@ class HashedStream:
         return self._seed
 
     def sample(self, *key: Union[str, int]) -> HashedDraws:
-        """The draw budget for one key (a pure function of the key)."""
+        """The draw budget for one key (a pure function of the key).
+
+        Key parts are type-tagged (see :func:`encode_key_part`), so
+        ``sample("1")`` and ``sample(1)`` are independent streams.
+        """
         hasher = self._prefix.copy()
         for part in key:
-            hasher.update(b"\x1f")
-            part_bytes = (
-                part.encode("utf-8") if isinstance(part, str) else str(part).encode("utf-8")
-            )
-            hasher.update(part_bytes)
+            hasher.update(encode_key_part(part))
         return HashedDraws(hasher.digest())
+
+    def sample_block(
+        self,
+        common_key: Tuple[Union[str, int], ...],
+        tails: Sequence[Union[str, int]],
+        encoded: bool = False,
+    ) -> HashedBlock:
+        """Draw budgets for a whole key array, in one pass.
+
+        Row ``i`` is byte-identical to ``sample(*common_key, tails[i])``:
+        the shared prefix (seed plus ``common_key``) is hashed once and
+        each tail finalizes a copy, so an n-key block costs one prefix
+        round plus n short finalizations instead of n full re-hashes.
+        The delivery fast path calls this with
+        ``common_key=(sender, sequence)`` and one tail per candidate
+        receiver.
+
+        With ``encoded=True`` the tails are ``bytes`` already produced
+        by :func:`encode_key_part` — callers on the hot path cache the
+        encoding per stable identity instead of re-encoding per frame.
+        """
+        base = self._prefix.copy()
+        for part in common_key:
+            base.update(encode_key_part(part))
+        copy = base.copy
+        if not encoded:
+            tails = [encode_key_part(part) for part in tails]
+        digests = []
+        for tail in tails:
+            hasher = copy()
+            hasher.update(tail)
+            digests.append(hasher.digest())
+        return HashedBlock(b"".join(digests), len(digests))
 
     # -- one-shot conveniences (each re-hashes the key) ----------------------
 

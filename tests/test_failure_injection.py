@@ -47,10 +47,10 @@ class TestLossyRadio:
     def test_no_false_accusations_under_10pct_loss(self):
         """Radio loss makes the watchdog miss retransmissions it should
         have heard; the drop-ratio gate must absorb that."""
-        # Seed re-baselined with the per-pair RSSI/loss substreams (the
-        # delivery fast path): like the old stream, some seeds make the
+        # Seed re-baselined with the type-tagged (sender, sequence,
+        # receiver) pair keys: like the old streams, some seeds make the
         # watchdog miss exactly the wrong retransmissions at 10% loss.
-        kalis, _ = wsn_with_attacker(seed=86, loss_probability=0.10)
+        kalis, _ = wsn_with_attacker(seed=87, loss_probability=0.10)
         accused = {
             suspect for alert in kalis.alerts.alerts for suspect in alert.suspects
         }

@@ -1,0 +1,243 @@
+"""Batched-vs-scalar delivery equivalence.
+
+The vectorized delivery path (``use_batched_delivery=True``, the
+default) must be *byte-identical* to the per-candidate scalar loop it
+replaced: same reception sets, same per-pair RSSI values bit for bit,
+same candidate accounting — across random topologies, seeds, and
+medium parameters, including the degenerate branches (certain drop,
+zero shadowing, wired medium).  The scalar loop stays available behind
+the flag exactly so these tests can use it as the oracle.
+"""
+
+import itertools
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packets.base import Medium, Packet
+from repro.sim.engine import Simulator
+from repro.sim.medium import PathLossParams, RadioMedium
+from repro.sim.node import SimNode
+from repro.util.ids import NodeId
+from repro.util.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class _Probe(Packet):
+    """A bare frame with a fixed wire size."""
+
+    HEADER_BYTES = 24
+
+
+class _RecordingNode(SimNode):
+    """Keeps every reception as (sender-visible) evidence for equality."""
+
+    def __init__(self, node_id, position, mediums):
+        super().__init__(node_id, position=position, mediums=mediums)
+        self.heard = []
+
+    def handle_frame(self, packet, medium, rssi, timestamp):
+        super().handle_frame(packet, medium, rssi, timestamp)
+        self.heard.append((medium.value, rssi, timestamp))
+
+
+def _build_world(seed, node_count, area, medium, params, loss,
+                 spatial, batched):
+    sim = Simulator(
+        seed=seed, use_spatial_index=spatial, use_batched_delivery=batched
+    )
+    sim.set_medium(
+        RadioMedium(
+            medium,
+            params=params,
+            rng=SeededRng(seed, "equiv-medium"),
+            base_loss_probability=loss,
+        )
+    )
+    placer = SeededRng(seed, "equiv-topo")
+    nodes = []
+    for index in range(node_count):
+        node = _RecordingNode(
+            NodeId(f"n{index}"),
+            (placer.uniform(0.0, area), placer.uniform(0.0, area)),
+            [medium],
+        )
+        sim.add_node(node)
+        nodes.append(node)
+    sim.run_until(0.0)
+    return sim, nodes
+
+
+def _drive(sim, nodes, medium, senders):
+    receptions = 0
+    for index in senders:
+        receptions += nodes[index % len(nodes)].send(medium, _Probe())
+        sim.run(0.05)
+    return receptions
+
+
+def _history(nodes):
+    return {str(node.node_id): node.heard for node in nodes}
+
+
+def _run_one(seed, node_count, area, medium, params, loss, spatial, batched):
+    sim, nodes = _build_world(
+        seed, node_count, area, medium, params, loss, spatial, batched
+    )
+    senders = range(0, node_count * 3, max(1, node_count // 4))
+    receptions = _drive(sim, nodes, medium, senders)
+    return _history(nodes), receptions, sim.candidate_evaluations, sim.deliveries
+
+
+class TestBatchedEqualsScalar:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        node_count=st.integers(min_value=2, max_value=40),
+        area=st.floats(min_value=10.0, max_value=400.0),
+        exponent=st.floats(min_value=2.0, max_value=4.0),
+        sigma=st.floats(min_value=0.0, max_value=4.0),
+        loss=st.sampled_from([0.0, 0.15, 0.5, 0.97, 1.0]),
+    )
+    def test_property_sweep(self, seed, node_count, area, exponent, sigma, loss):
+        """Random topology/seed/params: all four (spatial x batched)
+        paths agree on every reception, RSSI bit and counter."""
+        params = PathLossParams(
+            tx_power_dbm=0.0,
+            pl_d0_db=40.0,
+            exponent=exponent,
+            sensitivity_dbm=-90.0,
+            shadowing_sigma_db=sigma,
+        )
+        if loss >= 1.0:
+            # base_loss_probability must be < 1; reach certain drop via
+            # interference instead, below.
+            loss = 0.97
+        results = {
+            combo: _run_one(
+                seed, node_count, area, Medium.IEEE_802_15_4, params, loss,
+                *combo,
+            )
+            for combo in itertools.product([True, False], repeat=2)
+        }
+        baseline = results[(True, True)]
+        for combo, result in results.items():
+            assert result[0] == baseline[0], combo  # exact RSSI + times
+            assert result[1] == baseline[1], combo  # receptions
+            assert result[3] == baseline[3], combo  # deliveries
+        # Candidate accounting matches within each candidate-source.
+        assert results[(True, True)][2] == results[(True, False)][2]
+        assert results[(False, True)][2] == results[(False, False)][2]
+
+    @pytest.mark.parametrize("spatial", [True, False])
+    def test_certain_drop_jammer(self, spatial):
+        """loss >= 1.0 (saturating jammer): zero receptions on both
+        paths, and candidate accounting still runs."""
+        params = PathLossParams(shadowing_sigma_db=1.5)
+        outcomes = []
+        for batched in (True, False):
+            sim, nodes = _build_world(
+                7, 10, 60.0, Medium.IEEE_802_15_4, params, 0.0, spatial, batched
+            )
+            sim.medium(Medium.IEEE_802_15_4).set_interference(1.0)
+            receptions = _drive(sim, nodes, Medium.IEEE_802_15_4, range(10))
+            outcomes.append((receptions, sim.candidate_evaluations))
+            assert receptions == 0
+            assert sim.deliveries == 0
+            assert sim.candidate_evaluations > 0
+        assert outcomes[0] == outcomes[1]
+
+    @pytest.mark.parametrize("spatial", [True, False])
+    def test_zero_sigma_deterministic_rssi(self, spatial):
+        """sigma == 0 consumes no shadowing draws; the loss uniform
+        shifts to draw word 0 identically on both paths."""
+        params = PathLossParams(shadowing_sigma_db=0.0)
+        histories = []
+        for batched in (True, False):
+            sim, nodes = _build_world(
+                11, 12, 80.0, Medium.IEEE_802_15_4, params, 0.3, spatial, batched
+            )
+            _drive(sim, nodes, Medium.IEEE_802_15_4, range(12))
+            histories.append(_history(nodes))
+        assert histories[0] == histories[1]
+        # With zero shadowing each heard RSSI is exactly the mean.
+        for heard in histories[0].values():
+            for _, rssi, _ in heard:
+                assert rssi <= params.tx_power_dbm - params.pl_d0_db + 1e-9
+
+    def test_wired_medium_degenerate(self):
+        """The wired pseudo-medium has an unbounded cull range (single
+        grid bucket) and zero sigma — everything hears everything,
+        identically on all four paths."""
+        params = PathLossParams(
+            pl_d0_db=0.0, exponent=0.01, sensitivity_dbm=-100.0,
+            shadowing_sigma_db=0.0,
+        )
+        histories = []
+        for spatial, batched in itertools.product([True, False], repeat=2):
+            sim, nodes = _build_world(
+                3, 8, 5000.0, Medium.WIRED, params, 0.0, spatial, batched
+            )
+            receptions = _drive(sim, nodes, Medium.WIRED, range(8))
+            histories.append((_history(nodes), receptions))
+            assert receptions == 8 * 7  # full mesh, no losses
+        assert all(entry == histories[0] for entry in histories[1:])
+
+
+class TestBruteForceMemberCache:
+    """The brute-force path caches its sorted member list (it used to
+    re-sort the registry every transmission); the cache must invalidate
+    on register/unregister and survive crashes unchanged."""
+
+    @staticmethod
+    def _world(batched):
+        sim, nodes = _build_world(
+            19, 14, 90.0, Medium.IEEE_802_15_4,
+            PathLossParams(shadowing_sigma_db=1.5), 0.1,
+            spatial=False, batched=batched,
+        )
+        return sim, nodes
+
+    def test_reception_sets_unchanged_across_membership_churn(self):
+        outcomes = []
+        for batched in (True, False):
+            sim, nodes = self._world(batched)
+            medium = Medium.IEEE_802_15_4
+            _drive(sim, nodes, medium, range(4))
+            # Unregister one node, register a new one, crash another:
+            # the cached order must track the first two and ignore the
+            # third (dead nodes stay registered, filtered at transmit).
+            sim.remove_node(nodes[5].node_id)
+            late = _RecordingNode(NodeId("late"), (45.0, 45.0), [medium])
+            sim.add_node(late)
+            nodes[7].crash()
+            sim.run(0.1)
+            _drive(sim, nodes, medium, [0, 1, 2, 3, 6, 8, 9])
+            survivors = [n for n in nodes if n.node_id != nodes[5].node_id]
+            outcomes.append(
+                (_history(survivors + [late]), sim.candidate_evaluations,
+                 sim.deliveries)
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_cached_order_invalidated_on_churn(self):
+        sim, nodes = self._world(True)
+        medium = Medium.IEEE_802_15_4
+        nodes[0].send(medium, _Probe())
+        first = sim._member_order_cache[medium]
+        assert first == sorted(sim._members[medium])
+        # Crash does not touch membership: cache object survives.
+        nodes[3].crash()
+        nodes[0].send(medium, _Probe())
+        assert sim._member_order_cache[medium] is first
+        # Register/unregister invalidate it.
+        sim.remove_node(nodes[4].node_id)
+        assert medium not in sim._member_order_cache
+        nodes[0].send(medium, _Probe())
+        assert nodes[4].node_id not in sim._member_order_cache[medium]
+        sim.add_node(_RecordingNode(NodeId("a0"), (1.0, 1.0), [medium]))
+        assert medium not in sim._member_order_cache
+        nodes[0].send(medium, _Probe())
+        assert NodeId("a0") in sim._member_order_cache[medium]

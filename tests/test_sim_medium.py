@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.net.packets.base import Medium
@@ -30,6 +31,28 @@ class TestPathLossParams:
     def test_tiny_distances_clamped(self):
         params = DEFAULT_PARAMS[Medium.WIFI]
         assert params.mean_rssi(0.0) == params.mean_rssi(0.05)
+
+    def test_sub_d0_clamps_to_d0_not_hardcoded_floor(self):
+        """Regression: the clamp used to be a hardcoded 0.1 m, so with
+        the default d0_m=1.0 a sub-metre receiver saw *negative* path
+        loss — RSSI above transmit power."""
+        params = PathLossParams(
+            tx_power_dbm=0.0, pl_d0_db=40.0, exponent=3.0, d0_m=1.0
+        )
+        # At distance 0 the model clamps to d0: exactly the d0 path loss.
+        assert params.mean_rssi(0.0) == params.mean_rssi(params.d0_m)
+        assert params.mean_rssi(0.0) == pytest.approx(-40.0)
+        # Everything at or inside d0 is flat; never above tx - pl_d0.
+        for distance in (0.0, 0.05, 0.1, 0.5, 1.0):
+            assert params.mean_rssi(distance) == pytest.approx(-40.0)
+            assert params.mean_rssi(distance) <= params.tx_power_dbm
+
+    def test_mean_rssi_block_matches_scalar_bitwise(self):
+        params = DEFAULT_PARAMS[Medium.IEEE_802_15_4]
+        distances = np.array([0.0, 0.3, 1.0, 2.5, 17.0, 63.2, 1e4])
+        batch = params.mean_rssi_block(distances)
+        for index, distance in enumerate(distances):
+            assert batch[index] == params.mean_rssi(float(distance))
 
     def test_wifi_outranges_802154(self):
         wifi = DEFAULT_PARAMS[Medium.WIFI].max_range_m()
@@ -88,6 +111,59 @@ class TestPairSampling:
     def test_cull_range_exceeds_mean_range(self):
         medium = RadioMedium(Medium.IEEE_802_15_4, rng=SeededRng(4))
         assert medium.cull_range_m() > medium.params.max_range_m()
+
+    def test_pair_rssi_block_bit_identical_to_scalar(self):
+        medium = RadioMedium(Medium.IEEE_802_15_4, rng=SeededRng(4))
+        receivers = [f"r{index}" for index in range(64)]
+        distances = np.linspace(0.0, 120.0, 64)
+        block = medium.pair_sample_block("sender", 9, receivers)
+        batch = medium.pair_rssi_block(distances, block)
+        for index, receiver in enumerate(receivers):
+            scalar = medium.pair_rssi(
+                float(distances[index]), medium.pair_sample("sender", receiver, 9)
+            )
+            assert batch[index] == scalar
+
+    def test_pair_frame_lost_block_bit_identical_to_scalar(self):
+        medium = RadioMedium(
+            Medium.WIFI, rng=SeededRng(4), base_loss_probability=0.4
+        )
+        receivers = [f"r{index}" for index in range(200)]
+        block = medium.pair_sample_block("sender", 3, receivers)
+        # Shadowing must be consumed first, as the engine does, so the
+        # scalar draw offset lines up with the block's loss column.
+        medium.pair_rssi_block(np.full(len(receivers), 25.0), block)
+        lost = medium.pair_frame_lost_block(block)
+        for index, receiver in enumerate(receivers):
+            draws = medium.pair_sample("sender", receiver, 3)
+            medium.pair_rssi(25.0, draws)
+            assert bool(lost[index]) == medium.pair_frame_lost(draws)
+        assert 0 < int(lost.sum()) < len(receivers)
+
+    def test_pair_frame_lost_block_degenerate_branches(self):
+        medium = RadioMedium(Medium.WIFI, rng=SeededRng(4))
+        block = medium.pair_sample_block("s", 1, ["a", "b", "c"])
+        assert not medium.pair_frame_lost_block(block).any()  # loss == 0
+        medium.set_interference(1.0)
+        assert medium.pair_frame_lost_block(block).all()  # certain drop
+
+    def test_pair_frame_lost_block_zero_sigma_uses_first_word(self):
+        """With sigma == 0 shadowing consumes nothing, so the loss
+        uniform is draw word 0 — in both the scalar and block paths."""
+        params = PathLossParams(shadowing_sigma_db=0.0)
+        medium = RadioMedium(
+            Medium.WIFI, params=params, rng=SeededRng(4),
+            base_loss_probability=0.3,
+        )
+        receivers = [f"r{index}" for index in range(100)]
+        block = medium.pair_sample_block("s", 5, receivers)
+        rssi = medium.pair_rssi_block(np.full(len(receivers), 10.0), block)
+        assert (rssi == params.mean_rssi(10.0)).all()
+        lost = medium.pair_frame_lost_block(block)
+        for index, receiver in enumerate(receivers):
+            draws = medium.pair_sample("s", receiver, 5)
+            assert medium.pair_rssi(10.0, draws) == params.mean_rssi(10.0)
+            assert bool(lost[index]) == medium.pair_frame_lost(draws)
 
 
 class TestRadioMedium:

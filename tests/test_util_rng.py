@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.rng import HashedStream, SeededRng, derive_seed
+from repro.util.rng import (
+    DRAWS_PER_DIGEST,
+    HashedStream,
+    SeededRng,
+    derive_seed,
+)
 
 
 class TestDeriveSeed:
@@ -171,3 +176,77 @@ class TestHashedStream:
         assert stream.uniform(("k", 1)) == stream.sample("k", 1).uniform()
         assert stream.normal(("k", 1)) == stream.sample("k", 1).normal()
         assert stream.chance(("k", 1), 0.5) == stream.sample("k", 1).chance(0.5)
+
+
+class TestHashedBlock:
+    def test_block_rows_identical_to_sample(self):
+        """Row i of a block is byte-identical to sample(*common, tails[i])."""
+        stream = HashedStream(11, "pairs")
+        tails = [f"recv-{index}" for index in range(17)]
+        block = stream.sample_block(("sender-3", 42), tails)
+        assert len(block) == len(tails)
+        for index, tail in enumerate(tails):
+            scalar = stream.sample("sender-3", 42, tail)
+            row = block.draws(index)
+            for _ in range(DRAWS_PER_DIGEST):
+                assert row.uniform() == scalar.uniform()
+
+    def test_uniform_columns_match_scalar_draw_order(self):
+        """uniforms(j) is the j-th scalar draw of every row, bit for bit."""
+        stream = HashedStream(11, "pairs")
+        block = stream.sample_block(("s", 1), [str(index) for index in range(32)])
+        columns = [block.uniforms(j) for j in range(DRAWS_PER_DIGEST)]
+        for index in range(32):
+            scalar = block.draws(index)
+            for j in range(DRAWS_PER_DIGEST):
+                assert columns[j][index] == scalar.uniform()
+
+    def test_uniforms_range_and_bounds(self):
+        stream = HashedStream(11, "u")
+        block = stream.sample_block(("k",), list(range(100)))
+        scaled = block.uniforms(0, 10.0, 20.0)
+        assert ((scaled >= 10.0) & (scaled < 20.0)).all()
+        with pytest.raises(ValueError):
+            block.uniforms(DRAWS_PER_DIGEST)
+        with pytest.raises(ValueError):
+            block.uniforms(-1)
+
+    def test_empty_block(self):
+        block = HashedStream(11, "e").sample_block(("k",), [])
+        assert len(block) == 0
+        assert block.uniforms(0).shape == (0,)
+
+    def test_key_parts_are_type_tagged(self):
+        """"1" and 1 used to collide into the same digest; no longer."""
+        stream = HashedStream(11, "tags")
+        assert stream.sample("1").uniform() != stream.sample(1).uniform()
+        # The tag also prevents boundary ambiguity across parts.
+        assert stream.sample("a", 12).uniform() != stream.sample("a", "12").uniform()
+
+    def test_key_parts_reject_other_types(self):
+        stream = HashedStream(11, "tags")
+        with pytest.raises(TypeError):
+            stream.sample(1.5)
+        with pytest.raises(TypeError):
+            stream.sample_block((1.5,), ["x"])
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        common=st.lists(
+            st.one_of(st.text(max_size=8), st.integers(-1000, 1000)),
+            max_size=3,
+        ),
+        tails=st.lists(
+            st.one_of(st.text(max_size=8), st.integers(-1000, 1000)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_block_vs_scalar_property(self, seed, common, tails):
+        stream = HashedStream(seed, "prop")
+        block = stream.sample_block(tuple(common), tails)
+        for index, tail in enumerate(tails):
+            assert (
+                block.draws(index).uniform()
+                == stream.sample(*common, tail).uniform()
+            )
